@@ -1,0 +1,35 @@
+# Developer conveniences for the NSF reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test bench eval charts goldens check-goldens examples all
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+eval:
+	$(PYTHON) -m repro.evalx
+
+charts:
+	$(PYTHON) -m repro.evalx --experiment fig12 --charts
+	$(PYTHON) -m repro.evalx --experiment fig13 --charts
+
+goldens:
+	$(PYTHON) -m repro.evalx --write-goldens
+
+check-goldens:
+	$(PYTHON) -m repro.evalx --check-goldens
+
+examples:
+	@for f in examples/*.py; do \
+		echo "== $$f =="; \
+		$(PYTHON) $$f > /dev/null || exit 1; \
+	done; echo "all examples ran clean"
+
+all: test bench check-goldens examples

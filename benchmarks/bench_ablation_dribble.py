@@ -1,0 +1,58 @@
+"""Ablation: dribble-back background spilling (related work [29]).
+
+Sweeps the NSF's spill watermark on the fine-grained Gamteb workload
+and prices the result: foreground spill traffic migrates into hidden
+background work, shrinking the critical-path overhead — at the cost of
+extra total data movement (speculative spills of lines that get touched
+again).
+"""
+
+from repro.core import NSF_COSTS, NamedStateRegisterFile
+from repro.evalx.tables import ExperimentTable
+from repro.workloads import get_workload
+
+SCALE = 0.5
+WATERMARKS = (0, 2, 4, 8, 16)
+
+
+def test_dribble_back_sweep(benchmark, record_table):
+    def sweep():
+        table = ExperimentTable(
+            experiment="Ablation C",
+            title="Dribble-back spill watermark (Gamteb, 128 registers)",
+            headers=["Watermark", "Foreground spills/instr %",
+                     "Background spills/instr %", "Reloads/instr %",
+                     "Critical-path overhead %"],
+        )
+        workload = get_workload("Gamteb")
+        for watermark in WATERMARKS:
+            nsf = NamedStateRegisterFile(num_registers=128,
+                                         context_size=32,
+                                         spill_watermark=watermark)
+            workload.run(nsf, scale=SCALE, seed=1)
+            stats = nsf.stats
+            instructions = stats.instructions
+            table.add_row(
+                watermark,
+                round(100 * stats.registers_spilled / instructions, 3),
+                round(100 * stats.background_registers_spilled
+                      / instructions, 3),
+                round(100 * stats.reloads_per_instruction, 3),
+                round(100 * NSF_COSTS.overhead_fraction(stats), 2),
+            )
+        return table
+
+    table = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    record_table(table, "ablation_dribble")
+    print()
+    print(table.render())
+
+    foreground = table.column("Foreground spills/instr %")
+    background = table.column("Background spills/instr %")
+    # Watermark 0 does no background work; larger watermarks shift the
+    # spill traffic off the critical path.
+    assert background[0] == 0
+    assert background[-1] > 0
+    assert foreground[-1] < foreground[0]
+    # Every configuration still produced the verified result (workload
+    # raises otherwise), so the feature is functionally sound.

@@ -1,0 +1,59 @@
+"""Ablation: remote-access latency sensitivity (§2 of the paper).
+
+The motivation for fast context switching is masking communication
+latency.  This sweep runs Gamteb at increasing remote round-trip
+latencies and measures how much processor time multithreading recovers
+(idle cycles that remain) and what it costs each register file in
+spill/reload traffic.
+"""
+
+from repro.core import NamedStateRegisterFile, SegmentedRegisterFile
+from repro.evalx.tables import ExperimentTable
+from repro.workloads import get_workload
+
+SCALE = 0.4
+LATENCIES = (25, 100, 400)
+
+
+def _run(model_cls, latency):
+    workload = get_workload("Gamteb")
+    model = model_cls(num_registers=128, context_size=32)
+    result = workload.run(model, scale=SCALE, seed=1,
+                          remote_latency=latency)
+    machine = result.machine
+    total_time = machine.cycles or 1
+    return model.stats, machine.idle_cycles / total_time
+
+
+def test_latency_sensitivity(benchmark, record_table):
+    def sweep():
+        table = ExperimentTable(
+            experiment="Ablation F",
+            title="Remote latency sensitivity (Gamteb, 128 registers)",
+            headers=["Latency", "Idle %", "NSF reloads/instr %",
+                     "Segment reloads/instr %"],
+        )
+        for latency in LATENCIES:
+            nsf_stats, idle = _run(NamedStateRegisterFile, latency)
+            seg_stats, _ = _run(SegmentedRegisterFile, latency)
+            table.add_row(
+                latency,
+                round(100 * idle, 1),
+                round(100 * nsf_stats.reloads_per_instruction, 3),
+                round(100 * seg_stats.reloads_per_instruction, 3),
+            )
+        return table
+
+    table = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    record_table(table, "ablation_latency")
+    print()
+    print(table.render())
+
+    idle = table.column("Idle %")
+    nsf = table.column("NSF reloads/instr %")
+    seg = table.column("Segment reloads/instr %")
+    # Longer latencies leave more unmaskable idle time (finite thread
+    # pool), and the NSF's traffic advantage holds at every latency.
+    assert idle[-1] >= idle[0]
+    for nsf_rate, seg_rate in zip(nsf, seg):
+        assert nsf_rate < seg_rate

@@ -1,0 +1,87 @@
+"""Ablation: NSF design choices the paper calls out.
+
+* victim selection (the paper simulates LRU; §4.2 notes other
+  strategies are possible) — LRU vs FIFO vs random;
+* write-miss policy — write-allocate (paper default) vs fetch-on-write.
+"""
+
+import pytest
+
+from repro.core import NamedStateRegisterFile
+from repro.evalx.tables import ExperimentTable
+from repro.workloads import get_workload
+
+SCALE = 0.5
+
+
+def _run_policy(policy):
+    workload = get_workload("Gamteb")
+    nsf = NamedStateRegisterFile(num_registers=128, context_size=32,
+                                 policy=policy, policy_seed=7)
+    workload.run(nsf, scale=SCALE, seed=1)
+    return nsf.stats
+
+
+def test_victim_policy_ablation(benchmark, record_table):
+    def sweep():
+        table = ExperimentTable(
+            experiment="Ablation A",
+            title="NSF victim policy (Gamteb, 128 registers)",
+            headers=["Policy", "Reloads/instr %", "Spills/instr %"],
+        )
+        for policy in ("lru", "fifo", "random", "nmru"):
+            stats = _run_policy(policy)
+            table.add_row(
+                policy.upper(),
+                round(100 * stats.reloads_per_instruction, 3),
+                round(100 * stats.spills_per_instruction, 3),
+            )
+        return table
+
+    table = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    record_table(table, "ablation_policies")
+    print()
+    print(table.render())
+
+    rates = dict(zip(table.column("Policy"),
+                     table.column("Reloads/instr %")))
+    # LRU and FIFO behave alike under round-robin thread scheduling.
+    assert rates["LRU"] <= rates["FIFO"] * 1.15
+    # Noteworthy reproduction finding: random replacement *beats* LRU
+    # here — a block-multithreaded processor cycling through more
+    # threads than fit is LRU's classic pathological (cyclic) pattern.
+    # The paper simulated LRU only; this ablation quantifies the choice.
+    for rate in rates.values():
+        assert rate > 0
+
+
+def test_write_miss_policy_ablation(benchmark, record_table):
+    def sweep():
+        table = ExperimentTable(
+            experiment="Ablation B",
+            title="NSF write-miss policy (Gamteb, 128 registers)",
+            headers=["Policy", "Reloads/instr %"],
+        )
+        workload = get_workload("Gamteb")
+        for fetch, label in ((False, "write-allocate"),
+                             (True, "fetch-on-write")):
+            nsf = NamedStateRegisterFile(num_registers=128,
+                                         context_size=32,
+                                         fetch_on_write=fetch)
+            workload.run(nsf, scale=SCALE, seed=1)
+            table.add_row(
+                label,
+                round(100 * nsf.stats.reloads_per_instruction, 3),
+            )
+        return table
+
+    table = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    record_table(table, "ablation_write_miss")
+    print()
+    print(table.render())
+
+    rates = dict(zip(table.column("Policy"),
+                     table.column("Reloads/instr %")))
+    # Fetch-on-write can only add traffic (§4.2 motivates
+    # write-allocate as the default).
+    assert rates["write-allocate"] <= rates["fetch-on-write"]

@@ -1,0 +1,14 @@
+"""Section 9: every quantitative conclusion of the paper, re-verified."""
+
+from conftest import run_table
+
+
+def test_conclusion_claims(benchmark, record_table):
+    table = run_table(benchmark, "claims")
+    record_table(table, "claims")
+    print()
+    print(table.render())
+
+    assert len(table.rows) == 6
+    for row in table.rows:
+        assert row[-1] == "yes", f"claim failed: {row[0]}"

@@ -1,0 +1,94 @@
+"""Extension: multiprocessor scaling of register-file pressure.
+
+The paper evaluates one processor of a parallel machine; this bench
+builds the machine.  A fixed fine-grain workload is spread over 1-8 NSF
+nodes: per-node thread pressure (and with it spill traffic) falls as
+nodes are added, while makespan scales down — quantifying how much of
+the NSF's advantage survives at different machine sizes.
+"""
+
+from repro.core import NamedStateRegisterFile, SegmentedRegisterFile
+from repro.evalx.tables import ExperimentTable
+from repro.runtime import Cluster
+
+TASKS = 24
+WORK = 24
+
+
+def _run(num_nodes, make_regfile):
+    cluster = Cluster(num_nodes, make_regfile, network_latency=100)
+    node0 = cluster.node(0)
+    parts = [node0.future(name=f"p{i}") for i in range(TASKS)]
+
+    def mapper(act, index):
+        regs = act.alloc_many(12)
+        for k, r in enumerate(regs):
+            act.let(r, index * 12 + k)
+        total = regs[0]
+        for v in range(WORK):
+            act.add(total, total, regs[1 + v % 10])
+            if v % 8 == 7:
+                yield act.machine.remote()
+        act.machine.put_reg(act, parts[index], total)
+
+    def reducer(act):
+        grand, part = act.alloc_many(["grand", "part"])
+        act.let(grand, 0)
+        for fut in parts:
+            value = yield act.machine.wait(fut)
+            act.let(part, value)
+            act.add(grand, grand, part)
+        return act.test(grand)
+
+    cluster.spawn_round_robin(range(TASKS), mapper)
+    reduce_thread = cluster.spawn_on(0, reducer)
+    cluster.run()
+    stats = cluster.stats_by_node()
+    instructions = sum(s.instructions for s in stats)
+    reloads = sum(s.registers_reloaded for s in stats)
+    return (cluster.makespan(), reloads / max(1, instructions),
+            reduce_thread.result.value)
+
+
+def test_cluster_scaling(benchmark, record_table):
+    def sweep():
+        table = ExperimentTable(
+            experiment="Extension A",
+            title="Register-file pressure vs machine size",
+            headers=["Nodes", "NSF makespan", "NSF reloads/instr %",
+                     "Segment reloads/instr %"],
+        )
+        reference = None
+        for num_nodes in (1, 2, 4, 8):
+            nsf_span, nsf_rate, nsf_value = _run(
+                num_nodes,
+                lambda i: NamedStateRegisterFile(num_registers=128,
+                                                 context_size=32),
+            )
+            _, seg_rate, seg_value = _run(
+                num_nodes,
+                lambda i: SegmentedRegisterFile(num_registers=128,
+                                                context_size=32),
+            )
+            assert nsf_value == seg_value
+            reference = reference or nsf_value
+            assert nsf_value == reference
+            table.add_row(num_nodes, nsf_span,
+                          round(100 * nsf_rate, 3),
+                          round(100 * seg_rate, 3))
+        return table
+
+    table = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    record_table(table, "cluster_scaling")
+    print()
+    print(table.render())
+
+    spans = table.column("NSF makespan")
+    assert spans[-1] < spans[0]  # parallel speedup is real
+    nsf_rates = table.column("NSF reloads/instr %")
+    seg_rates = table.column("Segment reloads/instr %")
+    # Pressure falls with machine size, and the NSF stays below the
+    # segmented file at every size.
+    assert nsf_rates[-1] <= nsf_rates[0]
+    for nsf_rate, seg_rate in zip(nsf_rates, seg_rates):
+        assert nsf_rate <= seg_rate

@@ -1,0 +1,65 @@
+"""Microbenchmarks of raw register-file model operations.
+
+These time the *simulator itself* (operations per second of the Python
+models), not the modeled hardware — useful for tracking regressions in
+the hot paths every experiment depends on.
+"""
+
+import pytest
+
+from repro.core import NamedStateRegisterFile, SegmentedRegisterFile
+
+
+def _hit_loop(model, cid, n=2000):
+    for i in range(n):
+        model.write(i % 8, i, cid=cid)
+        model.read(i % 8, cid=cid)
+
+
+@pytest.mark.parametrize("model_cls,kwargs", [
+    (NamedStateRegisterFile, {"line_size": 1}),
+    (NamedStateRegisterFile, {"line_size": 4}),
+    (SegmentedRegisterFile, {}),
+], ids=["nsf-line1", "nsf-line4", "segmented"])
+def test_hit_path_throughput(benchmark, model_cls, kwargs):
+    model = model_cls(num_registers=128, context_size=32, **kwargs)
+    cid = model.begin_context()
+    model.switch_to(cid)
+    model.write(0, 0)
+    benchmark(_hit_loop, model, cid)
+    assert model.stats.read_misses == 0
+
+
+def test_miss_path_throughput(benchmark):
+    # Two contexts fighting over a tiny file: every access migrates a
+    # register.
+    model = NamedStateRegisterFile(num_registers=4, context_size=8)
+    a = model.begin_context()
+    b = model.begin_context()
+    for i in range(8):
+        model.write(i % 8, i, cid=a)
+        model.write(i % 8, i, cid=b)
+
+    def thrash():
+        for i in range(500):
+            model.read(i % 8, cid=a)
+            model.read(i % 8, cid=b)
+
+    benchmark(thrash)
+    assert model.stats.registers_reloaded > 0
+
+
+def test_context_switch_throughput(benchmark):
+    model = SegmentedRegisterFile(num_registers=64, context_size=16)
+    cids = [model.begin_context() for _ in range(8)]
+    for cid in cids:
+        model.switch_to(cid)
+        for i in range(8):
+            model.write(i, i)
+
+    def spin():
+        for i in range(400):
+            model.switch_to(cids[i % len(cids)])
+
+    benchmark(spin)
+    assert model.stats.switch_misses > 0

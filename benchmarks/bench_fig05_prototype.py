@@ -1,0 +1,20 @@
+"""Figure 5: model predictions for the fabricated prototype chip."""
+
+from conftest import run_table
+
+
+def test_fig05_prototype(benchmark, record_table):
+    table = run_table(benchmark, "fig05")
+    record_table(table, "fig05")
+    print()
+    print(table.render())
+
+    assert table.lookup("Organization", "Value") == "NSF 32x32"
+    # The paper's prototype had a 10-bit fully-associative decoder,
+    # two read ports and one write port, in 2um CMOS.
+    assert table.lookup("Decoder tag width (bits)", "Value") == 10
+    assert table.lookup("Ports (R/W)", "Value") == "2R1W"
+    assert table.lookup("Process", "Value") == "2um"
+    # The data array dominates even with the CAM overhead.
+    darray = table.lookup("  data array share %", "Value")
+    assert darray > 40

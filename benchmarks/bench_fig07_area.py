@@ -1,0 +1,21 @@
+"""Figure 7: register file area, one write / two read ports."""
+
+from conftest import run_table
+
+
+def test_fig07_area_three_ports(benchmark, record_table):
+    table = run_table(benchmark, "fig07")
+    record_table(table, "fig07")
+    print()
+    print(table.render())
+
+    # Paper: NSF +54% (32b x 128) and +30% (64b x 64).
+    ratio_128 = int(table.rows[1][-1].rstrip("%"))
+    ratio_64 = int(table.rows[3][-1].rstrip("%"))
+    assert 140 <= ratio_128 <= 165
+    assert 120 <= ratio_64 <= 140
+    # The data array must dominate in every organization.
+    for row in table.rows:
+        darray = row[table.headers.index("Darray")]
+        total = row[table.headers.index("Total")]
+        assert darray / total > 0.5

@@ -1,0 +1,22 @@
+"""Figure 8: register file area with two write and four read ports."""
+
+from conftest import run_table
+from repro.evalx import run_experiment
+
+
+def test_fig08_area_six_ports(benchmark, record_table):
+    table = run_table(benchmark, "fig08")
+    record_table(table, "fig08")
+    print()
+    print(table.render())
+
+    # Paper: +28% and +16% at six ports.
+    ratio_128 = int(table.rows[1][-1].rstrip("%"))
+    ratio_64 = int(table.rows[3][-1].rstrip("%"))
+    assert 118 <= ratio_128 <= 140
+    assert 108 <= ratio_64 <= 125
+
+    # The NSF's relative cost must shrink as ports are added (§6.2).
+    three_port = run_experiment("fig07")
+    assert ratio_128 < int(three_port.rows[1][-1].rstrip("%"))
+    assert ratio_64 < int(three_port.rows[3][-1].rstrip("%"))

@@ -1,0 +1,26 @@
+"""Figure 9: percentage of registers holding active data."""
+
+from conftest import run_table
+
+
+def test_fig09_utilization(benchmark, record_table):
+    table = run_table(benchmark, "fig09")
+    record_table(table, "fig09")
+    print()
+    print(table.render())
+
+    nsf_avg = table.headers.index("NSF avg %")
+    seg_avg = table.headers.index("Segment avg %")
+    nsf_max = table.headers.index("NSF max %")
+    for row in table.rows:
+        # The NSF never holds less active data than the segmented file,
+        # and max >= avg by construction.
+        assert row[nsf_avg] >= row[seg_avg]
+        assert row[nsf_max] >= row[nsf_avg]
+
+    # Paper: 2-3x more active data for sequential code; at least one
+    # sequential app must clear 2x and the best parallel apps 1.3x.
+    seq_ratios = [r[-1] for r in table.rows if r[1] == "Sequential"]
+    par_ratios = [r[-1] for r in table.rows if r[1] == "Parallel"]
+    assert max(seq_ratios) >= 2.0
+    assert max(par_ratios) >= 1.3

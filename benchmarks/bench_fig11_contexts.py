@@ -1,0 +1,27 @@
+"""Figure 11: average resident contexts vs register file size."""
+
+from conftest import run_table
+
+
+def test_fig11_resident_contexts(benchmark, record_table):
+    table = run_table(benchmark, "fig11")
+    record_table(table, "fig11")
+    print()
+    print(table.render())
+
+    for row in table.rows:
+        frames = row[0]
+        seq_nsf = row[table.headers.index("Seq NSF")]
+        seq_seg = row[table.headers.index("Seq Segment")]
+        par_seg = row[table.headers.index("Par Segment")]
+        # A segmented file can never hold more contexts than frames;
+        # the paper measures ~0.7N.
+        assert seq_seg <= frames
+        assert par_seg <= frames
+        # While capacity binds, the NSF packs more contexts.
+        if frames <= 5:
+            assert seq_nsf > seq_seg
+
+    # Paper: the NSF holds more than 2N contexts for sequential code.
+    small = table.rows[0]
+    assert small[table.headers.index("Seq NSF")] >= 1.5 * small[0]

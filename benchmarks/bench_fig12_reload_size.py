@@ -1,0 +1,30 @@
+"""Figure 12: reload traffic vs register file size."""
+
+from conftest import run_table
+
+
+def test_fig12_reloads_vs_size(benchmark, record_table):
+    table = run_table(benchmark, "fig12")
+    record_table(table, "fig12")
+    print()
+    print(table.render())
+
+    seq_nsf = table.headers.index("Seq NSF %")
+    seq_seg = table.headers.index("Seq Segment %")
+    par_nsf = table.headers.index("Par NSF %")
+    par_seg = table.headers.index("Par Segment %")
+    for row in table.rows:
+        assert row[seq_nsf] <= row[seq_seg]
+        assert row[par_nsf] <= row[par_seg]
+
+    # Traffic falls (weakly) with size for the segmented file.
+    seg_series = table.column("Seq Segment %")
+    assert seg_series[0] >= seg_series[-1]
+
+    # Paper §7.2.2: a moderate NSF holds the entire call chain of a
+    # sequential program with almost no spilling.
+    assert table.rows[-1][seq_nsf] < 0.01
+
+    # Paper: the NSF beats a segmented file twice its size (parallel).
+    for i in range(len(table.rows) - 2):
+        assert table.rows[i][par_nsf] <= table.rows[i + 2][par_seg]

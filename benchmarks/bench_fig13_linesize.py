@@ -1,0 +1,31 @@
+"""Figure 13: reload traffic vs NSF line size and miss strategy."""
+
+from conftest import run_table
+
+
+def test_fig13_line_size(benchmark, record_table):
+    table = run_table(benchmark, "fig13")
+    record_table(table, "fig13")
+    print()
+    print(table.render())
+
+    full = table.headers.index("Reload %")
+    live = table.headers.index("Live reload %")
+    active = table.headers.index("Active reload %")
+    for row in table.rows:
+        # Strategy ordering: an oracle (active) never moves more than a
+        # valid-bit scheme (live), which never moves more than a whole
+        # line.
+        assert row[active] <= row[live] + 1e-9
+        if row[1] > 1:
+            assert row[full] >= row[live] - 1e-9
+
+    # Single-register lines are the best configuration the paper finds
+    # (§7.3), for both program classes.
+    for kind in ("Sequential", "Parallel"):
+        series = [r for r in table.rows if r[0] == kind]
+        reloads = [r[full] for r in series]
+        assert reloads[0] == min(reloads)
+        # Traffic grows toward segmented-file behaviour at line sizes
+        # approaching the context size.
+        assert reloads[-1] >= reloads[0]

@@ -1,0 +1,26 @@
+"""Figure 14: spill/reload overhead as a fraction of execution time."""
+
+from conftest import run_table
+
+
+def test_fig14_overhead(benchmark, record_table):
+    table = run_table(benchmark, "fig14")
+    record_table(table, "fig14")
+    print()
+    print(table.render())
+
+    nsf = table.headers.index("NSF %")
+    hw = table.headers.index("Segment HW %")
+    sw = table.headers.index("Segment SW %")
+    for row in table.rows:
+        # Paper ordering: NSF < hardware-assisted < software traps.
+        assert row[nsf] < row[hw] < row[sw]
+        # The NSF ends up faster either way (§8 / conclusions).
+        assert row[table.headers.index("NSF speedup vs HW %")] > 0
+        assert row[table.headers.index("NSF speedup vs SW %")] > 0
+
+    # Paper: the NSF "completely eliminates" serial spill overhead.
+    assert table.lookup("Serial", "NSF %") < 1.0
+    # Parallel NSF overhead lands in the paper's ballpark (12.1%).
+    parallel_nsf = table.lookup("Parallel", "NSF %")
+    assert 2.0 <= parallel_nsf <= 25.0

@@ -1,0 +1,62 @@
+"""Extension: both front-ends agree on the NSF's advantage.
+
+Runs a sequential workload through the activation-trace machine
+(GateSim) and through real compiled code on the cycle-level CPU
+(CompiledSuite), on the same pair of register files.  If the
+NSF-vs-segmented ratios agree in direction across two *independent*
+reference-stream generators, the measured effect belongs to the
+register files, not the driver.
+"""
+
+from repro.core import NamedStateRegisterFile, SegmentedRegisterFile
+from repro.evalx.tables import ExperimentTable
+from repro.workloads import CompiledSuite, get_workload
+
+SCALE = 0.6
+
+
+def _measure(workload):
+    nsf = NamedStateRegisterFile(num_registers=80, context_size=20)
+    seg = SegmentedRegisterFile(num_registers=80, context_size=20)
+    workload.run(nsf, scale=SCALE, seed=1)
+    workload.run(seg, scale=SCALE, seed=1)
+    return nsf.stats, seg.stats
+
+
+def test_frontend_agreement(benchmark, record_table):
+    def sweep():
+        table = ExperimentTable(
+            experiment="Extension B",
+            title="Activation-trace vs compiled-code front-ends",
+            headers=["Front-end", "Workload", "NSF reloads/instr %",
+                     "Segment reloads/instr %", "NSF util %",
+                     "Segment util %"],
+        )
+        cases = [
+            ("activation", get_workload("GateSim")),
+            ("compiled CPU", CompiledSuite()),
+        ]
+        for label, workload in cases:
+            nsf, seg = _measure(workload)
+            table.add_row(
+                label,
+                workload.name,
+                round(100 * nsf.reloads_per_instruction, 4),
+                round(100 * seg.reloads_per_instruction, 4),
+                round(100 * nsf.utilization_avg, 1),
+                round(100 * seg.utilization_avg, 1),
+            )
+        return table
+
+    table = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    record_table(table, "frontend_agreement")
+    print()
+    print(table.render())
+
+    nsf_rel = table.headers.index("NSF reloads/instr %")
+    seg_rel = table.headers.index("Segment reloads/instr %")
+    nsf_util = table.headers.index("NSF util %")
+    seg_util = table.headers.index("Segment util %")
+    for row in table.rows:
+        assert row[nsf_rel] < row[seg_rel]
+        assert row[nsf_util] >= row[seg_util]

@@ -1,0 +1,72 @@
+"""Extension: ISA-level block multithreading (§3's processor, executed).
+
+Eight compiled programs share one processor as hardware threads.  The
+scheduler switches on register-file stalls — so a segmented file, which
+stalls on every frame swap, ping-pongs through the thread set paying a
+frame of traffic per rotation, while the NSF interleaves almost for
+free.  This reproduces Figure 14's parallel story with *compiled code*
+instead of the activation-trace runtime: the second independent
+front-end agreeing on the paper's conclusion.
+"""
+
+from repro.core import NamedStateRegisterFile, SegmentedRegisterFile
+from repro.cpu import MultithreadedCPU
+from repro.evalx.tables import ExperimentTable
+from repro.lang import compile_source
+
+SOURCE = """
+func fib(n) {{
+    if (n < 2) {{ return n; }}
+    return fib(n - 1) + fib(n - 2);
+}}
+func main() {{ return fib({n}); }}
+"""
+
+THREAD_NS = (8, 9, 10, 11, 12, 8, 9, 10)
+
+
+def test_multithreaded_cpu(benchmark, record_table):
+    def sweep():
+        programs = [compile_source(SOURCE.format(n=n)).program
+                    for n in THREAD_NS]
+        table = ExperimentTable(
+            experiment="Extension D",
+            title="8 hardware threads on one CPU (compiled fib mix)",
+            headers=["Model", "Cycles", "Thread switches",
+                     "Reloads/instr %", "Cycles vs NSF"],
+        )
+        cycles = {}
+        for model_cls, label in (
+            (NamedStateRegisterFile, "nsf"),
+            (SegmentedRegisterFile, "segmented"),
+        ):
+            regfile = model_cls(num_registers=80, context_size=20)
+            cpu = MultithreadedCPU(
+                [compile_source(SOURCE.format(n=n)).program
+                 for n in THREAD_NS],
+                regfile,
+            )
+            result = cpu.run()
+            expected = [21, 34, 55, 89, 144, 21, 34, 55]
+            assert result.return_values == expected
+            cycles[label] = result.cycles
+            table.add_row(
+                label,
+                result.cycles,
+                result.thread_switches,
+                round(100 * regfile.stats.reloads_per_instruction, 3),
+                "1.00x" if label == "nsf" else
+                f"{result.cycles / cycles['nsf']:.2f}x",
+            )
+        return table
+
+    table = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    record_table(table, "multithreaded_cpu")
+    print()
+    print(table.render())
+
+    cycles_col = table.headers.index("Cycles")
+    nsf_row, seg_row = table.rows
+    # The headline: identical programs, same answers, and the NSF
+    # processor finishes the thread mix in far fewer cycles.
+    assert nsf_row[cycles_col] < seg_row[cycles_col]

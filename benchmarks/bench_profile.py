@@ -1,0 +1,25 @@
+"""Working-set profile: the §7.1.1 registers-per-activation claim."""
+
+from conftest import run_table
+
+
+def test_profile_registers_per_activation(benchmark, record_table):
+    table = run_table(benchmark, "profile")
+    record_table(table, "profile")
+    print()
+    print(table.render())
+
+    avg_col = table.headers.index("Avg regs/context")
+    seq = [r[avg_col] for r in table.rows if r[1] == "Sequential"]
+    par = [r[avg_col] for r in table.rows if r[1] == "Parallel"]
+    # Paper: sequential procedures ~8-10 registers (register-allocated),
+    # parallel contexts ~18-22 (folded without lifetime analysis).  Our
+    # implementations sit in the same regimes, with the parallel
+    # contexts clearly fatter.
+    assert 3 <= min(seq) and max(seq) <= 14
+    assert max(par) >= 1.5 * (sum(seq) / len(seq))
+    # Every context fits its architectural register set.
+    max_col = table.headers.index("Max regs")
+    for row in table.rows:
+        limit = 20 if row[1] == "Sequential" else 32
+        assert row[max_col] <= limit

@@ -1,0 +1,23 @@
+"""Table 1: benchmark program characteristics."""
+
+from conftest import run_table
+
+
+def test_table1_characteristics(benchmark, record_table):
+    table = run_table(benchmark, "table1")
+    record_table(table, "table1")
+    print()
+    print(table.render())
+
+    assert len(table.rows) == 9
+    kinds = table.column("Type")
+    assert kinds.count("Sequential") == 3
+    assert kinds.count("Parallel") == 6
+    # Every benchmark actually executed work.
+    for executed in table.column("Instructions executed"):
+        assert executed > 500
+    # Gamteb is the most fine-grained parallel program (paper: ~16
+    # instructions per switch); AS and Wavefront are the coarsest.
+    gamteb = table.lookup("Gamteb", "Avg instr per switch")
+    assert gamteb < table.lookup("AS", "Avg instr per switch")
+    assert gamteb < table.lookup("Wavefront", "Avg instr per switch")

@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench regenerates one of the paper's tables/figures, records the
+rendered table under ``benchmarks/results/`` and asserts the paper's
+qualitative shape.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: workload scale used by the simulation benches (1.0 = harness default)
+BENCH_SCALE = 0.7
+BENCH_SEED = 1
+
+
+@pytest.fixture
+def record_table():
+    """Write a rendered ExperimentTable under benchmarks/results/."""
+
+    def _record(table, name):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(table.render() + "\n")
+        return path
+
+    return _record
+
+
+def run_table(benchmark, experiment, scale=BENCH_SCALE, seed=BENCH_SEED):
+    """Benchmark one experiment run and return its table."""
+    from repro.evalx import run_experiment
+
+    return benchmark.pedantic(
+        run_experiment,
+        args=(experiment,),
+        kwargs={"scale": scale, "seed": seed},
+        iterations=1,
+        rounds=1,
+    )

@@ -1,0 +1,91 @@
+"""Simulate a small multiprocessor of NSF nodes.
+
+Spreads a fine-grain map/reduce over 1, 2, 4 and 8 processors, each
+with its own Named-State Register File: more nodes means fewer
+concurrent threads per register file, so the per-node reload traffic
+falls while the interconnect carries more messages — the machine-level
+context (§2) the NSF was designed for.
+
+Run:  python examples/cluster_simulation.py
+"""
+
+from repro.core import NamedStateRegisterFile
+from repro.runtime import Cluster
+
+TASKS = 32
+WORK = 40
+
+
+def run_cluster(num_nodes):
+    cluster = Cluster(
+        num_nodes,
+        lambda i: NamedStateRegisterFile(num_registers=128,
+                                         context_size=32),
+        network_latency=100,
+    )
+    node0 = cluster.node(0)
+    parts = [node0.future(name=f"part{i}") for i in range(TASKS)]
+
+    def mapper(act, index):
+        # A TAM-style frame: a dozen live locals per thread, so a
+        # single node cannot keep every thread's registers resident.
+        (idx, total, i, square, lo, hi, stride, bias, probe, carry,
+         checkpoints, scratch) = act.alloc_many(
+            ["idx", "total", "i", "square", "lo", "hi", "stride",
+             "bias", "probe", "carry", "checkpoints", "scratch"]
+        )
+        act.let(idx, index)
+        act.let(total, 0)
+        act.let(lo, index * WORK)
+        act.let(hi, (index + 1) * WORK)
+        act.let(stride, 1)
+        act.let(bias, index & 7)
+        act.let(carry, 0)
+        act.let(checkpoints, 0)
+        for v in range(WORK):
+            act.let(i, index * WORK + v)
+            act.mul(square, i, i)
+            act.add(total, total, square)
+            act.bxor(probe, i, bias)
+            act.add(carry, carry, stride)
+            if v % 10 == 9:
+                act.addi(checkpoints, checkpoints, 1)
+                act.mov(scratch, total)
+                yield act.machine.remote()  # fetch next input block
+        act.machine.put_reg(act, parts[index], total)
+
+    def reducer(act):
+        grand, part = act.alloc_many(["grand", "part"])
+        act.let(grand, 0)
+        for fut in parts:
+            value = yield act.machine.wait(fut)
+            act.let(part, value)
+            act.add(grand, grand, part)
+        return act.test(grand)
+
+    cluster.spawn_round_robin(range(TASKS), mapper, offset=1 % num_nodes)
+    reduce_thread = cluster.spawn_on(0, reducer)
+    cluster.run()
+    return cluster, reduce_thread.result.value
+
+
+def main():
+    expected = sum(i * i for i in range(TASKS * WORK))
+    print(f"map/reduce of {TASKS} tasks x {WORK} items "
+          f"(expected {expected})\n")
+    print(f"{'nodes':>5s} {'makespan':>9s} {'messages':>9s} "
+          f"{'reloads/instr per node':>23s}")
+    for num_nodes in (1, 2, 4, 8):
+        cluster, value = run_cluster(num_nodes)
+        assert value == expected, "cluster corrupted the reduction!"
+        stats = cluster.stats_by_node()
+        rates = [s.reloads_per_instruction for s in stats if s.instructions]
+        avg_rate = sum(rates) / len(rates)
+        print(f"{num_nodes:5d} {cluster.makespan():9,d} "
+              f"{cluster.total_messages():9d} {avg_rate:23.4%}")
+    print("\nMore processors -> fewer resident threads per register "
+          "file -> less spill traffic per node.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Compile a mini-C program and execute it on the NSF machine.
+
+The full substrate path: source → Chaitin-Briggs register allocation →
+NSF ISA assembly → cycle-level CPU with a pluggable register file.
+Every `call` allocates a fresh Context ID (the paper's sequential
+model); register windows mean the generated code contains *no*
+save/restore sequences at all.
+
+Run:  python examples/compile_and_run.py
+"""
+
+from repro.core import NamedStateRegisterFile, SegmentedRegisterFile
+from repro.cpu import CPU
+from repro.lang import compile_source
+
+SOURCE = """
+// Ackermann's function: brutal call-chain depth for a register file.
+func ack(m, n) {
+    if (m == 0) { return n + 1; }
+    if (n == 0) { return ack(m - 1, 1); }
+    return ack(m - 1, ack(m, n - 1));
+}
+
+// Knapsack over a tiny item table in heap memory.
+func knapsack(weights, values, n, cap) {
+    if (n == 0) { return 0; }
+    var skip = knapsack(weights, values, n - 1, cap);
+    var w = mem[weights + n - 1];
+    if (w > cap) { return skip; }
+    var take = values + n - 1;
+    take = mem[take] + knapsack(weights, values, n - 1, cap - w);
+    if (take > skip) { return take; }
+    return skip;
+}
+
+func main() {
+    var weights = alloc(5);
+    var values = alloc(5);
+    mem[weights + 0] = 2;  mem[values + 0] = 3;
+    mem[weights + 1] = 3;  mem[values + 1] = 4;
+    mem[weights + 2] = 4;  mem[values + 2] = 5;
+    mem[weights + 3] = 5;  mem[values + 3] = 8;
+    mem[weights + 4] = 9;  mem[values + 4] = 10;
+    var best = knapsack(weights, values, 5, 10);
+    return ack(2, 3) * 1000 + best;
+}
+"""
+
+
+def main():
+    compiled = compile_source(SOURCE)
+    print("== allocation summary ==")
+    for name, info in compiled.functions.items():
+        print(f"  {name:10s} registers={info.registers_used:2d} "
+              f"spill_slots={info.spill_slots} frame={info.frame_words} "
+              f"rounds={info.allocator_rounds}")
+    lines = compiled.assembly.count("\n")
+    print(f"\ngenerated {lines} lines of assembly; first 12:\n")
+    for line in compiled.assembly.splitlines()[:12]:
+        print(f"    {line}")
+
+    print("\n== execution (ack(2,3)=9, knapsack best=15 -> 9015) ==")
+    for make in (
+        lambda: NamedStateRegisterFile(num_registers=80, context_size=20),
+        lambda: SegmentedRegisterFile(num_registers=80, context_size=20),
+    ):
+        regfile = make()
+        cpu = CPU(compiled.program, regfile)
+        result = cpu.run()
+        stats = regfile.stats
+        print(f"{regfile.kind:10s} result={result.return_value} "
+              f"instr={result.instructions:6d} cycles={result.cycles:6d} "
+              f"reloads={stats.registers_reloaded:5d} "
+              f"contexts={stats.contexts_created:5d}")
+    print("\nsame answer; the NSF executed fewer cycles because deep "
+          "recursion never spilled.")
+
+
+if __name__ == "__main__":
+    main()

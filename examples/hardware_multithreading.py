@@ -1,0 +1,77 @@
+"""Hardware multithreading at the ISA level (§3 of the paper).
+
+Compiles a mix of programs, loads them into the hardware thread slots
+of one processor, and runs the same mix over an NSF and a segmented
+register file.  The scheduler switches threads whenever the register
+file stalls — so the segmented processor rotates constantly, paying a
+frame of traffic every time, while the NSF interleaves nearly free.
+
+Also shows forced fine-grain interleaving (a 20-instruction quantum):
+the NSF's cycles barely move, the segmented file's explode.
+
+Run:  python examples/hardware_multithreading.py
+"""
+
+from repro.core import NamedStateRegisterFile, SegmentedRegisterFile
+from repro.cpu import MultithreadedCPU
+from repro.lang import compile_source
+
+WORK = """
+func fib(n) {{
+    if (n < 2) {{ return n; }}
+    return fib(n - 1) + fib(n - 2);
+}}
+func poly(x) {{
+    return ((x * 3 + 1) * x + 4) * x + 7;
+}}
+func main() {{ return fib({n}) + poly({n}); }}
+"""
+
+THREAD_NS = (7, 8, 9, 10, 11, 7, 8, 9)
+
+
+def run(model_factory, quantum=None):
+    programs = [compile_source(WORK.format(n=n)).program
+                for n in THREAD_NS]
+    regfile = model_factory()
+    cpu = MultithreadedCPU(programs, regfile, quantum=quantum)
+    result = cpu.run()
+    return result, regfile
+
+
+def expected():
+    def fib(n):
+        return n if n < 2 else fib(n - 1) + fib(n - 2)
+
+    def poly(x):
+        return ((x * 3 + 1) * x + 4) * x + 7
+
+    return [fib(n) + poly(n) for n in THREAD_NS]
+
+
+def main():
+    answers = expected()
+    print(f"{len(THREAD_NS)} hardware threads, shared 80-register file\n")
+    print(f"{'configuration':34s} {'cycles':>9s} {'switches':>9s} "
+          f"{'reloads':>8s}")
+    for label, factory, quantum in (
+        ("NSF, switch on stall", lambda: NamedStateRegisterFile(
+            num_registers=80, context_size=20), None),
+        ("Segmented, switch on stall", lambda: SegmentedRegisterFile(
+            num_registers=80, context_size=20), None),
+        ("NSF, 20-instruction quantum", lambda: NamedStateRegisterFile(
+            num_registers=80, context_size=20), 20),
+        ("Segmented, 20-instr quantum", lambda: SegmentedRegisterFile(
+            num_registers=80, context_size=20), 20),
+    ):
+        result, regfile = run(factory, quantum)
+        assert result.return_values == answers, "wrong results!"
+        print(f"{label:34s} {result.cycles:9,d} "
+              f"{result.thread_switches:9,d} "
+              f"{regfile.stats.registers_reloaded:8,d}")
+    print("\nSame programs, same answers; only the register file "
+          "changes the machine.")
+
+
+if __name__ == "__main__":
+    main()

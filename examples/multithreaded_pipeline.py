@@ -1,0 +1,100 @@
+"""A fine-grain multithreaded pipeline over the NSF.
+
+Builds the scenario from §2 of the paper: a processor masking remote
+access latency by switching among many fine-grain threads.  A pipeline
+of producer → transform → reducer threads communicates through
+write-once futures; every stage stalls on remote accesses, so the
+scheduler interleaves dozens of contexts.
+
+The same workload runs over the NSF and a segmented register file; the
+output must be identical, while the traffic is wildly different.
+
+Run:  python examples/multithreaded_pipeline.py
+"""
+
+from repro import NamedStateRegisterFile, SegmentedRegisterFile
+from repro.runtime import ThreadMachine
+
+STAGES = 3
+ITEMS = 24
+
+
+def build_pipeline(machine):
+    """Spawn ITEMS pipelines of STAGES threads each; returns outputs."""
+
+    def producer(act, fut, seed_value):
+        value, scratch, bias = act.alloc_many(["value", "scratch", "bias"])
+        act.let(value, seed_value)
+        act.muli(value, value, 7)
+        act.let(bias, 3)
+        act.add(value, value, bias)
+        yield machine.remote()          # fetch the input remotely
+        machine.put_reg(act, fut, value)
+
+    def transform(act, upstream, fut, stage):
+        incoming = yield machine.wait(upstream)
+        value, stage_reg, tmp = act.alloc_many(["value", "stage", "tmp"])
+        act.let(value, incoming)
+        act.let(stage_reg, stage)
+        act.mul(tmp, value, stage_reg)
+        act.add(value, value, tmp)      # value *= (1 + stage)
+        yield machine.remote()          # lookup table on another node
+        machine.put_reg(act, fut, value)
+
+    def reducer(act, upstream, fut):
+        incoming = yield machine.wait(upstream)
+        value, = act.args(incoming)
+        act.op(value, lambda v: v % 1009, value)
+        machine.put_reg(act, fut, value)
+
+    outputs = []
+    for item in range(ITEMS):
+        first = machine.future(name=f"in{item}")
+        machine.spawn(producer, first, item)
+        upstream = first
+        for stage in range(1, STAGES + 1):
+            nxt = machine.future(name=f"s{stage}-{item}")
+            machine.spawn(transform, upstream, nxt, stage)
+            upstream = nxt
+        final = machine.future(name=f"out{item}")
+        machine.spawn(reducer, upstream, final)
+        outputs.append(final)
+    return outputs
+
+
+def reference():
+    out = []
+    for item in range(ITEMS):
+        value = item * 7 + 3
+        for stage in range(1, STAGES + 1):
+            value += value * stage
+        out.append(value % 1009)
+    return out
+
+
+def main():
+    expected = reference()
+    print(f"{ITEMS} pipelines x {STAGES + 2} threads, "
+          f"remote latency 100 cycles\n")
+    for make in (
+        lambda: NamedStateRegisterFile(num_registers=128, context_size=32),
+        lambda: SegmentedRegisterFile(num_registers=128, context_size=32),
+    ):
+        regfile = make()
+        machine = ThreadMachine(regfile, remote_latency=100)
+        outputs = build_pipeline(machine)
+        machine.run()
+        values = [f.value for f in outputs]
+        assert values == expected, "register file corrupted the pipeline!"
+        stats = regfile.stats
+        print(f"{regfile.kind:10s} threads={machine.threads_spawned:3d} "
+              f"instr={stats.instructions:6d} "
+              f"switches={stats.context_switches:5d} "
+              f"reloads={stats.registers_reloaded:6d} "
+              f"idle={machine.idle_cycles:6d} cycles")
+    print("\nidentical outputs; the segmented file paid frame-sized "
+          "reloads for every switch miss.")
+
+
+if __name__ == "__main__":
+    main()

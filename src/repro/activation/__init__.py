@@ -1,0 +1,22 @@
+"""Activation-trace front-end: guest programs drive register-file models.
+
+See :mod:`repro.activation.machine` for the programming model.
+"""
+
+from repro.activation.machine import (
+    Activation,
+    GuestFault,
+    Machine,
+    Reg,
+    SequentialMachine,
+)
+from repro.activation.memory import Memory
+
+__all__ = [
+    "Activation",
+    "GuestFault",
+    "Machine",
+    "Memory",
+    "Reg",
+    "SequentialMachine",
+]

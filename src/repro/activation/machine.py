@@ -1,0 +1,372 @@
+"""The activation-trace machine: programs drive register-file models.
+
+The paper evaluates the NSF by cross-compiling real programs and feeding
+the resulting register-reference stream to a register-file simulator.
+This module is our equivalent front-end: guest procedures are Python
+functions whose *every local-variable access* goes through a register
+file model, with per-instruction accounting.
+
+A guest procedure receives an :class:`Activation` — its register window.
+It allocates registers (``act.alloc()``), and performs emulated
+instructions: ``let`` (load immediate), ``op``/``add``/``sub``/…
+(ALU ops: read operands, write destination), ``test`` (branch on a
+register), ``load``/``store`` (memory).  Every emulated instruction
+advances the machine clock and ticks the register-file model, so
+utilization and traffic statistics are time-weighted exactly as in the
+paper's simulator.
+
+Register values are *live data*: the model must return the same value
+the program wrote, or the benchmark's output is corrupted.  With
+``verify_values`` (default on) every register read is additionally
+checked against a shadow copy, so a spill/reload bug fails loudly at the
+first wrong value.
+
+Procedures call other procedures with ``machine.call``: each activation
+gets a fresh Context ID (a new 20- or 32-register name space), and the
+call/return pair performs the two context switches a real processor
+would.  Locals beyond the context size live in memory, as compiler
+spill slots would.
+"""
+
+from repro.activation.memory import Memory
+from repro.errors import ReproError
+
+
+class GuestFault(ReproError):
+    """A guest program misused its activation (e.g. used a freed register)."""
+
+
+class Reg:
+    """Handle to one local variable of an activation.
+
+    Most locals map to a register offset within the activation's
+    context.  Locals past the context size are memory-resident (compiler
+    spill slots): each access pays an extra load/store instruction.
+    """
+
+    __slots__ = ("offset", "name", "address", "freed")
+
+    def __init__(self, offset, name=None, address=None):
+        self.offset = offset
+        self.name = name
+        self.address = address  # set only for memory-resident locals
+        self.freed = False
+
+    @property
+    def in_memory(self):
+        return self.address is not None
+
+    def __repr__(self):
+        where = f"mem@{self.address:#x}" if self.in_memory else f"r{self.offset}"
+        label = f" {self.name}" if self.name else ""
+        return f"<Reg {where}{label}>"
+
+
+class Activation:
+    """One procedure or thread activation: a register window plus ops."""
+
+    def __init__(self, machine, cid, context_size):
+        self.machine = machine
+        self.cid = cid
+        self.context_size = context_size
+        self._next_offset = 0
+        self._shadow = {}
+
+    # -- register allocation ---------------------------------------------------
+
+    def alloc(self, name=None):
+        """Allocate the next local variable slot."""
+        offset = self._next_offset
+        self._next_offset += 1
+        if offset < self.context_size:
+            return Reg(offset, name=name)
+        # Compiler would have spilled this local to the stack frame.
+        address = self.machine.memory.alloc(1)
+        return Reg(offset, name=name, address=address)
+
+    def alloc_many(self, count_or_names):
+        """Allocate several locals at once; returns a list of handles."""
+        if isinstance(count_or_names, int):
+            return [self.alloc() for _ in range(count_or_names)]
+        return [self.alloc(name) for name in count_or_names]
+
+    def args(self, *values):
+        """Prologue helper: move incoming argument values into registers."""
+        regs = []
+        for value in values:
+            reg = self.alloc()
+            self.let(reg, value)
+            regs.append(reg)
+        return regs
+
+    # -- emulated instructions ---------------------------------------------------
+
+    def let(self, dst, value):
+        """Load an immediate (or host-computed) value into a register."""
+        self.machine._instr()
+        self._write(dst, value)
+        return dst
+
+    def mov(self, dst, src):
+        self.machine._instr()
+        self._write(dst, self._read(src))
+        return dst
+
+    def op(self, dst, fn, *srcs):
+        """One ALU instruction: dst = fn(*srcs); multi-operand read."""
+        self.machine._instr()
+        values = [self._read(src) for src in srcs]
+        result = fn(*values)
+        self._write(dst, result)
+        return dst
+
+    # Common ALU helpers ------------------------------------------------------
+
+    def add(self, dst, a, b):
+        return self.op(dst, lambda x, y: x + y, a, b)
+
+    def sub(self, dst, a, b):
+        return self.op(dst, lambda x, y: x - y, a, b)
+
+    def mul(self, dst, a, b):
+        return self.op(dst, lambda x, y: x * y, a, b)
+
+    def div(self, dst, a, b):
+        return self.op(dst, lambda x, y: x // y if isinstance(x, int) and isinstance(y, int) else x / y, a, b)
+
+    def rem(self, dst, a, b):
+        return self.op(dst, lambda x, y: x % y, a, b)
+
+    def band(self, dst, a, b):
+        return self.op(dst, lambda x, y: x & y, a, b)
+
+    def bor(self, dst, a, b):
+        return self.op(dst, lambda x, y: x | y, a, b)
+
+    def bxor(self, dst, a, b):
+        return self.op(dst, lambda x, y: x ^ y, a, b)
+
+    def shl(self, dst, a, b):
+        return self.op(dst, lambda x, y: x << y, a, b)
+
+    def shr(self, dst, a, b):
+        return self.op(dst, lambda x, y: x >> y, a, b)
+
+    def lt(self, dst, a, b):
+        return self.op(dst, lambda x, y: 1 if x < y else 0, a, b)
+
+    def le(self, dst, a, b):
+        return self.op(dst, lambda x, y: 1 if x <= y else 0, a, b)
+
+    def eq(self, dst, a, b):
+        return self.op(dst, lambda x, y: 1 if x == y else 0, a, b)
+
+    def min_(self, dst, a, b):
+        return self.op(dst, min, a, b)
+
+    def max_(self, dst, a, b):
+        return self.op(dst, max, a, b)
+
+    def addi(self, dst, src, imm):
+        """dst = src + immediate."""
+        self.machine._instr()
+        self._write(dst, self._read(src) + imm)
+        return dst
+
+    def muli(self, dst, src, imm):
+        self.machine._instr()
+        self._write(dst, self._read(src) * imm)
+        return dst
+
+    # Control and memory ---------------------------------------------------------
+
+    def test(self, src):
+        """A branch instruction: read a register, return its value."""
+        self.machine._instr()
+        return self._read(src)
+
+    def load(self, dst, addr, disp=0):
+        """dst = memory[addr + disp]; addr may be a register or an int."""
+        self.machine._instr()
+        address = self._read(addr) if isinstance(addr, Reg) else addr
+        value = self.machine.memory.load(address + disp)
+        self.machine._memory_cycles()
+        self._write(dst, value)
+        return dst
+
+    def store(self, addr, src, disp=0):
+        """memory[addr + disp] = src."""
+        self.machine._instr()
+        address = self._read(addr) if isinstance(addr, Reg) else addr
+        value = self._read(src) if isinstance(src, Reg) else src
+        self.machine._memory_cycles()
+        self.machine.memory.store(address + disp, value)
+
+    def free(self, reg):
+        """Explicitly deallocate a register (the NSF's ``rfree``)."""
+        self.machine._instr()
+        if reg.freed:
+            raise GuestFault(f"{reg!r} freed twice")
+        reg.freed = True
+        if reg.in_memory:
+            return
+        self._shadow.pop(reg.offset, None)
+        self.machine.regfile.free_register(reg.offset, cid=self.cid)
+
+    def peek(self, reg):
+        """Non-counting read for assertions and result extraction."""
+        if reg.in_memory:
+            return self.machine.memory.peek(reg.address)
+        return self._shadow[reg.offset]
+
+    # -- operand plumbing -----------------------------------------------------------
+
+    def _read(self, reg):
+        if not isinstance(reg, Reg):
+            return reg  # immediate operand
+        if reg.freed:
+            raise GuestFault(f"read of freed {reg!r}")
+        machine = self.machine
+        if reg.in_memory:
+            machine._instr()  # the extra load a spilled local costs
+            value = machine.memory.load(reg.address)
+            machine._memory_cycles()
+            return value
+        value, result = machine.regfile.read(reg.offset, cid=self.cid)
+        if result.stalled:
+            machine._stall(result)
+        if machine.verify_values:
+            expected = self._shadow.get(reg.offset)
+            if value != expected:
+                raise GuestFault(
+                    f"register file returned {value!r} for {reg!r} of "
+                    f"context {self.cid}; program wrote {expected!r} "
+                    "(spill/reload corruption)"
+                )
+        return value
+
+    def _write(self, reg, value):
+        if reg.freed:
+            raise GuestFault(f"write to freed {reg!r}")
+        machine = self.machine
+        if reg.in_memory:
+            machine._instr()  # the extra store a spilled local costs
+            machine.memory.store(reg.address, value)
+            machine._memory_cycles()
+            return
+        result = machine.regfile.write(reg.offset, value, cid=self.cid)
+        if result.stalled:
+            machine._stall(result)
+        if machine.verify_values:
+            self._shadow[reg.offset] = value
+
+
+class Machine:
+    """Base activation machine: clock, memory and model plumbing."""
+
+    #: cycles a memory instruction takes beyond the issue slot
+    MEMORY_LATENCY = 1
+
+    def __init__(self, regfile, verify_values=True):
+        self.regfile = regfile
+        self.memory = Memory()
+        self.instructions = 0
+        self.cycles = 0
+        self.verify_values = verify_values
+
+    # -- accounting ----------------------------------------------------------
+
+    def _instr(self, n=1):
+        self.instructions += n
+        self.cycles += n
+        self.regfile.tick(n)
+
+    def _memory_cycles(self):
+        self.cycles += self.MEMORY_LATENCY
+
+    def _stall(self, result):
+        """Charge pipeline cycles for register-file traffic."""
+        self.cycles += 2 * result.reloaded + result.spilled
+
+    def _switch(self, cid):
+        result = self.regfile.switch_to(cid)
+        self.cycles += 1
+        if result.stalled:
+            self._stall(result)
+
+    # -- guest services ---------------------------------------------------------
+
+    def heap_alloc(self, nwords):
+        """Allocate guest heap memory; returns the word address."""
+        return self.memory.alloc(nwords)
+
+
+class SequentialMachine(Machine):
+    """Runs sequential programs: one activation per procedure call.
+
+    Each call allocates a fresh Context ID (the paper: "a compiler for a
+    sequential program may allocate a new CID for each procedure
+    invocation"), switches to it, runs the callee, then destroys the
+    context and switches back — so call depth directly produces the
+    context-resident working set the NSF caches.
+    """
+
+    def __init__(self, regfile, context_size=None, verify_values=True,
+                 cid_bits=None):
+        super().__init__(regfile, verify_values=verify_values)
+        self.context_size = context_size or regfile.context_size
+        self.call_depth = 0
+        self.max_call_depth = 0
+        self.calls = 0
+        #: bounded Context-ID space (None = unbounded simulation CIDs)
+        self.cid_allocator = None
+        if cid_bits is not None:
+            from repro.runtime.cid import CIDAllocator
+            self.cid_allocator = CIDAllocator(cid_bits)
+
+    def run(self, fn, *args):
+        """Run ``fn`` as the program's root activation."""
+        return self.call(fn, *args)
+
+    def call(self, fn, *args):
+        """Call a guest procedure; returns its Python-level return value.
+
+        Register-handle arguments are read out of the caller's context
+        (the argument-store instructions); the callee receives plain
+        values and moves them into its own registers with ``act.args``.
+        """
+        caller_cid = self.regfile.current_cid
+        values = []
+        for arg in args:
+            if isinstance(arg, Reg):
+                # One store instruction pushes the argument; reading the
+                # register is the operand access it performs.
+                act = self._current_act
+                self._instr()
+                values.append(act._read(arg))
+            else:
+                values.append(arg)
+        if self.cid_allocator is not None:
+            cid = self.regfile.begin_context(cid=self.cid_allocator.alloc())
+        else:
+            cid = self.regfile.begin_context()
+        self._instr()  # the call instruction itself
+        self._switch(cid)
+        act = Activation(self, cid, self.context_size)
+        previous, self._current_act = getattr(self, "_current_act", None), act
+        self.calls += 1
+        self.call_depth += 1
+        if self.call_depth > self.max_call_depth:
+            self.max_call_depth = self.call_depth
+        try:
+            result = fn(act, *values)
+        finally:
+            self.call_depth -= 1
+            self._current_act = previous
+            self.regfile.end_context(cid)
+            if self.cid_allocator is not None:
+                self.cid_allocator.free(cid)
+            self._instr()  # the return instruction
+            if caller_cid is not None:
+                self._switch(caller_cid)
+        return result

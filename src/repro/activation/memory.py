@@ -1,0 +1,54 @@
+"""Word-addressed memory for activation-level programs.
+
+Guest programs address memory with word addresses (the backing store of
+spilled registers is held separately inside the register-file models;
+this memory is the program's heap/stack data).  A bump allocator carves
+out arrays; reads of never-written words return zero, like zero-filled
+pages.
+"""
+
+
+class Memory:
+    """Flat word-addressed memory with a bump allocator."""
+
+    def __init__(self, base=0x10000):
+        self._words = {}
+        self._brk = base
+        self.loads = 0
+        self.stores = 0
+
+    def alloc(self, nwords):
+        """Reserve ``nwords`` contiguous words; returns the base address."""
+        if nwords < 0:
+            raise ValueError("cannot allocate a negative extent")
+        base = self._brk
+        self._brk += nwords
+        return base
+
+    def load(self, address):
+        self.loads += 1
+        return self._words.get(address, 0)
+
+    def store(self, address, value):
+        self.stores += 1
+        self._words[address] = value
+
+    def peek(self, address):
+        """Non-counting read (for tests and result checking)."""
+        return self._words.get(address, 0)
+
+    def poke(self, address, value):
+        """Non-counting write (for initializing test fixtures)."""
+        self._words[address] = value
+
+    def read_block(self, base, nwords):
+        """Non-counting block read returning a list of words."""
+        return [self._words.get(base + i, 0) for i in range(nwords)]
+
+    def write_block(self, base, values):
+        """Non-counting block write (workload input setup)."""
+        for i, value in enumerate(values):
+            self._words[base + i] = value
+
+    def __len__(self):
+        return len(self._words)

@@ -1,0 +1,5 @@
+"""Assembler and disassembler for the NSF ISA."""
+
+from repro.asm.assembler import assemble, disassemble
+
+__all__ = ["assemble", "disassemble"]

@@ -1,0 +1,61 @@
+"""CLI: assemble and run an NSF assembly file.
+
+Examples::
+
+    python -m repro.asm program.s
+    python -m repro.asm program.s --model segmented --registers 40
+    python -m repro.asm program.s --encode    # print the binary words
+"""
+
+import argparse
+import sys
+
+from repro.asm import assemble
+from repro.core import NamedStateRegisterFile, SegmentedRegisterFile
+from repro.cpu import CPU
+from repro.isa import encode_program
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Assemble and run an NSF assembly program."
+    )
+    parser.add_argument("source", help="path to the .s source file")
+    parser.add_argument("--model", default="nsf",
+                        choices=["nsf", "segmented"])
+    parser.add_argument("--registers", type=int, default=80)
+    parser.add_argument("--context-size", type=int, default=20)
+    parser.add_argument("--entry", default="main")
+    parser.add_argument("--encode", action="store_true",
+                        help="print the 32-bit encoding and exit")
+    args = parser.parse_args(argv)
+
+    with open(args.source) as handle:
+        program = assemble(handle.read(), entry_label=args.entry)
+
+    if args.encode:
+        for index, word in enumerate(encode_program(program)):
+            print(f"{index:04d}: {word:08x}  "
+                  f"{program.instructions[index]}")
+        return 0
+
+    if args.model == "nsf":
+        model = NamedStateRegisterFile(num_registers=args.registers,
+                                       context_size=args.context_size)
+    else:
+        model = SegmentedRegisterFile(num_registers=args.registers,
+                                      context_size=args.context_size)
+    cpu = CPU(program, model)
+    result = cpu.run()
+    print(f"output: {result.output}")
+    print(f"instructions: {result.instructions:,}  "
+          f"cycles: {result.cycles:,}")
+    stats = model.stats
+    print(f"register file [{model.kind}]: "
+          f"reloads={stats.registers_reloaded:,} "
+          f"spills={stats.registers_spilled:,}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

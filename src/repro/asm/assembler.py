@@ -1,0 +1,164 @@
+"""Two-pass assembler for the NSF ISA.
+
+Syntax::
+
+    ; comment            # comment
+    main:                     ; label
+        li   r1, 10
+        call fib              ; context call: fresh CID for the callee
+        lw   r2, 0(sp)
+        out  r2
+        halt
+
+    fib:
+        lw   r1, 0(sp)        ; argument
+        slti r2, r1, 2
+        bne  r2, zr, base
+        ...
+        ret                   ; frees the CID, returns to the caller
+
+Pass 1 collects labels; pass 2 parses operands and resolves branch and
+jump targets to absolute instruction indices, producing a linked
+:class:`repro.isa.instructions.Program`.
+"""
+
+import re
+
+from repro.errors import AssemblerError
+from repro.isa.instructions import Instruction, Program, opcode_format
+from repro.isa.registers import parse_register
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.][A-Za-z0-9_.$]*):\s*(.*)$")
+_MEM_RE = re.compile(r"^(-?\d+)\s*\(\s*([A-Za-z0-9]+)\s*\)$")
+
+
+def _strip_comment(line):
+    for marker in (";", "#"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line.strip()
+
+
+def _parse_int(text, lineno):
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblerError(f"bad integer {text!r}", line=lineno) from None
+
+
+def _parse_reg(text, lineno):
+    try:
+        return parse_register(text)
+    except ValueError as exc:
+        raise AssemblerError(str(exc), line=lineno) from None
+
+
+def _split_operands(rest):
+    return [part.strip() for part in rest.split(",")] if rest else []
+
+
+def assemble(source, entry_label="main"):
+    """Assemble source text into a linked Program.
+
+    Raises :class:`repro.errors.AssemblerError` with a line number for
+    malformed input or undefined labels.
+    """
+    labels = {}
+    pending = []  # (lineno, mnemonic, operand text)
+
+    # Pass 1: labels and instruction extraction.
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = _strip_comment(raw)
+        while line:
+            match = _LABEL_RE.match(line)
+            if match:
+                label, line = match.group(1), match.group(2).strip()
+                if label in labels:
+                    raise AssemblerError(f"duplicate label {label!r}",
+                                         line=lineno)
+                labels[label] = len(pending)
+                continue
+            pending.append((lineno, line))
+            line = ""
+
+    # Pass 2: parse operands and resolve targets.
+    instructions = []
+    for lineno, text in pending:
+        parts = text.split(None, 1)
+        op = parts[0].lower()
+        rest = parts[1].strip() if len(parts) > 1 else ""
+        try:
+            fmt = opcode_format(op)
+        except ValueError:
+            raise AssemblerError(f"unknown opcode {op!r}", line=lineno)
+        operands = _split_operands(rest)
+        instructions.append(
+            _parse_instruction(op, fmt, operands, labels, lineno)
+        )
+
+    if entry_label in labels:
+        entry = labels[entry_label]
+    elif not labels or not instructions:
+        entry = 0
+    else:
+        entry = 0
+    return Program(instructions=instructions, labels=labels, entry=entry)
+
+
+def _parse_instruction(op, fmt, operands, labels, lineno):
+    def need(count):
+        if len(operands) != count:
+            raise AssemblerError(
+                f"{op} expects {count} operand(s), got {len(operands)}",
+                line=lineno,
+            )
+
+    def resolve(name):
+        if name not in labels:
+            raise AssemblerError(f"undefined label {name!r}", line=lineno)
+        return labels[name]
+
+    if fmt == "R":
+        need(3)
+        return Instruction(op, rd=_parse_reg(operands[0], lineno),
+                           rs1=_parse_reg(operands[1], lineno),
+                           rs2=_parse_reg(operands[2], lineno))
+    if fmt == "I":
+        if op == "li":
+            need(2)
+            return Instruction(op, rd=_parse_reg(operands[0], lineno),
+                               imm=_parse_int(operands[1], lineno))
+        need(3)
+        return Instruction(op, rd=_parse_reg(operands[0], lineno),
+                           rs1=_parse_reg(operands[1], lineno),
+                           imm=_parse_int(operands[2], lineno))
+    if fmt == "M":
+        need(2)
+        match = _MEM_RE.match(operands[1])
+        if not match:
+            raise AssemblerError(
+                f"bad memory operand {operands[1]!r} (want imm(reg))",
+                line=lineno,
+            )
+        return Instruction(op, rd=_parse_reg(operands[0], lineno),
+                           rs1=_parse_reg(match.group(2), lineno),
+                           imm=_parse_int(match.group(1), lineno))
+    if fmt == "B":
+        need(3)
+        return Instruction(op, rs1=_parse_reg(operands[0], lineno),
+                           rs2=_parse_reg(operands[1], lineno),
+                           target=resolve(operands[2]))
+    if fmt == "J":
+        need(1)
+        return Instruction(op, target=resolve(operands[0]))
+    if fmt == "U":
+        need(1)
+        return Instruction(op, rd=_parse_reg(operands[0], lineno))
+    need(0)
+    return Instruction(op)
+
+
+def disassemble(program):
+    """Render a Program back to assembly text (labels included)."""
+    return program.listing()

@@ -1,0 +1,57 @@
+"""Register-file models: the Named-State Register File and its baselines.
+
+This package is the paper's primary contribution.  Everything else in
+:mod:`repro` exists to drive these models with realistic register
+reference streams and to price the events they record.
+
+Public API
+----------
+* :class:`NamedStateRegisterFile` — fully-associative, small-line file (§4)
+* :class:`SegmentedRegisterFile` — frame-per-context baseline (§3.1)
+* :class:`ConventionalRegisterFile` — single-context baseline
+* :class:`RegFileStats`, :class:`AccessResult` — event accounting
+* :class:`CostModel` and the three calibrated pricings of Figure 14
+* :class:`BackingStore`, :class:`Ctable` — the spill target (§4.3)
+* victim policies: LRU (paper default), FIFO, random
+"""
+
+from repro.core.backing import BackingStore, Ctable
+from repro.core.base import RegisterFile
+from repro.core.costs import (
+    NSF_COSTS,
+    SEGMENT_HW_COSTS,
+    SEGMENT_SW_COSTS,
+    CostModel,
+    speedup,
+)
+from repro.core.nsf import NamedStateRegisterFile
+from repro.core.policies import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    VictimPolicy,
+    make_policy,
+)
+from repro.core.segmented import ConventionalRegisterFile, SegmentedRegisterFile
+from repro.core.stats import AccessResult, RegFileStats
+
+__all__ = [
+    "AccessResult",
+    "BackingStore",
+    "ConventionalRegisterFile",
+    "CostModel",
+    "Ctable",
+    "FIFOPolicy",
+    "LRUPolicy",
+    "NSF_COSTS",
+    "NamedStateRegisterFile",
+    "RandomPolicy",
+    "RegFileStats",
+    "RegisterFile",
+    "SEGMENT_HW_COSTS",
+    "SEGMENT_SW_COSTS",
+    "SegmentedRegisterFile",
+    "VictimPolicy",
+    "make_policy",
+    "speedup",
+]

@@ -1,0 +1,225 @@
+"""Common interface and bookkeeping for register-file models.
+
+All three organizations (NSF, segmented, conventional) present the same
+event API so that both front-ends — the activation-trace machine and the
+ISA-level CPU simulator — can drive any of them interchangeably:
+
+* ``begin_context(cid, base)``   a new activation's register set exists
+* ``switch_to(cid)``             make a context current (charged traffic)
+* ``read(offset)`` / ``write(offset, value)``  operand accesses
+* ``free_register(offset)``      explicit deallocation (NSF §4.2)
+* ``end_context(cid)``           destroy a context and all its registers
+* ``tick(n)``                    advance time by ``n`` instructions
+
+Models store **real values**; the front-ends run real computations
+through them, so a broken spill path breaks benchmark results.
+"""
+
+import itertools
+
+from repro.core.backing import BackingStore
+from repro.core.stats import AccessResult, RegFileStats
+from repro.errors import (
+    DuplicateContextError,
+    NoCurrentContextError,
+    RegisterRangeError,
+    UnknownContextError,
+)
+
+
+class RegisterFile:
+    """Abstract base register file.
+
+    Parameters
+    ----------
+    num_registers:
+        Total physical registers in the file.
+    context_size:
+        Architectural registers per context (the paper uses 20 for
+        sequential and 32 for parallel runs).
+    strict:
+        When true, reading a register that was never written raises
+        :class:`repro.errors.ReadBeforeWriteError` instead of silently
+        returning junk.
+    """
+
+    kind = "abstract"
+
+    def __init__(self, num_registers, context_size, strict=True,
+                 track_moves=False):
+        if num_registers <= 0:
+            raise ValueError("num_registers must be positive")
+        if context_size <= 0:
+            raise ValueError("context_size must be positive")
+        self.num_registers = num_registers
+        self.context_size = context_size
+        self.strict = strict
+        #: when true, AccessResults carry the exact (cid, offset) pairs
+        #: moved, so callers can price traffic at real addresses
+        self.track_moves = track_moves
+        self.backing = BackingStore()
+        self.stats = RegFileStats(capacity=num_registers)
+        self.current_cid = None
+        self._known_cids = set()
+        self._base_allocator = itertools.count(0x1000_0000, 0x100)
+
+    # -- context lifecycle ---------------------------------------------------
+
+    def begin_context(self, cid=None, base_address=None):
+        """Declare a new context; returns its cid.
+
+        ``base_address`` programs the Ctable entry for the context's
+        spill area; when omitted a fresh area is carved from a bump
+        allocator (what a thread scheduler would do).
+        """
+        if cid is None:
+            cid = self._fresh_cid()
+        if cid in self._known_cids:
+            raise DuplicateContextError(cid)
+        self._known_cids.add(cid)
+        if base_address is None:
+            base_address = next(self._base_allocator)
+        self.backing.ctable.set(cid, base_address)
+        self.stats.contexts_created += 1
+        self._on_begin_context(cid)
+        return cid
+
+    def end_context(self, cid):
+        """Destroy a context: free its registers, drop its save area."""
+        if cid not in self._known_cids:
+            raise UnknownContextError(cid)
+        self._on_end_context(cid)
+        self.backing.drop_context(cid)
+        self._known_cids.discard(cid)
+        self.stats.contexts_ended += 1
+        if self.current_cid == cid:
+            self.current_cid = None
+
+    def switch_to(self, cid):
+        """Make ``cid`` the current context; returns an AccessResult.
+
+        For the NSF this just loads the CID field of the processor
+        status word.  Segmented and conventional files may have to evict
+        and restore whole frames here.
+        """
+        if cid not in self._known_cids:
+            raise UnknownContextError(cid)
+        result = AccessResult(kind="switch")
+        if cid != self.current_cid:
+            self.stats.context_switches += 1
+            self._on_switch(cid, result)
+            self.current_cid = cid
+        return result
+
+    # -- operand access ------------------------------------------------------
+
+    def read(self, offset, cid=None):
+        """Read a register; returns ``(value, AccessResult)``."""
+        cid = self._resolve(cid, offset)
+        self.stats.reads += 1
+        result = AccessResult(kind="read")
+        value = self._do_read(cid, offset, result)
+        if result.hit:
+            self.stats.read_hits += 1
+        else:
+            self.stats.read_misses += 1
+        return value, result
+
+    def write(self, offset, value, cid=None):
+        """Write a register; returns an AccessResult."""
+        cid = self._resolve(cid, offset)
+        self.stats.writes += 1
+        result = AccessResult(kind="write")
+        self._do_write(cid, offset, value, result)
+        if result.hit:
+            self.stats.write_hits += 1
+        else:
+            self.stats.write_misses += 1
+        return result
+
+    def free_register(self, offset, cid=None):
+        """Explicitly deallocate one register (no spill)."""
+        cid = self._resolve(cid, offset)
+        self._do_free(cid, offset)
+
+    # -- time ---------------------------------------------------------------
+
+    def tick(self, n=1):
+        """Advance time by ``n`` executed instructions."""
+        self.stats.tick(n, self.active_register_count(),
+                        self.resident_context_count())
+
+    # -- introspection (subclasses maintain O(1) counters) -------------------
+
+    def active_register_count(self):
+        """Physical registers currently holding valid data."""
+        raise NotImplementedError
+
+    def resident_context_count(self):
+        """Distinct contexts with at least one register resident."""
+        raise NotImplementedError
+
+    def resident_context_ids(self):
+        raise NotImplementedError
+
+    def is_resident(self, cid, offset):
+        """True when the register's value is in the file (not spilled)."""
+        raise NotImplementedError
+
+    # -- hooks for subclasses -------------------------------------------------
+
+    def _on_begin_context(self, cid):
+        pass
+
+    def _on_end_context(self, cid):
+        raise NotImplementedError
+
+    def _on_switch(self, cid, result):
+        pass
+
+    def _do_read(self, cid, offset, result):
+        raise NotImplementedError
+
+    def _do_write(self, cid, offset, value, result):
+        raise NotImplementedError
+
+    def _do_free(self, cid, offset):
+        raise NotImplementedError
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _resolve(self, cid, offset):
+        if offset < 0 or offset >= self.context_size:
+            raise RegisterRangeError(offset, self.context_size)
+        if cid is None:
+            cid = self.current_cid
+            if cid is None:
+                raise NoCurrentContextError()
+        elif cid not in self._known_cids:
+            raise UnknownContextError(cid)
+        return cid
+
+    def _note_moved_out(self, result, cid, offset):
+        if self.track_moves:
+            if result.moved_out is None:
+                result.moved_out = []
+            result.moved_out.append((cid, offset))
+
+    def _note_moved_in(self, result, cid, offset):
+        if self.track_moves:
+            if result.moved_in is None:
+                result.moved_in = []
+            result.moved_in.append((cid, offset))
+
+    def _fresh_cid(self):
+        cid = len(self._known_cids)
+        while cid in self._known_cids:
+            cid += 1
+        return cid
+
+    def __repr__(self):
+        return (
+            f"<{type(self).__name__} registers={self.num_registers} "
+            f"context_size={self.context_size} "
+            f"resident={self.resident_context_count()}>"
+        )

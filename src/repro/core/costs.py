@@ -1,0 +1,129 @@
+"""Cycle cost models for register-file traffic (§8 of the paper).
+
+The simulation layer records *events*; these models price them.  The
+paper estimates application performance "by counting the cycles executed
+by each instruction in the program, and estimating the cycles required
+for each register spill and reload", with instruction and memory timings
+taken from a Sparc2 processor emulator.  Three pricings are compared in
+Figure 14:
+
+* the NSF (per-register demand reloads through the data cache),
+* a segmented file with *hardware-assisted* frame spill/reload,
+* a segmented file whose frames are spilled by *software trap* handlers
+  (a load/store instruction per register plus trap entry/exit).
+
+A :class:`CostModel` is a pure function of a :class:`RegFileStats`
+snapshot, so one simulation can be priced under several models.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.stats import RegFileStats
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Prices register-file events in processor cycles.
+
+    Attributes
+    ----------
+    cycles_per_instruction:
+        Base CPI of the pipeline, excluding register-file stalls.
+    reload_cycles:
+        Marginal cycles to move one register from the data cache into
+        the file.  Hardware-assisted frame engines stream several
+        registers per cycle over a wide path, so their per-register
+        figure is fractional; software trap handlers pay more.
+    spill_cycles:
+        Marginal cycles to move one register out to the data cache.
+    miss_detect_cycles:
+        Pipeline bubble taken to recognise a *read* miss and start the
+        reload (NSF misses stall the issuing instruction, §4.2).
+        Write-allocate misses cost nothing — the write proceeds while
+        the line is bound.
+    switch_miss_cycles:
+        Fixed additional cost when a context switch finds its target
+        not resident (sequencing for the hardware engine, trap
+        entry/exit for the software scheme).
+    """
+
+    name: str = "generic"
+    cycles_per_instruction: float = 1.0
+    reload_cycles: float = 2.0
+    spill_cycles: float = 1.0
+    miss_detect_cycles: float = 1.0
+    switch_miss_cycles: float = 0.0
+    #: per-register cost of dribble-back background spills (0 = fully
+    #: hidden behind idle issue slots)
+    background_spill_cycles: float = 0.0
+
+    # -- pricing -------------------------------------------------------------
+
+    def base_cycles(self, stats: RegFileStats) -> float:
+        """Cycles the program needs with a perfect register file."""
+        return stats.instructions * self.cycles_per_instruction
+
+    def traffic_cycles(self, stats: RegFileStats) -> float:
+        """Cycles spent moving registers and taking miss stalls."""
+        return (
+            stats.registers_reloaded * self.reload_cycles
+            + stats.registers_spilled * self.spill_cycles
+            + stats.read_misses * self.miss_detect_cycles
+            + stats.switch_misses * self.switch_miss_cycles
+            + stats.background_registers_spilled
+            * self.background_spill_cycles
+        )
+
+    def total_cycles(self, stats: RegFileStats) -> float:
+        return self.base_cycles(stats) + self.traffic_cycles(stats)
+
+    def overhead_fraction(self, stats: RegFileStats) -> float:
+        """Spill/reload overhead as a fraction of execution time (Fig 14)."""
+        total = self.total_cycles(stats)
+        if total == 0:
+            return 0.0
+        return self.traffic_cycles(stats) / total
+
+
+#: The NSF reloads single registers from the data cache on demand; read
+#: misses stall the issuing instruction for the cache access.  Spills
+#: drain through a store buffer.  Context switches just reload the CID
+#: field of the status word (free at this granularity).
+NSF_COSTS = CostModel(
+    name="nsf",
+    reload_cycles=2.0,
+    spill_cycles=1.0,
+    miss_detect_cycles=1.0,
+    switch_miss_cycles=0.0,
+)
+
+#: Hardware-assisted segmented file: a dedicated engine bursts the frame
+#: to/from the cache over a wide path (two registers per cycle in each
+#: direction), plus a small sequencing overhead per switch miss.  This
+#: is the Sparcle-style assist the paper's Figure 14 assumes.
+SEGMENT_HW_COSTS = CostModel(
+    name="segment-hw",
+    reload_cycles=0.5,
+    spill_cycles=0.5,
+    miss_detect_cycles=0.0,
+    switch_miss_cycles=4.0,
+)
+
+#: Software-trap segmented file: a trap handler executes load/store
+#: pairs (partially dual-issued) per register plus trap entry/exit per
+#: switch miss — the Sparc window-trap handlers the paper cites
+#: (Keppel [17], Sparcle [3]).
+SEGMENT_SW_COSTS = CostModel(
+    name="segment-sw",
+    reload_cycles=1.5,
+    spill_cycles=1.5,
+    miss_detect_cycles=0.0,
+    switch_miss_cycles=16.0,
+)
+
+
+def speedup(baseline_cycles: float, improved_cycles: float) -> float:
+    """Relative speedup of ``improved`` over ``baseline`` in percent."""
+    if improved_cycles == 0:
+        return 0.0
+    return (baseline_cycles - improved_cycles) / improved_cycles * 100.0

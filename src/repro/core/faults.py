@@ -1,0 +1,115 @@
+"""Fault injection for register-file models (testing utility).
+
+Wraps any model and injects one of several corruption classes at a
+chosen operation index.  The point of the library's values-are-real
+design is that *every* such corruption is caught — by the activation
+machine's shadow check, a workload's output verification, or trace
+replay divergence — and the fault-injection test suite proves it.
+
+Fault kinds
+-----------
+``drop_write``      a write is acknowledged but the value is discarded
+``corrupt_write``   the written value is perturbed (+1)
+``corrupt_reload``  the value read back differs from what was stored
+``lose_spill``      an evicted register's memory copy is dropped
+``stale_read``      a read returns the *previous* value of the register
+"""
+
+from repro.errors import ReproError
+
+FAULT_KINDS = ("drop_write", "corrupt_write", "corrupt_reload",
+               "lose_spill", "stale_read")
+
+
+class FaultConfigError(ReproError):
+    pass
+
+
+class FaultyRegisterFile:
+    """Injects a single fault into the wrapped model's event stream."""
+
+    def __init__(self, inner, kind, trigger_at=100):
+        if kind not in FAULT_KINDS:
+            raise FaultConfigError(
+                f"unknown fault kind {kind!r}; expected one of "
+                f"{FAULT_KINDS}"
+            )
+        self.inner = inner
+        self.kind = kind
+        self.trigger_at = trigger_at
+        self.operations = 0
+        self.injected = False
+        self._current_values = {}
+        self._previous_values = {}
+
+    # -- faulted operations ---------------------------------------------------
+
+    def write(self, offset, value, cid=None):
+        self.operations += 1
+        cid_key = cid if cid is not None else self.inner.current_cid
+        key = (cid_key, offset)
+        if self._fires("drop_write"):
+            # The write is lost: the register keeps its old value (or
+            # dies entirely when it never had one).
+            old = self._current_values.get(key)
+            if old is not None:
+                return self.inner.write(offset, old, cid=cid)
+            result = self.inner.write(offset, value, cid=cid)
+            self.inner.free_register(offset, cid=cid)
+            return result
+        if self._fires("corrupt_write"):
+            value = value + 1 if isinstance(value, int) else value
+        result = self.inner.write(offset, value, cid=cid)
+        self._previous_values[key] = self._current_values.get(key)
+        self._current_values[key] = value
+        return result
+
+    def read(self, offset, cid=None):
+        self.operations += 1
+        cid_key = cid if cid is not None else self.inner.current_cid
+        value, result = self.inner.read(offset, cid=cid)
+        if self._fires("corrupt_reload"):
+            value = value + 1 if isinstance(value, int) else value
+        elif (self.kind == "stale_read" and not self.injected
+                and self.operations >= self.trigger_at):
+            # Only consume the injection when the staleness is
+            # observable (a previous value exists and differs).
+            previous = self._previous_values.get((cid_key, offset))
+            if previous is not None and previous != value:
+                self.injected = True
+                value = previous
+        return value, result
+
+    def free_register(self, offset, cid=None):
+        self.operations += 1
+        return self.inner.free_register(offset, cid=cid)
+
+    def switch_to(self, cid):
+        self.operations += 1
+        if (self.kind == "lose_spill" and not self.injected
+                and self.operations >= self.trigger_at):
+            # Drop the context's save area: every backed offset whose
+            # only copy is in memory vanishes.  (A backed-but-resident
+            # offset merely has a stale shadow — losing it is harmless.)
+            lost = [
+                offset
+                for offset in self.inner.backing.backed_offsets(cid)
+                if not self.inner.is_resident(cid, offset)
+            ]
+            if lost:
+                self.injected = True
+                for offset in lost:
+                    self.inner.backing.discard(cid, offset)
+        return self.inner.switch_to(cid)
+
+    # -- plumbing ------------------------------------------------------------------
+
+    def _fires(self, kind):
+        if (self.kind == kind and not self.injected
+                and self.operations >= self.trigger_at):
+            self.injected = True
+            return True
+        return False
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)

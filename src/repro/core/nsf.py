@@ -1,0 +1,319 @@
+"""The Named-State Register File (the paper's contribution, §4).
+
+A fully-associative register file with very small lines.  A register is
+addressed by the pair ``<Context ID : offset>``; the CAM decoder maps
+the line-granularity tag ``(cid, offset // line_size)`` to a physical
+line.  Registers are allocated on first write, spilled lazily to the
+context's save area (through the Ctable) only when the file runs out of
+lines, and reloaded on demand when a miss occurs.  Each register slot
+carries a valid bit, which is what lets a single register be replaced
+within a line (§7.3).
+
+Two policy knobs reproduce the paper's design discussion:
+
+``reload_scope``
+    ``"register"`` (default) reloads only the missing register on a miss
+    — the paper's preferred fine-grain strategy.  ``"line"`` reloads the
+    whole missing line, which is how Figure 13's strategy comparison is
+    measured: one simulation yields the *all-slots*, *live-only* and
+    *active-only* traffic counts simultaneously.
+
+``fetch_on_write``
+    When true a write miss fetches the line's memory-resident registers
+    before writing (§4.2 "fetch on write"); the default is
+    write-allocate, which allocates the line without any reload.
+
+``spill_watermark``
+    Dribble-back extension (Soundararajan [29], contrasted in the
+    paper's related work): keep at least this many lines free by
+    spilling LRU victims *in the background* whenever the free pool
+    drains below the watermark.  Foreground allocations then rarely
+    stall on a spill; the proactive traffic is counted separately in
+    ``stats.background_registers_spilled`` so cost models can price it
+    as hidden (a register spilled in the background and touched again
+    before reuse simply reloads on demand, like any other miss).
+"""
+
+from repro.core.base import RegisterFile
+from repro.core.policies import make_policy
+from repro.core.stats import AccessResult
+from repro.errors import CapacityError, ReadBeforeWriteError
+
+
+class _Line:
+    """One line of the register array plus its decoder entry."""
+
+    __slots__ = ("tag", "values", "valid", "pending", "valid_count")
+
+    def __init__(self, line_size):
+        self.tag = None
+        self.values = [None] * line_size
+        self.valid = [False] * line_size
+        #: "pending" marks slots reloaded from memory and not yet accessed;
+        #: an access flips them into the active-reload count (Fig 13, curve C)
+        self.pending = [False] * line_size
+        self.valid_count = 0
+
+    def clear(self):
+        self.tag = None
+        for i in range(len(self.values)):
+            self.values[i] = None
+            self.valid[i] = False
+            self.pending[i] = False
+        self.valid_count = 0
+
+
+class NamedStateRegisterFile(RegisterFile):
+    """Fully-associative register file with per-register valid bits."""
+
+    kind = "nsf"
+
+    def __init__(self, num_registers=128, context_size=32, line_size=1,
+                 policy="lru", reload_scope="register",
+                 fetch_on_write=False, spill_watermark=0, strict=True,
+                 policy_seed=0, track_moves=False):
+        super().__init__(num_registers, context_size, strict=strict,
+                         track_moves=track_moves)
+        if line_size <= 0:
+            raise ValueError("line_size must be positive")
+        if num_registers % line_size:
+            raise ValueError("num_registers must be a multiple of line_size")
+        if reload_scope not in ("register", "line"):
+            raise ValueError("reload_scope must be 'register' or 'line'")
+        self.line_size = line_size
+        self.num_lines = num_registers // line_size
+        if self.num_lines < 1:
+            raise CapacityError("register file has no lines")
+        self.reload_scope = reload_scope
+        self.fetch_on_write = fetch_on_write
+        if not 0 <= spill_watermark < self.num_lines:
+            raise ValueError("spill_watermark must be in [0, num_lines)")
+        self.spill_watermark = spill_watermark
+        self._lines = [_Line(line_size) for _ in range(self.num_lines)]
+        self._cam = {}
+        self._free = list(range(self.num_lines - 1, -1, -1))
+        self._policy = make_policy(policy, seed=policy_seed)
+        self._context_lines = {}
+        self._active = 0
+
+    # -- introspection -------------------------------------------------------
+
+    def active_register_count(self):
+        return self._active
+
+    def resident_context_count(self):
+        return len(self._context_lines)
+
+    def resident_context_ids(self):
+        return set(self._context_lines)
+
+    def is_resident(self, cid, offset):
+        index = self._cam.get((cid, offset // self.line_size))
+        if index is None:
+            return False
+        return self._lines[index].valid[offset % self.line_size]
+
+    def allocated_lines(self):
+        """Number of lines currently bound in the decoder."""
+        return len(self._cam)
+
+    # -- context lifecycle -----------------------------------------------------
+
+    def _on_end_context(self, cid):
+        for index in self._context_lines.pop(cid, set()):
+            line = self._lines[index]
+            self._active -= line.valid_count
+            del self._cam[line.tag]
+            self._policy.remove(index)
+            line.clear()
+            self._free.append(index)
+
+    # -- operand access ----------------------------------------------------------
+
+    def _do_read(self, cid, offset, result):
+        tag = (cid, offset // self.line_size)
+        slot = offset % self.line_size
+        index = self._cam.get(tag)
+        if index is not None:
+            line = self._lines[index]
+            self._policy.touch(index)
+            if line.valid[slot]:
+                self._note_access(line, slot)
+                return line.values[slot]
+            # Line resident but this register was replaced within it.
+            result.hit = False
+            if not self.backing.contains(cid, offset):
+                return self._fault(cid, offset)
+            self._reload_single(line, cid, offset, slot, result)
+            self._note_access(line, slot)
+            return line.values[slot]
+        # Full line miss.
+        result.hit = False
+        if not self.backing.contains(cid, offset):
+            return self._fault(cid, offset)
+        line = self._allocate_line(cid, tag, result)
+        self._fill_line(line, cid, tag, offset, result)
+        self._note_access(line, slot)
+        return line.values[slot]
+
+    def _do_write(self, cid, offset, value, result):
+        tag = (cid, offset // self.line_size)
+        slot = offset % self.line_size
+        index = self._cam.get(tag)
+        if index is None:
+            result.hit = False
+            line = self._allocate_line(cid, tag, result)
+            if self.fetch_on_write:
+                self._fill_line(line, cid, tag, None, result)
+        else:
+            line = self._lines[index]
+            self._policy.touch(index)
+        if not line.valid[slot]:
+            line.valid[slot] = True
+            line.valid_count += 1
+            self._active += 1
+        self._note_access(line, slot)
+        line.values[slot] = value
+
+    def _do_free(self, cid, offset):
+        tag = (cid, offset // self.line_size)
+        slot = offset % self.line_size
+        self.backing.discard(cid, offset)
+        index = self._cam.get(tag)
+        if index is None:
+            return
+        line = self._lines[index]
+        if line.valid[slot]:
+            line.valid[slot] = False
+            line.pending[slot] = False
+            line.values[slot] = None
+            line.valid_count -= 1
+            self._active -= 1
+        if line.valid_count == 0:
+            del self._cam[tag]
+            self._policy.remove(index)
+            self._context_lines[cid].discard(index)
+            if not self._context_lines[cid]:
+                del self._context_lines[cid]
+            line.clear()
+            self._free.append(index)
+
+    # -- allocation / spill / reload machinery ------------------------------------
+
+    def _allocate_line(self, cid, tag, result):
+        """Bind ``tag`` to a physical line, evicting the victim if full."""
+        if self._free:
+            index = self._free.pop()
+        else:
+            index = self._policy.victim()
+            self._evict(index, result)
+        line = self._lines[index]
+        line.tag = tag
+        self._cam[tag] = index
+        self._policy.insert(index)
+        self._context_lines.setdefault(cid, set()).add(index)
+        if self.spill_watermark:
+            self._dribble_back(index)
+        return line
+
+    def _dribble_back(self, protected_index):
+        """Proactively spill LRU lines until the watermark is restored.
+
+        The just-allocated line is protected; traffic is recorded as
+        background spills (hidden from the critical path by the spill
+        engine).
+        """
+        while len(self._free) < self.spill_watermark:
+            index = self._policy.victim()
+            if index == protected_index:
+                break
+            before = self.stats.registers_spilled
+            self._evict(index, AccessResult())
+            moved = self.stats.registers_spilled - before
+            # Reclassify the traffic as background work.
+            self.stats.registers_spilled -= moved
+            self.stats.background_registers_spilled += moved
+            self._free.append(index)
+
+    def _evict(self, index, result):
+        """Spill a victim line's valid registers to its save area."""
+        line = self._lines[index]
+        victim_cid, line_no = line.tag
+        base_offset = line_no * self.line_size
+        live = 0
+        for slot in range(self.line_size):
+            if line.valid[slot]:
+                self.backing.spill(victim_cid, base_offset + slot,
+                                   line.values[slot])
+                self._note_moved_out(result, victim_cid,
+                                     base_offset + slot)
+                live += 1
+        self._active -= line.valid_count
+        self.stats.lines_spilled += 1
+        self.stats.live_registers_spilled += live
+        moved = self.line_size if self.reload_scope == "line" else live
+        self.stats.registers_spilled += moved
+        result.spilled += moved
+        result.lines_spilled += 1
+        del self._cam[line.tag]
+        self._policy.remove(index)
+        owned = self._context_lines[victim_cid]
+        owned.discard(index)
+        if not owned:
+            del self._context_lines[victim_cid]
+        line.clear()
+
+    def _fill_line(self, line, cid, tag, miss_offset, result):
+        """Reload a freshly-allocated line according to ``reload_scope``."""
+        line_no = tag[1]
+        base_offset = line_no * self.line_size
+        if self.reload_scope == "line" or self.fetch_on_write:
+            live = 0
+            for slot in range(self.line_size):
+                offset = base_offset + slot
+                if self.backing.contains(cid, offset):
+                    line.values[slot] = self.backing.reload(cid, offset)
+                    line.valid[slot] = True
+                    line.pending[slot] = True
+                    line.valid_count += 1
+                    self._note_moved_in(result, cid, offset)
+                    live += 1
+            self._active += live
+            if live == 0:
+                # A brand-new line (write-allocate of a fresh context):
+                # there is nothing in the save area to fetch, so no
+                # reload traffic happens.
+                return
+            self.stats.lines_reloaded += 1
+            self.stats.registers_reloaded += self.line_size
+            self.stats.live_registers_reloaded += live
+            result.reloaded += self.line_size
+            result.lines_reloaded += 1
+        else:
+            self.stats.lines_reloaded += 1
+            result.lines_reloaded += 1
+            if miss_offset is not None:
+                slot = miss_offset % self.line_size
+                self._reload_single(line, cid, miss_offset, slot, result)
+
+    def _reload_single(self, line, cid, offset, slot, result):
+        line.values[slot] = self.backing.reload(cid, offset)
+        line.valid[slot] = True
+        line.pending[slot] = True
+        line.valid_count += 1
+        self._active += 1
+        self.stats.registers_reloaded += 1
+        self.stats.live_registers_reloaded += 1
+        self._note_moved_in(result, cid, offset)
+        result.reloaded += 1
+
+    def _note_access(self, line, slot):
+        """Flip a pending reload into the active-reload count (curve C)."""
+        if line.pending[slot]:
+            line.pending[slot] = False
+            self.stats.active_registers_reloaded += 1
+
+    def _fault(self, cid, offset):
+        if self.strict:
+            raise ReadBeforeWriteError(cid, offset)
+        return 0

@@ -1,0 +1,207 @@
+"""Victim-selection policies for lines (NSF) and frames (segmented files).
+
+The paper simulates an LRU strategy (§4.2: "This study simulates a least
+recently used (LRU) strategy") but notes the victim "could [be picked]
+based on a number of different strategies".  We provide LRU, FIFO and a
+seeded random policy so the ablation benchmarks can quantify the choice.
+"""
+
+import random
+
+from repro.errors import CapacityError
+
+
+class VictimPolicy:
+    """Tracks a set of keys and picks which one to evict.
+
+    Keys are arbitrary hashables (line indices, frame numbers).  Policies
+    are deliberately tiny objects: the register-file models call
+    ``insert`` when a slot is allocated, ``touch`` on every access,
+    ``remove`` on deallocation and ``victim`` when they must evict.
+    """
+
+    name = "abstract"
+
+    def insert(self, key):
+        raise NotImplementedError
+
+    def touch(self, key):
+        raise NotImplementedError
+
+    def remove(self, key):
+        raise NotImplementedError
+
+    def victim(self):
+        raise NotImplementedError
+
+    def __len__(self):
+        raise NotImplementedError
+
+    def __contains__(self, key):
+        raise NotImplementedError
+
+
+class LRUPolicy(VictimPolicy):
+    """Least-recently-used eviction (the paper's strategy).
+
+    Implemented over an insertion-ordered dict: the first key is always
+    the least recently used, so every operation is O(1).
+    """
+
+    name = "lru"
+
+    def __init__(self):
+        self._order = {}
+
+    def insert(self, key):
+        self._order.pop(key, None)
+        self._order[key] = True
+
+    def touch(self, key):
+        if key in self._order:
+            del self._order[key]
+            self._order[key] = True
+
+    def remove(self, key):
+        self._order.pop(key, None)
+
+    def victim(self):
+        if not self._order:
+            raise CapacityError("no candidate to evict")
+        return next(iter(self._order))
+
+    def __len__(self):
+        return len(self._order)
+
+    def __contains__(self, key):
+        return key in self._order
+
+    def keys_in_order(self):
+        """Oldest-first iteration (exposed for tests)."""
+        return list(self._order)
+
+
+class FIFOPolicy(LRUPolicy):
+    """First-in first-out eviction: accesses do not refresh recency."""
+
+    name = "fifo"
+
+    def touch(self, key):  # noqa: D102 - intentionally a no-op
+        pass
+
+
+class RandomPolicy(VictimPolicy):
+    """Uniform random eviction with a deterministic seed."""
+
+    name = "random"
+
+    def __init__(self, seed=0):
+        self._members = {}
+        self._keys = []
+        self._rng = random.Random(seed)
+
+    def insert(self, key):
+        if key not in self._members:
+            self._members[key] = len(self._keys)
+            self._keys.append(key)
+
+    def touch(self, key):
+        pass
+
+    def remove(self, key):
+        index = self._members.pop(key, None)
+        if index is None:
+            return
+        last = self._keys.pop()
+        if last != key:
+            self._keys[index] = last
+            self._members[last] = index
+
+    def victim(self):
+        if not self._keys:
+            raise CapacityError("no candidate to evict")
+        return self._rng.choice(self._keys)
+
+    def __len__(self):
+        return len(self._keys)
+
+    def __contains__(self, key):
+        return key in self._members
+
+
+class NMRUPolicy(VictimPolicy):
+    """Not-most-recently-used: random victim excluding the MRU entry.
+
+    Motivated by this reproduction's own ablation: a block-multithreaded
+    processor cycling through more threads than fit in the file is LRU's
+    pathological pattern (the LRU line is exactly the one needed next).
+    NMRU keeps the one line certain to be hot while breaking the cyclic
+    resonance.
+    """
+
+    name = "nmru"
+
+    def __init__(self, seed=0):
+        self._members = {}
+        self._keys = []
+        self._mru = None
+        self._rng = random.Random(seed)
+
+    def insert(self, key):
+        if key not in self._members:
+            self._members[key] = len(self._keys)
+            self._keys.append(key)
+        self._mru = key
+
+    def touch(self, key):
+        if key in self._members:
+            self._mru = key
+
+    def remove(self, key):
+        index = self._members.pop(key, None)
+        if index is None:
+            return
+        last = self._keys.pop()
+        if last != key:
+            self._keys[index] = last
+            self._members[last] = index
+        if self._mru == key:
+            self._mru = None
+
+    def victim(self):
+        if not self._keys:
+            raise CapacityError("no candidate to evict")
+        if len(self._keys) == 1:
+            return self._keys[0]
+        while True:
+            key = self._rng.choice(self._keys)
+            if key != self._mru:
+                return key
+
+    def __len__(self):
+        return len(self._keys)
+
+    def __contains__(self, key):
+        return key in self._members
+
+
+_POLICIES = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "random": RandomPolicy,
+    "nmru": NMRUPolicy,
+}
+
+
+def make_policy(name, seed=0):
+    """Build a victim policy by name (``lru``, ``fifo`` or ``random``)."""
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown victim policy {name!r}; expected one of {sorted(_POLICIES)}"
+        ) from None
+    try:
+        return cls(seed=seed)
+    except TypeError:
+        return cls()

@@ -1,0 +1,252 @@
+"""Segmented register files: the paper's baseline (§3.1).
+
+The file is statically partitioned into equal-sized *frames*, one per
+resident context; a frame pointer selects the active frame.  Switching
+between resident contexts only moves the frame pointer.  Switching to a
+non-resident context must evict a victim frame (spilling its registers
+to the context's save area) and restore the incoming context's frame.
+
+``spill_mode`` selects the traffic accounting:
+
+``"frame"`` (default)
+    the hardware moves whole frames — every switch miss transfers
+    ``frame_size`` registers in each direction, whether or not they hold
+    data.  This is the classic organization of Sparcle / HEP / MASA.
+``"live"``
+    the hardware tracks a valid bit per register and transfers only
+    registers holding data (the middle strategy of Fig 13).
+
+Both counts are recorded regardless of mode (``live_registers_*``), so a
+single simulation yields Figure 10's "Segment" and "Segment live reg"
+series at once.
+"""
+
+from repro.core.base import RegisterFile
+from repro.core.policies import make_policy
+from repro.errors import CapacityError, ReadBeforeWriteError
+
+
+class _Frame:
+    __slots__ = ("cid", "values", "valid", "pending", "valid_count")
+
+    def __init__(self, frame_size):
+        self.cid = None
+        self.values = [None] * frame_size
+        self.valid = [False] * frame_size
+        self.pending = [False] * frame_size
+        self.valid_count = 0
+
+    def clear(self):
+        self.cid = None
+        for i in range(len(self.values)):
+            self.values[i] = None
+            self.valid[i] = False
+            self.pending[i] = False
+        self.valid_count = 0
+
+
+class SegmentedRegisterFile(RegisterFile):
+    """Frame-per-context register file with whole-frame spill/reload."""
+
+    kind = "segmented"
+
+    def __init__(self, num_registers=128, context_size=32, policy="lru",
+                 spill_mode="frame", strict=True, policy_seed=0,
+                 track_moves=False):
+        super().__init__(num_registers, context_size, strict=strict,
+                         track_moves=track_moves)
+        if spill_mode not in ("frame", "live"):
+            raise ValueError("spill_mode must be 'frame' or 'live'")
+        self.frame_size = context_size
+        self.num_frames = num_registers // context_size
+        if self.num_frames < 1:
+            raise CapacityError(
+                f"{num_registers} registers cannot hold one "
+                f"{context_size}-register frame"
+            )
+        self.spill_mode = spill_mode
+        self._frames = [_Frame(self.frame_size) for _ in range(self.num_frames)]
+        self._resident = {}
+        self._free = list(range(self.num_frames - 1, -1, -1))
+        self._policy = make_policy(policy, seed=policy_seed)
+        self._active = 0
+        #: contexts that have been evicted at least once — only these pay
+        #: reload traffic when re-installed (window-underflow semantics);
+        #: a brand-new activation's frame has nothing to fetch.
+        self._ever_spilled = set()
+
+    # -- introspection -------------------------------------------------------
+
+    def active_register_count(self):
+        return self._active
+
+    def resident_context_count(self):
+        return len(self._resident)
+
+    def resident_context_ids(self):
+        return set(self._resident)
+
+    def is_resident(self, cid, offset):
+        index = self._resident.get(cid)
+        if index is None:
+            return False
+        return self._frames[index].valid[offset]
+
+    # -- context lifecycle ------------------------------------------------------
+
+    def _on_end_context(self, cid):
+        self._ever_spilled.discard(cid)
+        index = self._resident.pop(cid, None)
+        if index is not None:
+            frame = self._frames[index]
+            self._active -= frame.valid_count
+            self._policy.remove(index)
+            frame.clear()
+            self._free.append(index)
+
+    def _on_switch(self, cid, result):
+        if cid in self._resident:
+            self._policy.touch(self._resident[cid])
+            return
+        result.switch_miss = True
+        self.stats.switch_misses += 1
+        self._install_frame(cid, result)
+
+    # -- operand access ------------------------------------------------------------
+
+    def _do_read(self, cid, offset, result):
+        frame = self._frame_for(cid, result)
+        if not frame.valid[offset]:
+            if self.strict:
+                raise ReadBeforeWriteError(cid, offset)
+            return 0
+        self._note_access(frame, offset)
+        return frame.values[offset]
+
+    def _do_write(self, cid, offset, value, result):
+        frame = self._frame_for(cid, result)
+        if not frame.valid[offset]:
+            frame.valid[offset] = True
+            frame.valid_count += 1
+            self._active += 1
+        self._note_access(frame, offset)
+        frame.values[offset] = value
+
+    def _do_free(self, cid, offset):
+        self.backing.discard(cid, offset)
+        index = self._resident.get(cid)
+        if index is None:
+            return
+        frame = self._frames[index]
+        if frame.valid[offset]:
+            frame.valid[offset] = False
+            frame.pending[offset] = False
+            frame.values[offset] = None
+            frame.valid_count -= 1
+            self._active -= 1
+
+    # -- frame machinery ----------------------------------------------------------
+
+    def _frame_for(self, cid, result):
+        """Return the resident frame for ``cid``, faulting it in if needed."""
+        index = self._resident.get(cid)
+        if index is not None:
+            frame = self._frames[index]
+            self._policy.touch(index)
+            return frame
+        # An operand access to a non-resident context behaves like a
+        # switch miss: the frame must be brought in first.
+        result.hit = False
+        result.switch_miss = True
+        self.stats.switch_misses += 1
+        return self._install_frame(cid, result)
+
+    def _install_frame(self, cid, result):
+        if self._free:
+            index = self._free.pop()
+        else:
+            index = self._policy.victim()
+            self._evict(index, result)
+        frame = self._frames[index]
+        frame.cid = cid
+        self._resident[cid] = index
+        self._policy.insert(index)
+        self._restore(frame, cid, result)
+        return frame
+
+    def _evict(self, index, result):
+        frame = self._frames[index]
+        victim = frame.cid
+        live = 0
+        for offset in range(self.frame_size):
+            if frame.valid[offset]:
+                self.backing.spill(victim, offset, frame.values[offset])
+                self._note_moved_out(result, victim, offset)
+                live += 1
+        self._active -= frame.valid_count
+        moved = self.frame_size if self.spill_mode == "frame" else live
+        self.stats.registers_spilled += moved
+        self.stats.live_registers_spilled += live
+        self.stats.lines_spilled += 1
+        result.spilled += moved
+        result.lines_spilled += 1
+        del self._resident[victim]
+        self._policy.remove(index)
+        self._ever_spilled.add(victim)
+        frame.clear()
+        # The caller (_install_frame) immediately reuses this frame, so it
+        # is deliberately NOT returned to the free list.
+
+    def _restore(self, frame, cid, result):
+        """Reload a context's saved registers into its fresh frame.
+
+        A context that was never evicted (a brand-new activation) has no
+        save-area image: installing its frame moves nothing, like a
+        register-window push.  Re-installing an evicted context is a
+        window underflow and pays for the whole frame (or, in ``live``
+        mode, its valid registers).
+        """
+        if cid not in self._ever_spilled:
+            return
+        live = 0
+        for offset in self.backing.backed_offsets(cid):
+            frame.values[offset] = self.backing.reload(cid, offset)
+            frame.valid[offset] = True
+            frame.pending[offset] = True
+            frame.valid_count += 1
+            self._note_moved_in(result, cid, offset)
+            live += 1
+        self._active += live
+        moved = self.frame_size if self.spill_mode == "frame" else live
+        self.stats.registers_reloaded += moved
+        self.stats.live_registers_reloaded += live
+        self.stats.lines_reloaded += 1
+        result.reloaded += moved
+        result.lines_reloaded += 1
+
+    def _note_access(self, frame, offset):
+        if frame.pending[offset]:
+            frame.pending[offset] = False
+            self.stats.active_registers_reloaded += 1
+
+
+class ConventionalRegisterFile(SegmentedRegisterFile):
+    """A single-context register file (the degenerate one-frame case).
+
+    Every context switch spills and restores the whole file — the
+    behaviour of a conventional processor without multithreading
+    support, used as the worst-case baseline in §1 of the paper.
+    """
+
+    kind = "conventional"
+
+    def __init__(self, num_registers=32, context_size=None, policy="lru",
+                 spill_mode="frame", strict=True, track_moves=False):
+        if context_size is None:
+            context_size = num_registers
+        # A conventional file holds exactly one context: its capacity IS
+        # one frame, whatever the architectural context size.
+        super().__init__(num_registers=context_size,
+                         context_size=context_size, policy=policy,
+                         spill_mode=spill_mode, strict=strict,
+                         track_moves=track_moves)

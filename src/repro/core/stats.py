@@ -1,0 +1,209 @@
+"""Event counters shared by every register-file model.
+
+The simulator separates *what happened* (these counters) from *what it
+costs* (:mod:`repro.core.costs`).  Every model maintains one
+:class:`RegFileStats`; the evaluation harness reads the derived
+properties to regenerate the paper's figures.
+
+Occupancy and resident-context figures are time-weighted: each call to
+``tick(n)`` on a model integrates the current occupancy over ``n``
+instructions, so averages are per-instruction averages exactly as in the
+paper ("average fraction of active registers").
+"""
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class RegFileStats:
+    """Raw event counts recorded by a register-file model."""
+
+    #: total registers in the file (copied from the model for ratios)
+    capacity: int = 0
+
+    #: emulated instructions executed while this model was attached
+    instructions: int = 0
+
+    # -- operand traffic ---------------------------------------------------
+    reads: int = 0
+    writes: int = 0
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+
+    # -- spill / reload traffic --------------------------------------------
+    #: registers moved per the model's policy (frames for segmented files,
+    #: single registers or lines for the NSF)
+    registers_spilled: int = 0
+    registers_reloaded: int = 0
+    #: subset of the above that actually carried valid data
+    live_registers_spilled: int = 0
+    live_registers_reloaded: int = 0
+    #: reloaded registers that were referenced again before eviction
+    active_registers_reloaded: int = 0
+    #: line-granularity events (NSF) or frame events (segmented)
+    lines_spilled: int = 0
+    lines_reloaded: int = 0
+    #: registers spilled proactively by the dribble-back extension
+    #: (moved in the background, off the critical path)
+    background_registers_spilled: int = 0
+
+    # -- context events -----------------------------------------------------
+    contexts_created: int = 0
+    contexts_ended: int = 0
+    context_switches: int = 0
+    #: switches that found the target context not resident
+    switch_misses: int = 0
+
+    # -- time-weighted occupancy -------------------------------------------
+    occupancy_weighted: int = 0
+    resident_contexts_weighted: int = 0
+    max_active_registers: int = 0
+    max_resident_contexts: int = 0
+
+    # ------------------------------------------------------------------ API
+
+    def tick(self, n, active_registers, resident_contexts):
+        """Advance time by ``n`` instructions at the given occupancy."""
+        self.instructions += n
+        self.occupancy_weighted += active_registers * n
+        self.resident_contexts_weighted += resident_contexts * n
+        if active_registers > self.max_active_registers:
+            self.max_active_registers = active_registers
+        if resident_contexts > self.max_resident_contexts:
+            self.max_resident_contexts = resident_contexts
+
+    # -- derived figures -----------------------------------------------------
+
+    @property
+    def utilization_avg(self):
+        """Average fraction of registers holding active data (Fig 9 'Avg')."""
+        if self.instructions == 0 or self.capacity == 0:
+            return 0.0
+        return self.occupancy_weighted / (self.instructions * self.capacity)
+
+    @property
+    def utilization_max(self):
+        """Peak fraction of registers holding active data (Fig 9 'Max')."""
+        if self.capacity == 0:
+            return 0.0
+        return self.max_active_registers / self.capacity
+
+    @property
+    def avg_resident_contexts(self):
+        """Average number of contexts resident in the file (Fig 11)."""
+        if self.instructions == 0:
+            return 0.0
+        return self.resident_contexts_weighted / self.instructions
+
+    @property
+    def reloads_per_instruction(self):
+        """Registers reloaded per instruction executed (Figs 10, 12, 13)."""
+        if self.instructions == 0:
+            return 0.0
+        return self.registers_reloaded / self.instructions
+
+    @property
+    def live_reloads_per_instruction(self):
+        if self.instructions == 0:
+            return 0.0
+        return self.live_registers_reloaded / self.instructions
+
+    @property
+    def active_reloads_per_instruction(self):
+        if self.instructions == 0:
+            return 0.0
+        return self.active_registers_reloaded / self.instructions
+
+    @property
+    def spills_per_instruction(self):
+        if self.instructions == 0:
+            return 0.0
+        return self.registers_spilled / self.instructions
+
+    @property
+    def instructions_per_switch(self):
+        """Average run length between context switches (Table 1)."""
+        if self.context_switches == 0:
+            return float(self.instructions)
+        return self.instructions / self.context_switches
+
+    @property
+    def read_miss_rate(self):
+        if self.reads == 0:
+            return 0.0
+        return self.read_misses / self.reads
+
+    @property
+    def write_miss_rate(self):
+        if self.writes == 0:
+            return 0.0
+        return self.write_misses / self.writes
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def snapshot(self):
+        """Return a plain dict of every raw counter (for reports/tests)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def reset(self):
+        """Zero every counter except the capacity."""
+        capacity = self.capacity
+        for f in fields(self):
+            setattr(self, f.name, 0)
+        self.capacity = capacity
+
+    def __add__(self, other):
+        """Merge counters from two runs (max fields take the max)."""
+        if not isinstance(other, RegFileStats):
+            return NotImplemented
+        merged = RegFileStats()
+        for f in fields(RegFileStats):
+            a = getattr(self, f.name)
+            b = getattr(other, f.name)
+            if f.name.startswith("max_") or f.name == "capacity":
+                setattr(merged, f.name, max(a, b))
+            else:
+                setattr(merged, f.name, a + b)
+        return merged
+
+
+@dataclass
+class AccessResult:
+    """Outcome of a single register-file operation.
+
+    The machine layers hand these to a :class:`repro.core.costs.CostModel`
+    to price stalls; tests use them to assert hit/miss behaviour.
+    """
+
+    kind: str = "read"  # "read" | "write" | "switch"
+    hit: bool = True
+    #: registers physically moved by this operation
+    reloaded: int = 0
+    spilled: int = 0
+    #: lines (or frames) moved
+    lines_reloaded: int = 0
+    lines_spilled: int = 0
+    #: a context switch that had to evict / restore a frame
+    switch_miss: bool = False
+    #: exact registers moved, as (cid, offset) pairs — populated only
+    #: when the model was built with ``track_moves=True`` (lets a CPU
+    #: route spill traffic through its data cache at real addresses)
+    moved_out: list = None
+    moved_in: list = None
+
+    @property
+    def stalled(self):
+        """True when the access could not complete in the register file."""
+        return (not self.hit) or self.switch_miss or self.reloaded > 0
+
+    def merge(self, other):
+        """Fold a second result into this one (multi-step operations)."""
+        self.hit = self.hit and other.hit
+        self.reloaded += other.reloaded
+        self.spilled += other.spilled
+        self.lines_reloaded += other.lines_reloaded
+        self.lines_spilled += other.lines_spilled
+        self.switch_miss = self.switch_miss or other.switch_miss
+        return self

@@ -1,0 +1,12 @@
+"""Cycle-level CPU simulator: core, pipeline timing, data cache."""
+
+from repro.cpu.cache import DirectMappedCache, PerfectCache
+from repro.cpu.core import CPU, CPUResult, STACK_TOP
+from repro.cpu.multithread import HardwareThread, MTResult, MultithreadedCPU
+from repro.cpu.pipeline import PipelinedCPU
+from repro.cpu.traps import SoftwareTrapUnit, TrapStats
+
+__all__ = ["CPU", "CPUResult", "DirectMappedCache", "HardwareThread",
+           "MTResult", "MultithreadedCPU", "PerfectCache",
+           "PipelinedCPU", "STACK_TOP", "SoftwareTrapUnit",
+           "TrapStats"]

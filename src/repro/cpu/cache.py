@@ -1,0 +1,60 @@
+"""A small direct-mapped data cache model.
+
+The paper's NSF spills and reloads registers *through the data cache*
+(Figure 4), so the CPU simulator routes every memory access — program
+loads/stores and register spill traffic alike — through this model to
+price it.  Word-addressed, write-allocate, write-back accounting.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DirectMappedCache:
+    """Direct-mapped cache over word addresses."""
+
+    num_lines: int = 256
+    words_per_line: int = 4
+    hit_cycles: int = 1
+    miss_cycles: int = 10
+
+    hits: int = 0
+    misses: int = 0
+    _tags: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.num_lines <= 0 or self.words_per_line <= 0:
+            raise ValueError("cache dimensions must be positive")
+
+    def access(self, address):
+        """Touch one word; returns the access latency in cycles."""
+        line_address = address // self.words_per_line
+        index = line_address % self.num_lines
+        if self._tags.get(index) == line_address:
+            self.hits += 1
+            return self.hit_cycles
+        self.misses += 1
+        self._tags[index] = line_address
+        return self.miss_cycles
+
+    @property
+    def accesses(self):
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self):
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    def reset_stats(self):
+        self.hits = 0
+        self.misses = 0
+
+
+class PerfectCache(DirectMappedCache):
+    """Always hits — isolates register-file effects in experiments."""
+
+    def access(self, address):
+        self.hits += 1
+        return self.hit_cycles

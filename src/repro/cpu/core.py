@@ -1,0 +1,226 @@
+"""Cycle-level CPU simulator for the NSF ISA.
+
+Executes a linked :class:`repro.isa.instructions.Program` against any
+register-file model from :mod:`repro.core`.  Context management follows
+the paper's sequential model: every ``call`` allocates a fresh Context
+ID for the callee and ``ret`` destroys it, so the register-file model
+sees one context per procedure activation — exactly the reference
+stream the activation machine produces, but generated from real
+compiled instructions.
+
+Cycle accounting: one cycle per instruction, plus the data-cache
+latency for loads/stores, plus register-file stalls (two cycles per
+register reloaded, one per register spilled — demand reloads go through
+the data cache).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.activation.memory import Memory
+from repro.cpu.cache import DirectMappedCache
+from repro.errors import MachineError
+from repro.isa.instructions import alu_semantics
+from repro.isa.registers import SP, ZR, is_context_register
+
+#: initial stack pointer (word address; the stack grows down)
+STACK_TOP = 0x8000
+
+
+@dataclass
+class CPUResult:
+    """Outcome of a program run."""
+
+    return_value: object
+    instructions: int
+    cycles: int
+    output: list = field(default_factory=list)
+
+
+class CPU:
+    """A simple in-order core with a pluggable register file."""
+
+    def __init__(self, program, regfile, memory=None, cache=None,
+                 stack_top=STACK_TOP, max_steps=5_000_000,
+                 spill_via_cache=False, software_spill_traps=False):
+        self.program = program
+        self.regfile = regfile
+        #: price each spilled/reloaded register as a data-cache access
+        #: at its real Ctable address (Fig 4 of the paper).  Requires a
+        #: register file built with ``track_moves=True``.
+        self.spill_via_cache = spill_via_cache
+        if spill_via_cache and not getattr(regfile, "track_moves", False):
+            raise ValueError(
+                "spill_via_cache needs a register file constructed "
+                "with track_moves=True"
+            )
+        #: run software window-trap handlers for every switch miss (the
+        #: paper's Fig-14 software variant, executed rather than priced)
+        self.trap_unit = None
+        if software_spill_traps:
+            if not getattr(regfile, "track_moves", False):
+                raise ValueError(
+                    "software_spill_traps needs a register file "
+                    "constructed with track_moves=True"
+                )
+            from repro.cpu.traps import SoftwareTrapUnit
+            self.trap_unit = SoftwareTrapUnit(self)
+        self.memory = memory if memory is not None else Memory()
+        self.cache = cache if cache is not None else DirectMappedCache()
+        self.pc = program.entry
+        self.sp = stack_top
+        self.max_steps = max_steps
+        self.halted = False
+        self.instructions = 0
+        self.cycles = 0
+        self.output = []
+        self._return_stack = []  # (return pc, caller cid)
+        # The entry activation gets the first context.
+        cid = self.regfile.begin_context()
+        self.regfile.switch_to(cid)
+
+    # -- operand plumbing --------------------------------------------------
+
+    def _charge_regfile(self, result):
+        """Price register-file traffic for one access."""
+        if self.trap_unit is not None:
+            self.trap_unit.handle(result)
+            return
+        if self.spill_via_cache:
+            backing = self.regfile.backing
+            for cid, offset in (result.moved_out or ()):
+                self.cycles += self.cache.access(
+                    backing.address_of(cid, offset)
+                )
+            for cid, offset in (result.moved_in or ()):
+                # Demand reloads additionally stall the pipeline for
+                # the issue bubble.
+                self.cycles += 1 + self.cache.access(
+                    backing.address_of(cid, offset)
+                )
+            return
+        self.cycles += 2 * result.reloaded + result.spilled
+
+    def _read_reg(self, index):
+        if is_context_register(index):
+            value, result = self.regfile.read(index)
+            if result.stalled:
+                self._charge_regfile(result)
+            return value
+        if index == SP:
+            return self.sp
+        if index == ZR:
+            return 0
+        raise MachineError(f"bad register index {index}")
+
+    def _write_reg(self, index, value):
+        if is_context_register(index):
+            result = self.regfile.write(index, value)
+            if result.stalled:
+                self._charge_regfile(result)
+            return
+        if index == SP:
+            self.sp = value
+            return
+        if index == ZR:
+            return  # writes to zero register vanish
+        raise MachineError(f"bad register index {index}")
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self):
+        """Run to ``halt`` (or a ``ret`` with an empty call stack)."""
+        steps = 0
+        while not self.halted:
+            if steps >= self.max_steps:
+                raise MachineError(
+                    f"exceeded {self.max_steps} steps at pc={self.pc} "
+                    "(runaway program?)"
+                )
+            self.step()
+            steps += 1
+        # Convention: the program's result is its last `out` value.
+        result = self.output[-1] if self.output else None
+        return CPUResult(return_value=result,
+                         instructions=self.instructions,
+                         cycles=self.cycles, output=list(self.output))
+
+    def step(self):
+        if self.halted:
+            return
+        if not 0 <= self.pc < len(self.program.instructions):
+            raise MachineError(f"pc {self.pc} outside program")
+        instr = self.program.instructions[self.pc]
+        self.instructions += 1
+        self.cycles += 1
+        self.regfile.tick(1)
+        handler = getattr(self, f"_op_{instr.format}")
+        handler(instr)
+
+    # -- per-format handlers ------------------------------------------------------
+
+    def _op_R(self, instr):
+        fn = alu_semantics(instr.op)
+        a = self._read_reg(instr.rs1)
+        b = self._read_reg(instr.rs2)
+        self._write_reg(instr.rd, fn(a, b))
+        self.pc += 1
+
+    def _op_I(self, instr):
+        if instr.op == "li":
+            self._write_reg(instr.rd, instr.imm)
+        else:
+            fn = alu_semantics(instr.op)
+            self._write_reg(instr.rd, fn(self._read_reg(instr.rs1),
+                                         instr.imm))
+        self.pc += 1
+
+    def _op_M(self, instr):
+        address = self._read_reg(instr.rs1) + instr.imm
+        self.cycles += self.cache.access(address)
+        if instr.op == "lw":
+            self._write_reg(instr.rd, self.memory.load(address))
+        else:  # sw
+            self.memory.store(address, self._read_reg(instr.rd))
+        self.pc += 1
+
+    def _op_B(self, instr):
+        fn = alu_semantics(instr.op)
+        taken = fn(self._read_reg(instr.rs1), self._read_reg(instr.rs2))
+        self.pc = instr.target if taken else self.pc + 1
+
+    def _op_J(self, instr):
+        if instr.op == "j":
+            self.pc = instr.target
+            return
+        # call: fresh context for the callee (paper §4.3).
+        caller = self.regfile.current_cid
+        self._return_stack.append((self.pc + 1, caller))
+        cid = self.regfile.begin_context()
+        result = self.regfile.switch_to(cid)
+        if result.stalled:
+            self._charge_regfile(result)
+        self.pc = instr.target
+
+    def _op_U(self, instr):
+        if instr.op == "rfree":
+            self.regfile.free_register(instr.rd)
+        else:  # out
+            self.output.append(self._read_reg(instr.rd))
+        self.pc += 1
+
+    def _op_N(self, instr):
+        if instr.op == "halt":
+            self.halted = True
+            return
+        if instr.op == "ret":
+            finished = self.regfile.current_cid
+            self.regfile.end_context(finished)
+            if not self._return_stack:
+                self.halted = True
+                return
+            self.pc, caller = self._return_stack.pop()
+            result = self.regfile.switch_to(caller)
+            if result.stalled:
+                self._charge_regfile(result)
+            return
+        self.pc += 1  # nop

@@ -1,0 +1,185 @@
+"""A block-multithreaded CPU (§3 of the paper, at the ISA level).
+
+The multithreaded processors the paper targets — Sparcle, APRIL, the
+J-Machine's MDP — hold several hardware thread slots and switch when
+the running thread stalls.  :class:`MultithreadedCPU` executes several
+compiled programs (or several entry points of one program) over a
+*single shared register file*:
+
+* each hardware thread has its own pc, stack pointer, call stack and
+  Context-ID chain;
+* the scheduler runs a thread until it stalls — a register-file miss
+  (spill/reload traffic) or an explicit ``yield`` — then rotates to
+  the next runnable thread, exactly the block-multithreading regime of
+  Figure 1;
+* with the NSF underneath, thread switches move no registers; with a
+  segmented file every rotation beyond the frame count swaps frames.
+
+This is the second, ISA-level front-end for the paper's parallel
+story: the first (the generator-based runtime) drives models from
+Python threads, this one from real compiled instructions.
+
+``nop`` doubles as the explicit ``yield`` hint when
+``yield_on_nop=True`` (compilers for multithreaded machines emit
+switch hints at long-latency points).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.activation.memory import Memory
+from repro.cpu.cache import DirectMappedCache
+from repro.cpu.core import CPU, STACK_TOP
+from repro.errors import MachineError
+
+
+@dataclass
+class HardwareThread:
+    """Architectural state of one hardware thread slot."""
+
+    slot: int
+    program: object
+    pc: int = 0
+    sp: int = STACK_TOP
+    halted: bool = False
+    return_stack: list = field(default_factory=list)
+    current_cid: object = None
+    instructions: int = 0
+    switches_in: int = 0
+
+
+@dataclass
+class MTResult:
+    """Outcome of a multithreaded run."""
+
+    outputs: list          # per-thread output lists
+    instructions: int
+    cycles: int
+    thread_switches: int
+
+    @property
+    def return_values(self):
+        return [out[-1] if out else None for out in self.outputs]
+
+
+class MultithreadedCPU(CPU):
+    """N hardware threads over one shared register file."""
+
+    def __init__(self, programs, regfile, memory=None, cache=None,
+                 stack_spacing=0x1000, max_steps=5_000_000,
+                 yield_on_nop=False, quantum=None,
+                 spill_via_cache=False):
+        if not programs:
+            raise ValueError("need at least one program")
+        # Initialize the base CPU around the first program, then build
+        # the per-thread state for all of them.
+        super().__init__(programs[0], regfile, memory=memory,
+                         cache=cache, max_steps=max_steps,
+                         spill_via_cache=spill_via_cache)
+        self.yield_on_nop = yield_on_nop
+        #: optional instruction quantum per scheduling slice
+        self.quantum = quantum
+        self.threads = []
+        self.thread_switches = 0
+        self._outputs = []
+        for slot, program in enumerate(programs):
+            thread = HardwareThread(
+                slot=slot, program=program, pc=program.entry,
+                sp=STACK_TOP - slot * stack_spacing,
+            )
+            if slot == 0:
+                thread.current_cid = self.regfile.current_cid
+            else:
+                thread.current_cid = self.regfile.begin_context()
+            self.threads.append(thread)
+            self._outputs.append([])
+        self._current = self.threads[0]
+        self._stall_flag = False
+        self._load_thread(self.threads[0])
+
+    # -- state swap --------------------------------------------------------
+
+    def _save_thread(self, thread):
+        thread.pc = self.pc
+        thread.sp = self.sp
+        thread.halted = self.halted
+        thread.return_stack = self._return_stack
+        thread.current_cid = self.regfile.current_cid
+
+    def _load_thread(self, thread):
+        self.pc = thread.pc
+        self.sp = thread.sp
+        self.halted = thread.halted
+        self.program = thread.program
+        self._return_stack = thread.return_stack
+        self.output = self._outputs[thread.slot]
+        self._current = thread
+        if thread.current_cid is not None:
+            result = self.regfile.switch_to(thread.current_cid)
+            if result.stalled:
+                # Frame restore on the way in (segmented files); the
+                # run loop clears the stall flag right after loading.
+                self._charge_regfile(result)
+
+    # -- stall detection -----------------------------------------------------
+
+    def _charge_regfile(self, result):
+        super()._charge_regfile(result)
+        if result.reloaded or result.spilled or result.switch_miss:
+            self._stall_flag = True
+
+    def _op_N(self, instr):
+        if instr.op == "nop" and self.yield_on_nop:
+            self._stall_flag = True
+        super()._op_N(instr)
+
+    # -- the scheduler ---------------------------------------------------------
+
+    def run(self):
+        """Run until every hardware thread halts."""
+        steps = 0
+        slice_length = 0
+        while True:
+            runnable = [t for t in self.threads if not t.halted]
+            self._save_thread(self._current)
+            if not runnable:
+                break
+            if self._current.halted or self._stall_flag or (
+                    self.quantum and slice_length >= self.quantum):
+                nxt = self._next_thread(runnable)
+                if nxt is not self._current:
+                    self._save_thread(self._current)
+                    self._load_thread(nxt)
+                    nxt.switches_in += 1
+                    self.thread_switches += 1
+                self._stall_flag = False
+                slice_length = 0
+            if self.halted:
+                # Only halted threads remain schedulable in this state;
+                # loop to find a runnable one.
+                if all(t.halted for t in self.threads):
+                    break
+                self._stall_flag = True
+                continue
+            if steps >= self.max_steps:
+                raise MachineError(
+                    f"exceeded {self.max_steps} steps "
+                    "(runaway multithreaded program?)"
+                )
+            self.step()
+            self._current.instructions += 1
+            steps += 1
+            slice_length += 1
+        return MTResult(
+            outputs=[list(out) for out in self._outputs],
+            instructions=self.instructions,
+            cycles=self.cycles,
+            thread_switches=self.thread_switches,
+        )
+
+    def _next_thread(self, runnable):
+        """Round-robin starting after the current slot."""
+        start = self._current.slot
+        ordered = sorted(runnable, key=lambda t: (
+            (t.slot - start - 1) % len(self.threads)
+        ))
+        return ordered[0]

@@ -1,0 +1,84 @@
+"""A 5-stage in-order pipeline timing model.
+
+Refines the base CPU's one-cycle-per-instruction accounting with the
+classic RISC hazards:
+
+* **load-use** — an instruction reading the destination of the
+  immediately preceding ``lw`` stalls one cycle (no forwarding from
+  MEM to EX in time);
+* **taken branches** — flush penalty (the paper's era predates
+  sophisticated predictors; fall-through is the implicit prediction);
+* **call/ret** — pipeline refill after the control transfer.
+
+Functional behaviour is identical to :class:`repro.cpu.core.CPU`; only
+the cycle count changes, so workload verification carries over.  The
+register-file model's spill/reload stalls are charged as in the base
+CPU — they serialize with EX, which is what makes register misses
+visible end-to-end.
+"""
+
+from repro.cpu.core import CPU
+from repro.isa.registers import is_context_register
+
+
+class PipelinedCPU(CPU):
+    """5-stage pipeline timing over the same ISA semantics."""
+
+    LOAD_USE_BUBBLE = 1
+    BRANCH_TAKEN_PENALTY = 2
+    CALL_RET_PENALTY = 2
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._last_load_dest = None
+        self.load_use_stalls = 0
+        self.control_stalls = 0
+
+    def step(self):
+        if self.halted:
+            return
+        instr = None
+        if 0 <= self.pc < len(self.program.instructions):
+            instr = self.program.instructions[self.pc]
+        if instr is not None:
+            self._account_hazards(instr)
+        super().step()
+
+    def _account_hazards(self, instr):
+        # Load-use interlock: the previous lw's destination is a source.
+        if self._last_load_dest is not None:
+            if self._last_load_dest in instr.reads():
+                self.cycles += self.LOAD_USE_BUBBLE
+                self.load_use_stalls += 1
+        if instr.op == "lw" and is_context_register(instr.rd):
+            self._last_load_dest = instr.rd
+        else:
+            self._last_load_dest = None
+
+        # Control transfers: charge the refill when the transfer is
+        # architecturally certain (call/ret/j) and, for conditional
+        # branches, when taken (checked by comparing pc after execute —
+        # handled in _op_B below).
+        if instr.op in ("j", "call"):
+            self.cycles += self.CALL_RET_PENALTY
+            self.control_stalls += 1
+        elif instr.op == "ret":
+            self.cycles += self.CALL_RET_PENALTY
+            self.control_stalls += 1
+
+    def _op_B(self, instr):
+        before = self.pc
+        super()._op_B(instr)
+        if self.pc != before + 1:  # branch taken
+            self.cycles += self.BRANCH_TAKEN_PENALTY
+            self.control_stalls += 1
+            self._last_load_dest = None
+
+    def _op_J(self, instr):
+        super()._op_J(instr)
+        self._last_load_dest = None
+
+    def _op_N(self, instr):
+        super()._op_N(instr)
+        if instr.op == "ret":
+            self._last_load_dest = None

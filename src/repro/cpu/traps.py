@@ -1,0 +1,81 @@
+"""Software spill/reload trap execution (the paper's Fig 14 SW variant).
+
+The paper's software alternative handles window overflow/underflow the
+way a Sparc does: a trap handler executes one store per spilled
+register and one load per reloaded register, plus trap entry/exit.
+The cost models price this analytically; this unit *executes* it — a
+synthetic handler runs on the CPU, issuing real instructions whose
+memory traffic goes through the data cache at the registers' actual
+Ctable addresses.
+
+Comparing the measured overhead against ``SEGMENT_SW_COSTS`` validates
+the analytic model (see ``benchmarks/bench_software_traps.py``).
+
+Handler shape per trapped switch::
+
+    trap entry          ENTRY_INSTRUCTIONS  (save PSW, compute base)
+    per spilled reg     2 instructions      (address arithmetic + sw)
+    per reloaded reg    2 instructions      (address arithmetic + lw)
+    trap exit           EXIT_INSTRUCTIONS   (restore PSW, retry)
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TrapStats:
+    """What the trap unit executed."""
+
+    traps: int = 0
+    instructions: int = 0
+    cycles: int = 0
+    registers_stored: int = 0
+    registers_loaded: int = 0
+
+
+class SoftwareTrapUnit:
+    """Executes synthetic window-trap handlers on behalf of a CPU."""
+
+    ENTRY_INSTRUCTIONS = 6
+    EXIT_INSTRUCTIONS = 4
+    #: per-register handler instructions (address arithmetic + memory op)
+    PER_REGISTER_INSTRUCTIONS = 2
+
+    def __init__(self, cpu):
+        self.cpu = cpu
+        self.stats = TrapStats()
+
+    def handle(self, result):
+        """Run the handler for one switch miss; charges the CPU."""
+        moved_out = result.moved_out or ()
+        moved_in = result.moved_in or ()
+        if not moved_out and not moved_in and not result.switch_miss:
+            return
+        self.stats.traps += 1
+        self._issue(self.ENTRY_INSTRUCTIONS)
+        backing = self.cpu.regfile.backing
+        for cid, offset in moved_out:
+            self._issue(self.PER_REGISTER_INSTRUCTIONS)
+            self.cpu.cycles += self.cpu.cache.access(
+                backing.address_of(cid, offset)
+            )
+            self.stats.registers_stored += 1
+        for cid, offset in moved_in:
+            self._issue(self.PER_REGISTER_INSTRUCTIONS)
+            self.cpu.cycles += self.cpu.cache.access(
+                backing.address_of(cid, offset)
+            )
+            self.stats.registers_loaded += 1
+        self._issue(self.EXIT_INSTRUCTIONS)
+
+    def _issue(self, count):
+        """Execute ``count`` handler instructions on the host CPU."""
+        self.cpu.instructions += count
+        self.cpu.cycles += count
+        self.cpu.regfile.tick(count)
+        self.stats.instructions += count
+        self.stats.cycles += count
+
+    @property
+    def overhead_instructions(self):
+        return self.stats.instructions

@@ -1,0 +1,91 @@
+"""Exception hierarchy for the NSF reproduction library."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class RegisterFileError(ReproError):
+    """Base class for register-file model errors."""
+
+
+class UnknownContextError(RegisterFileError):
+    """An operation referenced a context id that was never created."""
+
+    def __init__(self, cid):
+        super().__init__(f"unknown context id: {cid!r}")
+        self.cid = cid
+
+
+class DuplicateContextError(RegisterFileError):
+    """A context id was created twice without being destroyed."""
+
+    def __init__(self, cid):
+        super().__init__(f"context id already exists: {cid!r}")
+        self.cid = cid
+
+
+class NoCurrentContextError(RegisterFileError):
+    """A register access happened before any context was made current."""
+
+    def __init__(self):
+        super().__init__("no current context: call switch_to() first")
+
+
+class ReadBeforeWriteError(RegisterFileError):
+    """A register was read before it was ever written (strict mode only)."""
+
+    def __init__(self, cid, offset):
+        super().__init__(
+            f"register r{offset} of context {cid!r} read before first write"
+        )
+        self.cid = cid
+        self.offset = offset
+
+
+class RegisterRangeError(RegisterFileError):
+    """A register offset fell outside the context's register set."""
+
+    def __init__(self, offset, context_size):
+        super().__init__(
+            f"register offset {offset} out of range for a "
+            f"{context_size}-register context"
+        )
+        self.offset = offset
+        self.context_size = context_size
+
+
+class CapacityError(RegisterFileError):
+    """A configuration cannot hold even a single context or line."""
+
+
+class AssemblerError(ReproError):
+    """Raised for malformed assembly input."""
+
+    def __init__(self, message, line=None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class CompileError(ReproError):
+    """Raised for errors in mini-language source programs."""
+
+    def __init__(self, message, line=None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class MachineError(ReproError):
+    """Raised for run-time faults in the CPU simulator."""
+
+
+class RuntimeModelError(ReproError):
+    """Raised for misuse of the threaded runtime (e.g. joining twice)."""
+
+
+class DeadlockError(RuntimeModelError):
+    """The thread scheduler found runnable work impossible to make progress."""

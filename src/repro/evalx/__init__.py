@@ -1,0 +1,50 @@
+"""Experiment harness: one module per table/figure of the paper."""
+
+from repro.evalx import (
+    claims,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    profile,
+    table1,
+)
+from repro.evalx.tables import ExperimentTable
+
+#: registry of every reproducible table and figure
+EXPERIMENTS = {
+    "table1": table1.run,
+    "fig05": fig05.run,
+    "fig06": fig06.run,
+    "fig07": fig07.run,
+    "fig08": fig08.run,
+    "fig09": fig09.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "fig14": fig14.run,
+    "claims": claims.run,
+    "profile": profile.run,
+}
+
+
+def run_experiment(name, scale=1.0, seed=1):
+    """Run one experiment by registry name; returns an ExperimentTable."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; expected one of "
+            f"{sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(scale=scale, seed=seed)
+
+
+__all__ = ["EXPERIMENTS", "ExperimentTable", "run_experiment"]

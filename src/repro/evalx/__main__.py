@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.evalx``."""
+
+import sys
+
+from repro.evalx.report import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,167 @@
+"""ASCII charts for the figure experiments.
+
+The paper's evaluation is mostly *figures*; these renderers turn an
+:class:`ExperimentTable` series into terminal graphics — horizontal
+bars for per-application comparisons (Figs 9, 10, 14) and multi-series
+line plots for the sweeps (Figs 11, 12, 13), with optional log-scale
+y-axes for the traffic plots.
+"""
+
+import math
+
+BAR_FILL = "#"
+SERIES_MARKS = "ox*+@%&"
+
+
+def bar_chart(labels, values, width=48, title="", unit=""):
+    """Horizontal bar chart; returns the rendered string."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    lines = []
+    if title:
+        lines.append(title)
+    if not values:
+        return "\n".join(lines + ["(no data)"])
+    peak = max(max(values), 1e-12)
+    label_width = max(len(str(label)) for label in labels)
+    for label, value in zip(labels, values):
+        filled = int(round(width * value / peak))
+        bar = BAR_FILL * filled
+        lines.append(
+            f"{str(label):>{label_width}s} |{bar:<{width}s}| "
+            f"{value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def line_chart(x_values, series, width=60, height=14, title="",
+               log_y=False, y_label=""):
+    """Multi-series line plot.
+
+    ``series`` maps name → list of y values (aligned with
+    ``x_values``).  With ``log_y``, zero/negative points are plotted on
+    the bottom axis.  Returns the rendered string.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(f"series {name!r} length mismatch")
+
+    def transform(value):
+        if not log_y:
+            return value
+        return math.log10(value) if value > 0 else None
+
+    points = {}
+    transformed = []
+    for ys in series.values():
+        transformed.extend(t for y in ys if (t := transform(y)) is not None)
+    if not transformed:
+        transformed = [0.0]
+    y_low, y_high = min(transformed), max(transformed)
+    if y_high == y_low:
+        y_high = y_low + 1.0
+    x_low, x_high = min(x_values), max(x_values)
+    if x_high == x_low:
+        x_high = x_low + 1
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, ys) in enumerate(series.items()):
+        mark = SERIES_MARKS[index % len(SERIES_MARKS)]
+        for x, y in zip(x_values, ys):
+            t = transform(y)
+            col = int((x - x_low) / (x_high - x_low) * (width - 1))
+            if t is None:
+                row = height - 1
+            else:
+                row = int(
+                    (y_high - t) / (y_high - y_low) * (height - 1)
+                )
+            grid[row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    top = f"{(10 ** y_high if log_y else y_high):.4g}"
+    bottom = f"{(10 ** y_low if log_y else y_low):.4g}"
+    gutter = max(len(top), len(bottom), len(y_label)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top.rjust(gutter)
+        elif row_index == height - 1:
+            prefix = bottom.rjust(gutter)
+        elif row_index == height // 2 and y_label:
+            prefix = y_label.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix} |{''.join(row)}|")
+    axis = f"{' ' * gutter} +{'-' * width}+"
+    lines.append(axis)
+    lines.append(f"{' ' * gutter}  {x_low:<10g}{'':^{max(0, width - 22)}}"
+                 f"{x_high:>10g}")
+    legend = "   ".join(
+        f"{SERIES_MARKS[i % len(SERIES_MARKS)]} = {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(f"{' ' * gutter}  {legend}")
+    if log_y:
+        lines.append(f"{' ' * gutter}  (log scale; zeros on the axis)")
+    return "\n".join(lines)
+
+
+def chart_for(table):
+    """Best-effort chart for a known figure table (None if no mapping)."""
+    experiment = table.experiment
+    if experiment == "Figure 10":
+        labels = table.column("Benchmark")
+        return bar_chart(
+            labels, table.column("Segment %"), unit="%",
+            title="Figure 10: segmented reloads per instruction "
+                  "(NSF values are ~0)",
+        )
+    if experiment == "Figure 9":
+        return bar_chart(
+            table.column("Benchmark"), table.column("NSF avg %"),
+            unit="%", title="Figure 9: NSF average occupancy",
+        )
+    if experiment == "Figure 12":
+        return line_chart(
+            table.column("Frames"),
+            {
+                "Seq NSF": table.column("Seq NSF %"),
+                "Seq Segment": table.column("Seq Segment %"),
+                "Par NSF": table.column("Par NSF %"),
+                "Par Segment": table.column("Par Segment %"),
+            },
+            log_y=True, y_label="%instr",
+            title="Figure 12: reloads vs file size (frames)",
+        )
+    if experiment == "Figure 11":
+        return line_chart(
+            table.column("Frames"),
+            {
+                "Seq NSF": table.column("Seq NSF"),
+                "Seq Segment": table.column("Seq Segment"),
+                "Par NSF": table.column("Par NSF"),
+                "Par Segment": table.column("Par Segment"),
+            },
+            y_label="contexts",
+            title="Figure 11: resident contexts vs file size",
+        )
+    if experiment == "Figure 13":
+        par_rows = [r for r in table.rows if r[0] == "Parallel"]
+        full = table.headers.index("Reload %")
+        live = table.headers.index("Live reload %")
+        active = table.headers.index("Active reload %")
+        return line_chart(
+            [r[1] for r in par_rows],
+            {
+                "reload": [r[full] for r in par_rows],
+                "live": [r[live] for r in par_rows],
+                "active": [r[active] for r in par_rows],
+            },
+            log_y=True, y_label="%instr",
+            title="Figure 13 (parallel): reloads vs line size",
+        )
+    return None

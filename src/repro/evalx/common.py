@@ -1,0 +1,53 @@
+"""Shared configuration for the experiment harness.
+
+The paper's §7 simulation setup:
+
+* sequential programs: 20-register contexts, 80-register files;
+* parallel programs: 32-register contexts, 128-register files;
+* the segmented baseline has 4 equal frames;
+* the NSF is organized with one register per line, LRU victims.
+"""
+
+from repro.core import NamedStateRegisterFile, SegmentedRegisterFile
+
+SEQ_REGISTERS = 80
+PAR_REGISTERS = 128
+
+#: the two representative applications of §7.2
+REPRESENTATIVE_SEQUENTIAL = "GateSim"
+REPRESENTATIVE_PARALLEL = "Gamteb"
+
+
+def registers_for(workload):
+    return SEQ_REGISTERS if workload.kind == "sequential" else PAR_REGISTERS
+
+
+def make_nsf(workload, num_registers=None, line_size=1, **kw):
+    """The paper's default NSF for a workload's register budget."""
+    return NamedStateRegisterFile(
+        num_registers=num_registers or registers_for(workload),
+        context_size=workload.context_size,
+        line_size=line_size,
+        **kw,
+    )
+
+
+def make_segmented(workload, num_registers=None, **kw):
+    """The paper's default segmented file (frames = context size)."""
+    return SegmentedRegisterFile(
+        num_registers=num_registers or registers_for(workload),
+        context_size=workload.context_size,
+        **kw,
+    )
+
+
+def run_pair(workload, scale=1.0, seed=1, num_registers=None,
+             nsf_kwargs=None, seg_kwargs=None):
+    """Run one workload on a fresh NSF and segmented file; return stats."""
+    nsf = make_nsf(workload, num_registers=num_registers,
+                   **(nsf_kwargs or {}))
+    seg = make_segmented(workload, num_registers=num_registers,
+                         **(seg_kwargs or {}))
+    workload.run(nsf, scale=scale, seed=seed)
+    workload.run(seg, scale=scale, seed=seed)
+    return nsf.stats, seg.stats

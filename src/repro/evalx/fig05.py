@@ -1,0 +1,50 @@
+"""Figure 5: the prototype Named-State Register File chip.
+
+The paper's Figure 5 is a die photograph of the proof-of-concept chip:
+a 32-bit × 32-line register array with a 10-bit fully-associative
+decoder, two read ports and one write port, fabricated in 2 µm CMOS
+"to validate area and speed estimates of different NSF organizations".
+We cannot print a die photo, but we can report what our calibrated
+models predict for exactly that configuration — the reproduction's
+analogue of validating against the prototype.
+"""
+
+from repro.evalx.tables import ExperimentTable
+from repro.hw import (
+    CMOS_2000NM,
+    estimate_access_time,
+    estimate_area,
+    prototype_geometry,
+)
+
+
+def run(scale=1.0, seed=1):
+    geometry = prototype_geometry()
+    area = estimate_area(geometry, CMOS_2000NM)
+    timing = estimate_access_time(geometry, CMOS_2000NM)
+    table = ExperimentTable(
+        experiment="Figure 5",
+        title="Prototype NSF chip (2um CMOS) — model predictions",
+        headers=["Property", "Value"],
+        notes="the paper validated its estimates against this chip; "
+              "we report the calibrated models' predictions for the "
+              "same configuration",
+    )
+    table.add_row("Organization", geometry.label())
+    table.add_row("Registers", geometry.registers)
+    table.add_row("Decoder tag width (bits)", geometry.tag_bits)
+    table.add_row("Ports (R/W)",
+                  f"{geometry.read_ports}R{geometry.write_ports}W")
+    table.add_row("Process", CMOS_2000NM.name)
+    table.add_row("Predicted area (mm^2)", round(area.total / 1e6, 2))
+    table.add_row("  decode share %",
+                  round(100 * area.decode / area.total, 1))
+    table.add_row("  valid/miss logic share %",
+                  round(100 * area.logic / area.total, 1))
+    table.add_row("  data array share %",
+                  round(100 * area.darray / area.total, 1))
+    table.add_row("Predicted access time (ns)", round(timing.total, 1))
+    table.add_row("  decode (ns)", round(timing.decode, 2))
+    table.add_row("  word select (ns)", round(timing.word_select, 2))
+    table.add_row("  data read (ns)", round(timing.data_read, 2))
+    return table

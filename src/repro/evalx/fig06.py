@@ -1,0 +1,31 @@
+"""Figure 6: access times of segmented and Named-State register files.
+
+Decode / word-select / data-read breakdown for 32b×128 and 64b×64
+files (two read ports, one write port) in the 1.2 µm process.
+"""
+
+from repro.evalx.tables import ExperimentTable
+from repro.hw import estimate_access_time, paper_geometries
+
+
+def run(scale=1.0, seed=1):
+    table = ExperimentTable(
+        experiment="Figure 6",
+        title="Access time of register files (ns, 1.2um CMOS)",
+        headers=["Organization", "Decode", "Word select", "Data read",
+                 "Total", "vs Segment"],
+        notes="paper: NSF access 5-6% slower than segmented",
+    )
+    segs = paper_geometries("segmented")
+    nsfs = paper_geometries("nsf")
+    for seg_geom, nsf_geom in zip(segs, nsfs):
+        seg = estimate_access_time(seg_geom)
+        nsf = estimate_access_time(nsf_geom)
+        table.add_row(seg_geom.label(), round(seg.decode, 2),
+                      round(seg.word_select, 2), round(seg.data_read, 2),
+                      round(seg.total, 2), "1.000x")
+        table.add_row(nsf_geom.label(), round(nsf.decode, 2),
+                      round(nsf.word_select, 2), round(nsf.data_read, 2),
+                      round(nsf.total, 2),
+                      f"{nsf.total / seg.total:.3f}x")
+    return table

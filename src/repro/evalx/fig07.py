@@ -1,0 +1,39 @@
+"""Figure 7: relative area of segmented and NSF files (3 ports).
+
+Decode / logic / data-array breakdown plus the NSF:segment area ratio,
+for one write and two read ports in 1.2 µm CMOS.
+"""
+
+from repro.evalx.tables import ExperimentTable
+from repro.hw import estimate_area, paper_geometries
+
+
+def _fill(table, read_ports, write_ports):
+    segs = paper_geometries("segmented", read_ports=read_ports,
+                            write_ports=write_ports)
+    nsfs = paper_geometries("nsf", read_ports=read_ports,
+                            write_ports=write_ports)
+    for seg_geom, nsf_geom in zip(segs, nsfs):
+        seg = estimate_area(seg_geom)
+        nsf = estimate_area(nsf_geom)
+        for report, geom in ((seg, seg_geom), (nsf, nsf_geom)):
+            table.add_row(
+                geom.label(),
+                round(report.decode / 1e6, 3),
+                round(report.logic / 1e6, 3),
+                round(report.darray / 1e6, 3),
+                round(report.total / 1e6, 3),
+                f"{report.total / seg.total * 100:.0f}%",
+            )
+    return table
+
+
+def run(scale=1.0, seed=1):
+    table = ExperimentTable(
+        experiment="Figure 7",
+        title="Area of register files, 1W2R ports (1e6 um^2, 1.2um)",
+        headers=["Organization", "Decode", "Logic", "Darray", "Total",
+                 "Ratio"],
+        notes="paper: NSF +54% (32x128) and +30% (64x64) over segmented",
+    )
+    return _fill(table, read_ports=2, write_ports=1)

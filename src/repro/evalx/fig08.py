@@ -1,0 +1,20 @@
+"""Figure 8: area of six-ported register files (2 write, 4 read).
+
+As ports are added the shared data array grows quadratically while the
+NSF's decoder/logic overhead grows only linearly, so the NSF's relative
+cost shrinks.
+"""
+
+from repro.evalx.fig07 import _fill
+from repro.evalx.tables import ExperimentTable
+
+
+def run(scale=1.0, seed=1):
+    table = ExperimentTable(
+        experiment="Figure 8",
+        title="Area of register files, 2W4R ports (1e6 um^2, 1.2um)",
+        headers=["Organization", "Decode", "Logic", "Darray", "Total",
+                 "Ratio"],
+        notes="paper: NSF +28% (32x128) and +16% (64x64) over segmented",
+    )
+    return _fill(table, read_ports=4, write_ports=2)

@@ -1,0 +1,63 @@
+"""Figure 14: register spill/reload overhead as % of execution time.
+
+Aggregates every sequential benchmark ("Serial") and every parallel
+benchmark ("Parallel"), prices the recorded events under three cost
+models — the NSF, a segmented file with hardware-assisted spilling, and
+a segmented file using software trap handlers — and reports overhead as
+a fraction of total cycles, plus the NSF's end-to-end speedup over each
+segmented variant (§8: the paper reports 9-18% sequential and 17-35%
+parallel speedups).
+
+All register files hold 128 registers, as in the paper's Figure 14.
+"""
+
+from repro.core import (
+    NSF_COSTS,
+    SEGMENT_HW_COSTS,
+    SEGMENT_SW_COSTS,
+    speedup,
+)
+from repro.evalx.common import run_pair
+from repro.evalx.tables import ExperimentTable
+from repro.workloads import PARALLEL_WORKLOADS, SEQUENTIAL_WORKLOADS
+
+FIG14_REGISTERS = 128
+
+
+def _aggregate(workload_classes, scale, seed):
+    nsf_total = None
+    seg_total = None
+    for workload_cls in workload_classes:
+        workload = workload_cls()
+        nsf, seg = run_pair(workload, scale=scale, seed=seed,
+                            num_registers=FIG14_REGISTERS)
+        nsf_total = nsf if nsf_total is None else nsf_total + nsf
+        seg_total = seg if seg_total is None else seg_total + seg
+    return nsf_total, seg_total
+
+
+def run(scale=1.0, seed=1):
+    table = ExperimentTable(
+        experiment="Figure 14",
+        title="Register spill/reload overhead as % of execution time",
+        headers=["Workload class", "NSF %", "Segment HW %",
+                 "Segment SW %", "NSF speedup vs HW %",
+                 "NSF speedup vs SW %"],
+        notes="paper: serial 0.01 / 8.5 / 15.5; parallel 12.1 / 26.7 / "
+              "38.1; all files hold 128 registers",
+    )
+    for label, classes in (("Serial", SEQUENTIAL_WORKLOADS),
+                           ("Parallel", PARALLEL_WORKLOADS)):
+        nsf, seg = _aggregate(classes, scale, seed)
+        nsf_cycles = NSF_COSTS.total_cycles(nsf)
+        hw_cycles = SEGMENT_HW_COSTS.total_cycles(seg)
+        sw_cycles = SEGMENT_SW_COSTS.total_cycles(seg)
+        table.add_row(
+            label,
+            round(100 * NSF_COSTS.overhead_fraction(nsf), 2),
+            round(100 * SEGMENT_HW_COSTS.overhead_fraction(seg), 2),
+            round(100 * SEGMENT_SW_COSTS.overhead_fraction(seg), 2),
+            round(speedup(hw_cycles, nsf_cycles), 1),
+            round(speedup(sw_cycles, nsf_cycles), 1),
+        )
+    return table

@@ -1,0 +1,90 @@
+"""Golden-result regression harness.
+
+Every experiment here is deterministic (seeded inputs, no wall-clock),
+so its table can be locked as a *golden* JSON file.  Any code change
+that shifts a measured number — intentionally or not — shows up as an
+exact diff against the goldens, the standard guard-rail for simulator
+codebases.
+
+* ``write_goldens(directory)`` regenerates and stores every table;
+* ``compare_goldens(directory)`` re-runs and reports deviations;
+* CLI: ``python -m repro.evalx --write-goldens`` /
+  ``--check-goldens``.
+
+Goldens are recorded at a fixed reduced scale so the check stays fast.
+"""
+
+import json
+import pathlib
+
+GOLDEN_SCALE = 0.35
+GOLDEN_SEED = 11
+
+#: default location, under version control
+DEFAULT_DIR = (pathlib.Path(__file__).resolve().parent.parent.parent
+               .parent / "benchmarks" / "golden")
+
+
+def _tables(scale, seed):
+    from repro.evalx import EXPERIMENTS, run_experiment
+
+    for name in sorted(EXPERIMENTS):
+        yield name, run_experiment(name, scale=scale, seed=seed)
+
+
+def write_goldens(directory=DEFAULT_DIR, scale=GOLDEN_SCALE,
+                  seed=GOLDEN_SEED):
+    """Regenerate every experiment and store the tables as JSON."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, table in _tables(scale, seed):
+        payload = {"scale": scale, "seed": seed, **table.to_dict()}
+        path = directory / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True))
+        written.append(path)
+    return written
+
+
+def compare_goldens(directory=DEFAULT_DIR):
+    """Re-run every experiment against its golden; returns deviations.
+
+    Each deviation is a human-readable string; an empty list means the
+    build reproduces its locked results exactly.
+    """
+    directory = pathlib.Path(directory)
+    deviations = []
+    goldens = sorted(directory.glob("*.json"))
+    if not goldens:
+        return [f"no goldens found in {directory} "
+                "(run --write-goldens first)"]
+    from repro.evalx import EXPERIMENTS, run_experiment
+
+    recorded_names = {path.stem for path in goldens}
+    for missing in sorted(set(EXPERIMENTS) - recorded_names):
+        deviations.append(f"{missing}: experiment has no golden")
+    for path in goldens:
+        name = path.stem
+        if name not in EXPERIMENTS:
+            deviations.append(f"{name}: golden for unknown experiment")
+            continue
+        stored = json.loads(path.read_text())
+        table = run_experiment(name, scale=stored["scale"],
+                               seed=stored["seed"])
+        fresh = table.to_dict()
+        if fresh["headers"] != stored["headers"]:
+            deviations.append(f"{name}: headers changed")
+            continue
+        if len(fresh["rows"]) != len(stored["rows"]):
+            deviations.append(
+                f"{name}: row count {len(stored['rows'])} -> "
+                f"{len(fresh['rows'])}"
+            )
+            continue
+        for row_index, (old, new) in enumerate(
+                zip(stored["rows"], fresh["rows"])):
+            if old != new:
+                deviations.append(
+                    f"{name} row {row_index}: {old} -> {new}"
+                )
+    return deviations

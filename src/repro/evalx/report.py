@@ -1,0 +1,84 @@
+"""Run every experiment and render a combined report.
+
+``python -m repro.evalx`` prints all tables; ``--experiment fig10``
+runs one; ``--scale`` trades fidelity for speed.
+"""
+
+import argparse
+import time
+
+from repro.evalx import EXPERIMENTS, run_experiment
+
+
+def run_all(scale=1.0, seed=1, stream=None):
+    """Run every registered experiment; returns {name: ExperimentTable}."""
+    results = {}
+    for name in EXPERIMENTS:
+        start = time.time()
+        table = run_experiment(name, scale=scale, seed=seed)
+        results[name] = table
+        if stream is not None:
+            stream.write(table.render())
+            stream.write(f"\n[{name} in {time.time() - start:.1f}s]\n\n")
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures."
+    )
+    parser.add_argument("--experiment", choices=sorted(EXPERIMENTS),
+                        help="run a single experiment")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor (default 1.0)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--format", choices=["table", "csv", "markdown"],
+                        default="table")
+    parser.add_argument("--charts", action="store_true",
+                        help="render ASCII charts for figure experiments")
+    parser.add_argument("--write-goldens", action="store_true",
+                        help="lock every experiment's current results")
+    parser.add_argument("--check-goldens", action="store_true",
+                        help="verify results match the locked goldens")
+    args = parser.parse_args(argv)
+
+    import sys
+    if args.write_goldens:
+        from repro.evalx.golden import write_goldens
+        for path in write_goldens():
+            print(f"wrote {path}")
+        return 0
+    if args.check_goldens:
+        from repro.evalx.golden import compare_goldens
+        deviations = compare_goldens()
+        if deviations:
+            for deviation in deviations:
+                print(f"DEVIATION: {deviation}")
+            return 1
+        print("all experiments match their goldens")
+        return 0
+    renderers = {
+        "table": lambda t: t.render(),
+        "csv": lambda t: t.to_csv(),
+        "markdown": lambda t: t.to_markdown(),
+    }
+    render = renderers[args.format]
+    if args.experiment:
+        table = run_experiment(args.experiment, scale=args.scale,
+                               seed=args.seed)
+        print(render(table))
+        if args.charts:
+            from repro.evalx.charts import chart_for
+            chart = chart_for(table)
+            if chart:
+                print()
+                print(chart)
+    elif args.format in ("csv", "markdown"):
+        for name in EXPERIMENTS:
+            table = run_experiment(name, scale=args.scale, seed=args.seed)
+            if args.format == "csv":
+                print(f"# {table.experiment}: {table.title}")
+            print(render(table))
+    else:
+        run_all(scale=args.scale, seed=args.seed, stream=sys.stdout)
+    return 0

@@ -1,0 +1,39 @@
+"""Table 1: characteristics of the benchmark programs.
+
+The paper reports, per benchmark: source lines, static instructions of
+the translated program, instructions executed by the simulator, and the
+average number of instructions between context switches.  We measure
+the same quantities over our implementations (see DESIGN.md for the
+static-metric substitution).
+"""
+
+from repro.evalx.common import make_nsf
+from repro.evalx.tables import ExperimentTable
+from repro.workloads import ALL_WORKLOADS
+
+
+def run(scale=1.0, seed=1):
+    table = ExperimentTable(
+        experiment="Table 1",
+        title="Characteristics of benchmark programs",
+        headers=["Benchmark", "Type", "Source lines", "Static instr",
+                 "Instructions executed", "Avg instr per switch"],
+        notes="static instr = Python bytecode of the benchmark module; "
+              "executed instr at harness scale "
+              f"{scale} (the paper ran full-size inputs)",
+    )
+    for workload_cls in ALL_WORKLOADS:
+        workload = workload_cls()
+        static = workload.static_metrics()
+        nsf = make_nsf(workload)
+        workload.run(nsf, scale=scale, seed=seed)
+        stats = nsf.stats
+        table.add_row(
+            workload.name,
+            workload.kind.capitalize(),
+            static["source_lines"],
+            static["static_instructions"],
+            stats.instructions,
+            round(stats.instructions_per_switch, 1),
+        )
+    return table

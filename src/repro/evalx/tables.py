@@ -1,0 +1,109 @@
+"""Result tables for the experiment harness.
+
+Every experiment module produces an :class:`ExperimentTable` — the rows
+and series the paper's corresponding table or figure reports — plus a
+plain-text renderer so the benchmark harness can print them.
+"""
+
+from dataclasses import dataclass, field
+
+
+def _format_cell(value):
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 0.001:
+            return f"{value:.2e}"
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+@dataclass
+class ExperimentTable:
+    """One regenerated table or figure."""
+
+    experiment: str          # e.g. "Figure 10"
+    title: str
+    headers: list
+    rows: list = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, *values):
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells, table has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append(list(values))
+
+    def column(self, header):
+        """All values of one column, by header name."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def lookup(self, key, header):
+        """Value of ``header`` in the row whose first cell equals ``key``."""
+        index = self.headers.index(header)
+        for row in self.rows:
+            if row[0] == key:
+                return row[index]
+        raise KeyError(f"no row with key {key!r}")
+
+    def render(self):
+        """ASCII rendering (what the bench harness prints)."""
+        cells = [[_format_cell(c) for c in row] for row in self.rows]
+        widths = [len(h) for h in self.headers]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(parts):
+            return "| " + " | ".join(
+                p.ljust(w) for p, w in zip(parts, widths)
+            ) + " |"
+
+        out = [f"== {self.experiment}: {self.title} =="]
+        out.append(line(self.headers))
+        out.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+        for row in cells:
+            out.append(line(row))
+        if self.notes:
+            out.append(f"({self.notes})")
+        return "\n".join(out)
+
+    def to_dict(self):
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(r) for r in self.rows],
+            "notes": self.notes,
+        }
+
+    def to_markdown(self):
+        """GitHub-flavoured markdown rendering (for EXPERIMENTS.md)."""
+        lines = [f"### {self.experiment}: {self.title}", ""]
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append(
+                "| " + " | ".join(_format_cell(c) for c in row) + " |"
+            )
+        if self.notes:
+            lines.append("")
+            lines.append(f"*{self.notes}*")
+        return "\n".join(lines) + "\n"
+
+    def to_csv(self):
+        """CSV rendering (RFC-4180 quoting for cells that need it)."""
+
+        def quote(cell):
+            text = str(cell)
+            if any(ch in text for ch in ',"\n'):
+                return '"' + text.replace('"', '""') + '"'
+            return text
+
+        lines = [",".join(quote(h) for h in self.headers)]
+        for row in self.rows:
+            lines.append(",".join(quote(c) for c in row))
+        return "\n".join(lines) + "\n"

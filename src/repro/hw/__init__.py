@@ -1,0 +1,39 @@
+"""Analytic chip models: access time (Fig 6) and area (Figs 7-8)."""
+
+from repro.hw.area import (
+    AreaReport,
+    area_ratio,
+    cell_side,
+    estimate_area,
+    processor_area_increase,
+)
+from repro.hw.process import (
+    CMOS_1200NM,
+    CMOS_2000NM,
+    Process,
+    RegisterFileGeometry,
+    paper_geometries,
+    prototype_geometry,
+)
+from repro.hw.timing import (
+    TimingReport,
+    access_time_penalty,
+    estimate_access_time,
+)
+
+__all__ = [
+    "AreaReport",
+    "CMOS_1200NM",
+    "CMOS_2000NM",
+    "Process",
+    "RegisterFileGeometry",
+    "TimingReport",
+    "access_time_penalty",
+    "area_ratio",
+    "cell_side",
+    "estimate_access_time",
+    "estimate_area",
+    "paper_geometries",
+    "prototype_geometry",
+    "processor_area_increase",
+]

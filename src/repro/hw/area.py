@@ -1,0 +1,122 @@
+"""Chip-area model for register files (Figures 7 and 8 of the paper).
+
+Areas are composed from three blocks, exactly as the paper's figures
+break them down:
+
+``darray``
+    The multiported storage cells.  A cell's side grows linearly with
+    the number of ports (one word line and one bit line per port), so
+    cell *area* grows quadratically — the paper: "the area of a
+    multiported register cell increases as the square of the number of
+    ports".  Identical for both organizations.
+
+``decode``
+    Segmented: a two-level NAND decoder, width ∝ address bits.
+    NSF: a CAM row per line, width ∝ tag bits — several times wider
+    per bit than a NAND decoder, which is the NSF's chief area cost.
+
+``logic``
+    Word-line drivers and, for the NSF, per-register valid bits and the
+    per-row miss/spill logic ("miss and spill logic remains constant"
+    as ports are added).
+
+Because the dominant ``darray`` term is shared and grows as ports²
+while the NSF's extra decoder/logic columns grow only linearly (through
+the row pitch), the NSF's *relative* overhead shrinks as ports are
+added — the effect Figure 8 reports.  Constants are in layout-grid
+units (λ ≈ half the drawn feature), calibrated so the 1.2 µm anchor
+points land near the paper's bars.
+"""
+
+from dataclasses import dataclass
+
+from repro.hw.process import CMOS_1200NM, RegisterFileGeometry
+
+# -- layout constants (λ units, calibrated to the paper's 1.2 µm cells) ----
+
+#: storage cell side = CELL_BASE + CELL_PORT * ports
+CELL_BASE = 8.0
+CELL_PORT = 6.0
+
+#: two-level NAND decoder column width per address bit, plus base
+NAND_DEC_BASE = 30.0
+NAND_DEC_BIT = 6.0
+NAND_DEC_PORT = 8.0
+
+#: CAM decoder column width per tag bit / per port
+CAM_BIT = 24.0
+CAM_PORT = 4.0
+
+#: per-register valid-bit column and per-row miss/spill logic
+VALID_PER_REG = 40.0
+MISS_LOGIC = 255.0
+
+#: segmented word-line driver / select logic
+SEG_LOGIC_BASE = 10.0
+SEG_LOGIC_PORT = 4.0
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Area of one register file, broken down as in Figures 7-8 (µm²)."""
+
+    geometry: RegisterFileGeometry
+    decode: float
+    logic: float
+    darray: float
+
+    @property
+    def total(self):
+        return self.decode + self.logic + self.darray
+
+    def breakdown(self):
+        return {"decode": self.decode, "logic": self.logic,
+                "darray": self.darray, "total": self.total}
+
+
+def cell_side(ports):
+    """Side length of a multiported storage cell (λ)."""
+    return CELL_BASE + CELL_PORT * ports
+
+
+def estimate_area(geometry, process=CMOS_1200NM):
+    """Compute an :class:`AreaReport` for one organization."""
+    g = geometry
+    side = cell_side(g.ports)
+    scale = process.area_scale_um2
+
+    darray = g.rows * g.bits_per_row * side * side * scale
+
+    if g.organization == "segmented":
+        decode_width = (NAND_DEC_BASE + NAND_DEC_BIT * g.address_bits
+                        + NAND_DEC_PORT * g.ports)
+        logic_width = SEG_LOGIC_BASE + SEG_LOGIC_PORT * g.ports
+    else:
+        decode_width = CAM_BIT * g.tag_bits + CAM_PORT * g.ports
+        logic_width = (SEG_LOGIC_BASE + SEG_LOGIC_PORT * g.ports
+                       + VALID_PER_REG * g.line_size + MISS_LOGIC)
+
+    decode = g.rows * side * decode_width * scale
+    logic = g.rows * side * logic_width * scale
+    return AreaReport(geometry=g, decode=decode, logic=logic,
+                      darray=darray)
+
+
+def area_ratio(nsf_geometry, segmented_geometry, process=CMOS_1200NM):
+    """NSF area as a fraction of the equivalent segmented file."""
+    nsf = estimate_area(nsf_geometry, process)
+    seg = estimate_area(segmented_geometry, process)
+    return nsf.total / seg.total
+
+
+def processor_area_increase(nsf_geometry, segmented_geometry,
+                            register_file_fraction=0.10,
+                            process=CMOS_1200NM):
+    """Whole-processor area increase from adopting the NSF.
+
+    The paper: "Since most register files consume less than 10% of a
+    processor chip area, the NSF should only increase processor area
+    by 5%."
+    """
+    ratio = area_ratio(nsf_geometry, segmented_geometry, process)
+    return register_file_fraction * (ratio - 1.0)

@@ -1,0 +1,119 @@
+"""CMOS process and geometry descriptions for the chip-level models.
+
+The paper reports SPICE timings and layout areas in a 1.2 µm CMOS
+process (the prototype chip itself was fabricated in 2 µm).  We cannot
+run SPICE or measure layouts, so :mod:`repro.hw.timing` and
+:mod:`repro.hw.area` are analytic models over the structural parameters
+that actually differ between the organizations — decoder style (CAM vs
+two-level NAND), port count, rows, line width — with constants
+calibrated against the paper's published 1.2 µm anchor points.  The
+*relative* NSF-vs-segmented comparisons are structural, not fitted:
+the CAM decode path really is longer, and the CAM + valid-bit overhead
+really is per-row area the segmented file does not pay.
+"""
+
+from dataclasses import dataclass
+from math import log2
+
+
+@dataclass(frozen=True)
+class Process:
+    """A CMOS technology node."""
+
+    name: str
+    #: drawn feature size in µm
+    feature_um: float
+    #: layout-grid to µm² conversion for the area model (calibrated)
+    area_scale_um2: float
+    #: intrinsic gate delay in ns (calibrated to the node)
+    tau_ns: float
+
+
+#: the node used for every comparison figure in the paper
+CMOS_1200NM = Process(name="1.2um", feature_um=1.2,
+                      area_scale_um2=1.33, tau_ns=0.21)
+
+#: the node of the prototype chip (Figure 5)
+CMOS_2000NM = Process(name="2um", feature_um=2.0,
+                      area_scale_um2=3.69, tau_ns=0.38)
+
+
+@dataclass(frozen=True)
+class RegisterFileGeometry:
+    """Structural parameters of one register-file organization.
+
+    ``rows`` is the number of physical word lines; each row is
+    ``bits_per_row`` wide.  The paper's two comparison shapes are
+    128 rows × 32 bits (line size 1) and 64 rows × 64 bits (line
+    size 2, two registers per line).
+    """
+
+    organization: str  # "nsf" or "segmented"
+    rows: int
+    bits_per_row: int
+    read_ports: int = 2
+    write_ports: int = 1
+    line_size: int = 1
+    cid_bits: int = 6
+    offset_bits: int = 5
+
+    def __post_init__(self):
+        if self.organization not in ("nsf", "segmented"):
+            raise ValueError(
+                f"organization must be 'nsf' or 'segmented', "
+                f"got {self.organization!r}"
+            )
+        if self.rows < 2 or self.bits_per_row < 1:
+            raise ValueError("rows must be >= 2 and bits_per_row >= 1")
+        if self.line_size < 1:
+            raise ValueError("line_size must be >= 1")
+
+    @property
+    def ports(self):
+        return self.read_ports + self.write_ports
+
+    @property
+    def registers(self):
+        return self.rows * self.line_size
+
+    @property
+    def tag_bits(self):
+        """CAM tag width: <CID : line number> (offset LSBs select in-line)."""
+        return self.cid_bits + self.offset_bits - round(log2(self.line_size))
+
+    @property
+    def address_bits(self):
+        """Bits a conventional two-level decoder must decode."""
+        return round(log2(self.rows))
+
+    def label(self):
+        return (f"{'NSF' if self.organization == 'nsf' else 'Segment'} "
+                f"{self.bits_per_row}x{self.rows}")
+
+
+def paper_geometries(organization, read_ports=2, write_ports=1):
+    """The two shapes of Figures 6-8: 32b×128 rows and 64b×64 rows."""
+    return [
+        RegisterFileGeometry(organization=organization, rows=128,
+                             bits_per_row=32, line_size=1,
+                             read_ports=read_ports,
+                             write_ports=write_ports),
+        RegisterFileGeometry(organization=organization, rows=64,
+                             bits_per_row=64, line_size=2,
+                             read_ports=read_ports,
+                             write_ports=write_ports),
+    ]
+
+
+def prototype_geometry():
+    """The fabricated proof-of-concept chip of Figure 5.
+
+    "This prototype chip includes a 32 bit by 32 line register array, a
+    10 bit wide fully-associative decoder, and logic to handle misses,
+    spills and reloads.  The register file has two read ports and a
+    single write port."  Built in the 2 µm process.
+    """
+    return RegisterFileGeometry(
+        organization="nsf", rows=32, bits_per_row=32, line_size=1,
+        read_ports=2, write_ports=1, cid_bits=5, offset_bits=5,
+    )

@@ -1,0 +1,115 @@
+"""Access-time model for register files (Figure 6 of the paper).
+
+The paper SPICE-simulated both organizations in 1.2 µm CMOS and found
+the NSF 5–6 % slower, entirely in the front of the access: the CAM
+"had to compare more bits than a two-level decoder … [and] took more
+time to combine Context ID and Offset address match signals and drive a
+word line into the register array".
+
+We model the three pipeline segments of Figure 6 with a logical-effort
+style delay: each stage pays a fixed parasitic plus a term
+logarithmic in its fan-in/fan-out (buffer chains grow logarithmically)
+plus a wire term linear in the physical dimension it must cross.
+
+* **decode** — segmented: predecode + two-level NAND over
+  ``log2(rows)`` address bits.  NSF: tag comparison across
+  ``tag_bits`` CAM bits, then the match-combine gate (CID match AND
+  offset match) — a real extra series stage.
+* **word select** — drive the selected word line across the row width.
+* **data read** — bit-line discharge (linear in rows) plus sense amp.
+"""
+
+from dataclasses import dataclass
+from math import log2
+
+from repro.hw.process import CMOS_1200NM, RegisterFileGeometry
+from repro.hw.area import cell_side
+
+# -- stage constants (in units of the process tau) --------------------------
+
+DEC_PARASITIC = 6.0
+DEC_PER_ADDR_BIT = 1.15
+CAM_PARASITIC = 6.6
+CAM_PER_TAG_BIT = 0.7
+CAM_COMBINE = 2.1          # CID-match AND offset-match merge stage
+
+WORD_PARASITIC = 3.0
+WORD_PER_LOG_WIDTH = 0.7   # buffer chain to drive the word line
+WORD_WIRE = 0.004          # per λ of row width
+
+READ_PARASITIC = 4.5
+READ_PER_LOG_ROWS = 0.9    # bit-line capacitance grows with rows
+READ_WIRE = 0.015          # per row of bit-line length
+SENSE_AMP = 3.2
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Access time of one register file, broken down as in Figure 6 (ns)."""
+
+    geometry: RegisterFileGeometry
+    decode: float
+    word_select: float
+    data_read: float
+
+    @property
+    def total(self):
+        return self.decode + self.word_select + self.data_read
+
+    def breakdown(self):
+        return {"decode": self.decode, "word_select": self.word_select,
+                "data_read": self.data_read, "total": self.total}
+
+
+def estimate_access_time(geometry, process=CMOS_1200NM):
+    """Compute a :class:`TimingReport` for one organization."""
+    g = geometry
+    tau = process.tau_ns
+    row_width_lambda = g.bits_per_row * cell_side(g.ports)
+
+    if g.organization == "segmented":
+        decode = tau * (DEC_PARASITIC + DEC_PER_ADDR_BIT * g.address_bits)
+    else:
+        decode = tau * (CAM_PARASITIC + CAM_PER_TAG_BIT * g.tag_bits
+                        + CAM_COMBINE)
+
+    word_select = tau * (WORD_PARASITIC
+                         + WORD_PER_LOG_WIDTH * log2(row_width_lambda)
+                         + WORD_WIRE * row_width_lambda)
+
+    data_read = tau * (READ_PARASITIC + READ_PER_LOG_ROWS * log2(g.rows)
+                       + READ_WIRE * g.rows + SENSE_AMP)
+
+    return TimingReport(geometry=g, decode=decode,
+                        word_select=word_select, data_read=data_read)
+
+
+def access_time_penalty(nsf_geometry, segmented_geometry,
+                        process=CMOS_1200NM):
+    """Fractional NSF access-time penalty over the segmented file."""
+    nsf = estimate_access_time(nsf_geometry, process)
+    seg = estimate_access_time(segmented_geometry, process)
+    return nsf.total / seg.total - 1.0
+
+
+#: critical-path length of the rest of a early-90s pipeline in the same
+#: process (cache access + tag compare dominates), in ns — the paper:
+#: "register files are rarely in a processor's critical path [10]"
+DEFAULT_PIPELINE_CRITICAL_NS = 11.5
+
+
+def cycle_time_impact(nsf_geometry, segmented_geometry,
+                      process=CMOS_1200NM,
+                      pipeline_critical_ns=DEFAULT_PIPELINE_CRITICAL_NS):
+    """Does adopting the NSF stretch the processor's clock period?
+
+    Returns the fractional cycle-time increase: 0.0 when some other
+    stage (normally the data cache) remains the critical path — the
+    paper's §6.1 conclusion that the 5-6 % slower register access
+    "should have no effect on the processor's cycle time".
+    """
+    nsf = estimate_access_time(nsf_geometry, process)
+    seg = estimate_access_time(segmented_geometry, process)
+    baseline = max(seg.total, pipeline_critical_ns)
+    with_nsf = max(nsf.total, pipeline_critical_ns)
+    return with_nsf / baseline - 1.0

@@ -1,0 +1,45 @@
+"""The NSF machine ISA: instructions, registers, binary encoding."""
+
+from repro.isa.encoding import (
+    EncodingError,
+    decode,
+    decode_words,
+    encode,
+    encode_program,
+)
+from repro.isa.instructions import (
+    OPCODES,
+    Instruction,
+    Program,
+    alu_semantics,
+    opcode_format,
+)
+from repro.isa.registers import (
+    NUM_CONTEXT_REGISTERS,
+    SP,
+    ZR,
+    is_context_register,
+    is_special_register,
+    parse_register,
+    register_name,
+)
+
+__all__ = [
+    "EncodingError",
+    "Instruction",
+    "NUM_CONTEXT_REGISTERS",
+    "OPCODES",
+    "Program",
+    "SP",
+    "ZR",
+    "alu_semantics",
+    "decode",
+    "decode_words",
+    "encode",
+    "encode_program",
+    "is_context_register",
+    "is_special_register",
+    "opcode_format",
+    "parse_register",
+    "register_name",
+]

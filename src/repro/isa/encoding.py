@@ -1,0 +1,113 @@
+"""Binary encoding of the NSF ISA (32-bit words).
+
+Layout (big-endian bit numbering, bit 31 is the MSB):
+
+=======  =============================================================
+format   bits
+=======  =============================================================
+R        op[31:26] rd[25:20] rs1[19:14] rs2[13:8] 0[7:0]
+I / M    op[31:26] rd[25:20] rs1[19:14] imm14[13:0] (two's complement)
+B        op[31:26] rs1[25:20] rs2[19:14] imm14[13:0] (target index)
+J        op[31:26] imm26[25:0] (absolute instruction index)
+U        op[31:26] rd[25:20]
+N        op[31:26]
+=======  =============================================================
+
+Branch/jump targets must be resolved (integers) before encoding —
+encode a :class:`repro.isa.instructions.Program`, not raw assembly.
+"""
+
+from repro.isa.instructions import Instruction, OPCODES, opcode_format
+
+_OP_LIST = sorted(OPCODES)
+_OP_TO_NUM = {op: i for i, op in enumerate(_OP_LIST)}
+_NUM_TO_OP = dict(enumerate(_OP_LIST))
+
+IMM_BITS = 14
+IMM_MIN = -(1 << (IMM_BITS - 1))
+IMM_MAX = (1 << (IMM_BITS - 1)) - 1
+TARGET_BITS = 26
+
+
+class EncodingError(ValueError):
+    pass
+
+
+def _check_reg(value):
+    if not 0 <= value < 64:
+        raise EncodingError(f"register index {value} out of range")
+    return value
+
+
+def _encode_imm(value):
+    if not IMM_MIN <= value <= IMM_MAX:
+        raise EncodingError(f"immediate {value} outside 14-bit range")
+    return value & ((1 << IMM_BITS) - 1)
+
+
+def _decode_imm(bits):
+    if bits & (1 << (IMM_BITS - 1)):
+        return bits - (1 << IMM_BITS)
+    return bits
+
+
+def encode(instr):
+    """Encode one instruction to a 32-bit integer."""
+    op = _OP_TO_NUM[instr.op] << 26
+    fmt = instr.format
+    if fmt == "R":
+        return (op | _check_reg(instr.rd) << 20
+                | _check_reg(instr.rs1) << 14 | _check_reg(instr.rs2) << 8)
+    if fmt in ("I", "M"):
+        return (op | _check_reg(instr.rd) << 20
+                | _check_reg(instr.rs1) << 14 | _encode_imm(instr.imm))
+    if fmt == "B":
+        if not isinstance(instr.target, int):
+            raise EncodingError(f"unresolved branch target {instr.target!r}")
+        return (op | _check_reg(instr.rs1) << 20
+                | _check_reg(instr.rs2) << 14 | _encode_imm(instr.target))
+    if fmt == "J":
+        if not isinstance(instr.target, int):
+            raise EncodingError(f"unresolved jump target {instr.target!r}")
+        if not 0 <= instr.target < (1 << TARGET_BITS):
+            raise EncodingError(f"jump target {instr.target} out of range")
+        return op | instr.target
+    if fmt == "U":
+        return op | _check_reg(instr.rd) << 20
+    return op  # N format
+
+
+def decode(word):
+    """Decode a 32-bit integer back into an Instruction."""
+    if not 0 <= word < (1 << 32):
+        raise EncodingError(f"not a 32-bit word: {word}")
+    opnum = word >> 26
+    try:
+        op = _NUM_TO_OP[opnum]
+    except KeyError:
+        raise EncodingError(f"unknown opcode number {opnum}") from None
+    fmt = opcode_format(op)
+    if fmt == "R":
+        return Instruction(op, rd=(word >> 20) & 63, rs1=(word >> 14) & 63,
+                           rs2=(word >> 8) & 63)
+    if fmt in ("I", "M"):
+        return Instruction(op, rd=(word >> 20) & 63, rs1=(word >> 14) & 63,
+                           imm=_decode_imm(word & ((1 << IMM_BITS) - 1)))
+    if fmt == "B":
+        return Instruction(op, rs1=(word >> 20) & 63, rs2=(word >> 14) & 63,
+                           target=_decode_imm(word & ((1 << IMM_BITS) - 1)))
+    if fmt == "J":
+        return Instruction(op, target=word & ((1 << TARGET_BITS) - 1))
+    if fmt == "U":
+        return Instruction(op, rd=(word >> 20) & 63)
+    return Instruction(op)
+
+
+def encode_program(program):
+    """Encode a linked Program into a list of 32-bit words."""
+    return [encode(instr) for instr in program.instructions]
+
+
+def decode_words(words):
+    """Decode a list of words back to instructions."""
+    return [decode(word) for word in words]

@@ -1,0 +1,218 @@
+"""Instruction set of the NSF machine.
+
+A small load/store RISC (modeled on the SPARC subset the paper
+cross-compiled from) extended with the context-management operations
+the Named-State Register File needs:
+
+* ``call``/``ret`` allocate and free one Context ID per procedure
+  activation — "a compiler for a sequential program may allocate a new
+  CID for each procedure invocation" (§4.3);
+* ``rfree`` explicitly deallocates one register (§4.2: "The NSF can
+  explicitly deallocate a single register after it is no longer
+  needed").
+
+Register operands index the *current context*; ``sp`` and ``zr`` are
+architectural (outside the file).  Formats:
+
+=======  ==========================  =====================
+format   fields                      example
+=======  ==========================  =====================
+R        rd, rs1, rs2                ``add r1, r2, r3``
+I        rd, rs1, imm14              ``addi r1, r2, -4``
+M        rd/rs2, imm14(rs1)          ``lw r1, 8(sp)``
+B        rs1, rs2, target            ``beq r1, r2, loop``
+J        target                      ``call fib``
+U        rd                          ``rfree r5`` / ``out r2``
+N        (none)                      ``ret`` / ``halt``
+=======  ==========================  =====================
+"""
+
+from dataclasses import dataclass
+
+from repro.isa.registers import register_name
+
+# -- opcode table ------------------------------------------------------------
+
+#: opcode -> (format, python semantics for ALU ops or None)
+OPCODES = {
+    # R-format ALU
+    "add": ("R", lambda a, b: a + b),
+    "sub": ("R", lambda a, b: a - b),
+    "mul": ("R", lambda a, b: a * b),
+    "div": ("R", lambda a, b: _checked_div(a, b)),
+    "rem": ("R", lambda a, b: _checked_rem(a, b)),
+    "and": ("R", lambda a, b: a & b),
+    "or": ("R", lambda a, b: a | b),
+    "xor": ("R", lambda a, b: a ^ b),
+    "sll": ("R", lambda a, b: a << (b & 31)),
+    "srl": ("R", lambda a, b: (a % (1 << 32)) >> (b & 31)),
+    "sra": ("R", lambda a, b: a >> (b & 31)),
+    "slt": ("R", lambda a, b: 1 if a < b else 0),
+    "seq": ("R", lambda a, b: 1 if a == b else 0),
+    # I-format ALU
+    "addi": ("I", lambda a, imm: a + imm),
+    "muli": ("I", lambda a, imm: a * imm),
+    "andi": ("I", lambda a, imm: a & imm),
+    "ori": ("I", lambda a, imm: a | imm),
+    "xori": ("I", lambda a, imm: a ^ imm),
+    "slli": ("I", lambda a, imm: a << (imm & 31)),
+    "srai": ("I", lambda a, imm: a >> (imm & 31)),
+    "slti": ("I", lambda a, imm: 1 if a < imm else 0),
+    "li": ("I", None),     # rd = imm (rs1 ignored)
+    # memory
+    "lw": ("M", None),
+    "sw": ("M", None),
+    # branches
+    "beq": ("B", lambda a, b: a == b),
+    "bne": ("B", lambda a, b: a != b),
+    "blt": ("B", lambda a, b: a < b),
+    "bge": ("B", lambda a, b: a >= b),
+    # jumps / context calls
+    "j": ("J", None),
+    "call": ("J", None),
+    "ret": ("N", None),
+    # context / misc
+    "rfree": ("U", None),
+    "out": ("U", None),
+    "nop": ("N", None),
+    "halt": ("N", None),
+}
+
+R_FORMAT = {op for op, (fmt, _) in OPCODES.items() if fmt == "R"}
+I_FORMAT = {op for op, (fmt, _) in OPCODES.items() if fmt == "I"}
+M_FORMAT = {op for op, (fmt, _) in OPCODES.items() if fmt == "M"}
+B_FORMAT = {op for op, (fmt, _) in OPCODES.items() if fmt == "B"}
+J_FORMAT = {op for op, (fmt, _) in OPCODES.items() if fmt == "J"}
+U_FORMAT = {op for op, (fmt, _) in OPCODES.items() if fmt == "U"}
+N_FORMAT = {op for op, (fmt, _) in OPCODES.items() if fmt == "N"}
+
+
+def _checked_div(a, b):
+    if b == 0:
+        raise ZeroDivisionError("div by zero")
+    q = abs(a) // abs(b)
+    return q if (a < 0) == (b < 0) else -q
+
+
+def _checked_rem(a, b):
+    if b == 0:
+        raise ZeroDivisionError("rem by zero")
+    return a - _checked_div(a, b) * b
+
+
+def alu_semantics(op):
+    """The evaluation lambda for an ALU/branch opcode."""
+    return OPCODES[op][1]
+
+
+def opcode_format(op):
+    try:
+        return OPCODES[op][0]
+    except KeyError:
+        raise ValueError(f"unknown opcode {op!r}") from None
+
+
+@dataclass
+class Instruction:
+    """One decoded instruction.
+
+    ``target`` holds a label name before linking and an absolute
+    instruction index afterwards (the assembler resolves it).
+    """
+
+    op: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    target: object = None
+
+    def __post_init__(self):
+        opcode_format(self.op)  # validate eagerly
+
+    @property
+    def format(self):
+        return opcode_format(self.op)
+
+    def reads(self):
+        """Operand indices this instruction reads."""
+        fmt = self.format
+        if fmt == "R":
+            return [self.rs1, self.rs2]
+        if fmt == "I":
+            return [] if self.op == "li" else [self.rs1]
+        if fmt == "M":
+            return [self.rs1, self.rd] if self.op == "sw" else [self.rs1]
+        if fmt == "B":
+            return [self.rs1, self.rs2]
+        if fmt == "U" and self.op == "out":
+            return [self.rd]
+        return []
+
+    def writes(self):
+        """Operand indices this instruction writes."""
+        fmt = self.format
+        if fmt in ("R", "I"):
+            return [self.rd]
+        if fmt == "M" and self.op == "lw":
+            return [self.rd]
+        return []
+
+    def __str__(self):
+        fmt = self.format
+        name = register_name
+        if fmt == "R":
+            return (f"{self.op} {name(self.rd)}, {name(self.rs1)}, "
+                    f"{name(self.rs2)}")
+        if fmt == "I":
+            if self.op == "li":
+                return f"li {name(self.rd)}, {self.imm}"
+            return f"{self.op} {name(self.rd)}, {name(self.rs1)}, {self.imm}"
+        if fmt == "M":
+            return f"{self.op} {name(self.rd)}, {self.imm}({name(self.rs1)})"
+        if fmt == "B":
+            return (f"{self.op} {name(self.rs1)}, {name(self.rs2)}, "
+                    f"{self.target}")
+        if fmt == "J":
+            return f"{self.op} {self.target}"
+        if fmt == "U":
+            return f"{self.op} {name(self.rd)}"
+        return self.op
+
+
+@dataclass
+class Program:
+    """A linked program: instructions with resolved branch targets."""
+
+    instructions: list
+    labels: dict
+    entry: int = 0
+
+    def __len__(self):
+        return len(self.instructions)
+
+    def listing(self):
+        """Disassembly listing; numeric targets become labels again."""
+        by_index = {}
+        for label, index in self.labels.items():
+            by_index.setdefault(index, []).append(label)
+
+        def label_for(index):
+            if index not in by_index:
+                by_index[index] = [f".L{index}"]
+            return by_index[index][0]
+
+        rendered = []
+        for instr in self.instructions:
+            if instr.format in ("B", "J") and isinstance(instr.target, int):
+                text = str(instr)
+                head, _, _ = text.rpartition(" ")
+                rendered.append(f"{head} {label_for(instr.target)}")
+            else:
+                rendered.append(str(instr))
+        lines = []
+        for i, text in enumerate(rendered):
+            for label in sorted(by_index.get(i, [])):
+                lines.append(f"{label}:")
+            lines.append(f"    {text}")
+        return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Register operand space of the NSF ISA.
+
+Operand indices 0–31 name the 32 registers of the *current context* —
+exactly the short compiled offsets the paper's instructions use.  Two
+architectural registers live outside the register file (they must
+survive context switches, like the frame pointer of Figure 2 or the
+processor status word's CID field):
+
+* ``sp`` (index 32) — the memory stack pointer;
+* ``zr`` (index 33) — hardwired zero (reads 0, writes ignored).
+"""
+
+NUM_CONTEXT_REGISTERS = 32
+
+SP = 32
+ZR = 33
+
+_SPECIAL_NAMES = {SP: "sp", ZR: "zr"}
+_SPECIAL_INDICES = {"sp": SP, "zr": ZR}
+
+
+def is_context_register(index):
+    return 0 <= index < NUM_CONTEXT_REGISTERS
+
+
+def is_special_register(index):
+    return index in _SPECIAL_NAMES
+
+
+def register_name(index):
+    """Printable name of an operand index (``r7``, ``sp``, ``zr``)."""
+    if is_context_register(index):
+        return f"r{index}"
+    try:
+        return _SPECIAL_NAMES[index]
+    except KeyError:
+        raise ValueError(f"invalid register index {index}") from None
+
+
+def parse_register(text):
+    """Parse ``r12`` / ``sp`` / ``zr`` into an operand index."""
+    name = text.strip().lower()
+    if name in _SPECIAL_INDICES:
+        return _SPECIAL_INDICES[name]
+    if name.startswith("r") and name[1:].isdigit():
+        index = int(name[1:])
+        if is_context_register(index):
+            return index
+    raise ValueError(f"invalid register name {text!r}")

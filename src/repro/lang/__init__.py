@@ -1,0 +1,27 @@
+"""Mini-C compiler targeting the NSF ISA.
+
+Pipeline: :mod:`lexer` → :mod:`parser` → :mod:`lower` (IR) →
+:mod:`liveness` → :mod:`regalloc` (Chaitin-Briggs) → :mod:`codegen`.
+"""
+
+from repro.lang.compiler import DEFAULT_K, compile_source, run_source
+from repro.lang.ir import IRFunction, IRInstr, IRProgram
+from repro.lang.lexer import Token, tokenize
+from repro.lang.lower import lower_program
+from repro.lang.parser import parse
+from repro.lang.regalloc import Allocation, allocate
+
+__all__ = [
+    "Allocation",
+    "DEFAULT_K",
+    "IRFunction",
+    "IRInstr",
+    "IRProgram",
+    "Token",
+    "allocate",
+    "compile_source",
+    "lower_program",
+    "parse",
+    "run_source",
+    "tokenize",
+]

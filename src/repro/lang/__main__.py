@@ -1,0 +1,74 @@
+"""CLI: compile and run a mini-C file on the NSF machine.
+
+Examples::
+
+    python -m repro.lang program.mc
+    python -m repro.lang program.mc --model segmented --show-asm
+    python -m repro.lang program.mc --pipeline --rfree -O0
+"""
+
+import argparse
+import sys
+
+from repro.core import (
+    ConventionalRegisterFile,
+    NamedStateRegisterFile,
+    SegmentedRegisterFile,
+)
+from repro.cpu import CPU, PipelinedCPU
+from repro.lang import compile_source
+
+
+def build_model(name, registers, context_size):
+    if name == "nsf":
+        return NamedStateRegisterFile(num_registers=registers,
+                                      context_size=context_size)
+    if name == "segmented":
+        return SegmentedRegisterFile(num_registers=registers,
+                                     context_size=context_size)
+    return ConventionalRegisterFile(context_size=context_size)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Compile and run a mini-C program."
+    )
+    parser.add_argument("source", help="path to the .mc source file")
+    parser.add_argument("--model", default="nsf",
+                        choices=["nsf", "segmented", "conventional"])
+    parser.add_argument("--registers", type=int, default=80)
+    parser.add_argument("--context-size", type=int, default=20)
+    parser.add_argument("--show-asm", action="store_true")
+    parser.add_argument("--pipeline", action="store_true",
+                        help="use the 5-stage pipeline timing model")
+    parser.add_argument("--rfree", action="store_true",
+                        help="emit explicit register deallocation")
+    parser.add_argument("-O", type=int, default=1, dest="optimize",
+                        help="optimization level (0 or 1)")
+    args = parser.parse_args(argv)
+
+    with open(args.source) as handle:
+        source = handle.read()
+    compiled = compile_source(source, k=args.context_size,
+                              emit_rfree=args.rfree,
+                              optimize_level=args.optimize)
+    if args.show_asm:
+        print(compiled.assembly)
+
+    model = build_model(args.model, args.registers, args.context_size)
+    cpu_cls = PipelinedCPU if args.pipeline else CPU
+    cpu = cpu_cls(compiled.program, model)
+    result = cpu.run()
+    print(f"result: {result.return_value}")
+    print(f"instructions: {result.instructions:,}  "
+          f"cycles: {result.cycles:,}")
+    stats = model.stats
+    print(f"register file [{model.kind}]: "
+          f"reloads={stats.registers_reloaded:,} "
+          f"spills={stats.registers_spilled:,} "
+          f"contexts={stats.contexts_created:,}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,120 @@
+"""AST node definitions for the mini-C language."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ProgramAST:
+    functions: list
+
+    def function(self, name):
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)
+
+
+@dataclass
+class FunctionAST:
+    name: str
+    params: list
+    body: list          # list of statements
+    line: int = 0
+
+
+# -- statements ------------------------------------------------------------
+
+@dataclass
+class VarDecl:
+    name: str
+    init: object        # expression or None
+    line: int = 0
+
+
+@dataclass
+class Assign:
+    name: str
+    expr: object
+    line: int = 0
+
+
+@dataclass
+class MemStore:
+    address: object
+    value: object
+    line: int = 0
+
+
+@dataclass
+class If:
+    cond: object
+    then_body: list
+    else_body: list = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class While:
+    cond: object
+    body: list
+    line: int = 0
+
+
+@dataclass
+class Return:
+    expr: object        # expression or None
+    line: int = 0
+
+
+@dataclass
+class ExprStmt:
+    expr: object
+    line: int = 0
+
+
+# -- expressions ---------------------------------------------------------------
+
+@dataclass
+class Num:
+    value: int
+    line: int = 0
+
+
+@dataclass
+class Var:
+    name: str
+    line: int = 0
+
+
+@dataclass
+class Unary:
+    op: str             # "-" or "!"
+    operand: object
+    line: int = 0
+
+
+@dataclass
+class Binary:
+    op: str
+    left: object
+    right: object
+    line: int = 0
+
+
+@dataclass
+class Call:
+    name: str
+    args: list
+    line: int = 0
+
+
+@dataclass
+class MemLoad:
+    address: object
+    line: int = 0
+
+
+@dataclass
+class Alloc:
+    size: object
+    line: int = 0

@@ -1,0 +1,211 @@
+"""IR → NSF assembly code generation.
+
+Calling convention (register-window style — the callee has a private
+context, so there is **no save/restore code at all**):
+
+* the caller writes arguments into its outgoing area at ``sp+0 …``
+  and executes ``call`` (which allocates the callee's Context ID);
+* the callee's prologue drops ``sp`` by its frame size
+  (``spill slots + outgoing area``), so incoming argument ``j`` sits at
+  ``sp + frame + j``;
+* the return value is written to incoming slot 0 (the caller reads it
+  from its own ``sp+0`` after the call);
+* ``ret`` frees the callee's context.
+
+Frame layout (word offsets from the callee's ``sp``)::
+
+    sp + 0 .. maxout-1          outgoing arguments
+    sp + maxout .. +nspill-1    spill slots
+    sp + frame + 0 ..           incoming arguments / return slot
+"""
+
+from dataclasses import dataclass, field
+
+from repro.asm import assemble
+from repro.errors import CompileError
+from repro.lang.lower import HEAP_BASE, HEAP_POINTER
+
+#: signed immediate range of the I/M formats
+IMM_MIN = -8192
+IMM_MAX = 8191
+
+START_LABEL = "_start"
+
+
+@dataclass
+class CompiledFunction:
+    name: str
+    frame_words: int
+    spill_slots: int
+    registers_used: int
+    allocator_rounds: int
+
+
+@dataclass
+class CompiledProgram:
+    """Assembly text, linked program, and per-function allocation info."""
+
+    assembly: str
+    program: object
+    functions: dict = field(default_factory=dict)
+
+
+class _Emitter:
+    def __init__(self):
+        self.lines = []
+
+    def label(self, name):
+        self.lines.append(f"{name}:")
+
+    def emit(self, text):
+        self.lines.append(f"    {text}")
+
+    def const(self, rd, value):
+        """Materialize an arbitrary integer constant into ``rd``."""
+        if IMM_MIN <= value <= IMM_MAX:
+            self.emit(f"li {rd}, {value}")
+            return
+        magnitude = abs(value)
+        chunks = []
+        while magnitude:
+            chunks.append(magnitude & 0x1FFF)
+            magnitude >>= 13
+        chunks.reverse()
+        self.emit(f"li {rd}, {chunks[0]}")
+        for chunk in chunks[1:]:
+            self.emit(f"slli {rd}, {rd}, 13")
+            if chunk:
+                self.emit(f"ori {rd}, {rd}, {chunk}")
+        if value < 0:
+            self.emit(f"sub {rd}, zr, {rd}")
+
+    def text(self):
+        return "\n".join(self.lines) + "\n"
+
+
+def generate(ir_program, allocations, emit_rfree=False):
+    """Generate assembly for a fully-allocated IR program.
+
+    With ``emit_rfree`` the generator inserts an ``rfree`` instruction
+    wherever a physical register's last live value dies (see
+    :mod:`repro.lang.rfree`), shrinking each activation's footprint in
+    a Named-State Register File at the cost of the extra instructions.
+    """
+    emitter = _Emitter()
+    info = {}
+
+    # Start stub: heap pointer init, then call main and print its value.
+    emitter.label(START_LABEL)
+    emitter.const("r0", HEAP_BASE)
+    emitter.emit(f"sw r0, {HEAP_POINTER}(zr)")
+    emitter.emit("addi sp, sp, -1")
+    emitter.emit("call main")
+    emitter.emit("lw r0, 0(sp)")
+    emitter.emit("addi sp, sp, 1")
+    emitter.emit("out r0")
+    emitter.emit("halt")
+
+    for name, ir_function in ir_program.functions.items():
+        allocation = allocations[name]
+        info[name] = _generate_function(emitter, ir_function, allocation,
+                                        emit_rfree=emit_rfree)
+
+    assembly = emitter.text()
+    program = assemble(assembly, entry_label=START_LABEL)
+    return CompiledProgram(assembly=assembly, program=program,
+                           functions=info)
+
+
+#: opcodes after which an rfree may not be placed (control transfers)
+_NO_RFREE_AFTER = {"br", "jmp", "label", "ret"}
+
+
+def _generate_function(emitter, ir_function, allocation, emit_rfree=False):
+    name = ir_function.name
+    maxout = ir_function.max_outgoing
+    nspill = allocation.num_spill_slots
+    frame = maxout + nspill
+    exit_label = f".{name}$exit"
+    freeable = {}
+    if emit_rfree:
+        from repro.lang.rfree import rfree_schedule
+        freeable = rfree_schedule(ir_function, allocation)
+
+    def reg(v):
+        try:
+            return f"r{allocation.assignment[v]}"
+        except KeyError:
+            raise CompileError(
+                f"virtual v{v} of {name!r} has no register"
+            ) from None
+
+    def spill_offset(slot):
+        return maxout + slot
+
+    emitter.label(name)
+    if frame:
+        emitter.emit(f"addi sp, sp, -{frame}")
+
+    for index, instr in enumerate(allocation.instructions):
+        op = instr.op
+        if op == "param":
+            # Load the incoming argument into its colored register.
+            emitter.emit(f"lw {reg(instr.dst)}, {frame + instr.extra}(sp)")
+        elif op == "const":
+            if instr.dst in allocation.assignment:
+                emitter.const(reg(instr.dst), instr.a)
+        elif op == "mov":
+            if instr.dst in allocation.assignment:
+                if reg(instr.dst) != reg(instr.a):
+                    emitter.emit(f"add {reg(instr.dst)}, {reg(instr.a)}, zr")
+        elif op == "bin":
+            emitter.emit(
+                f"{instr.extra} {reg(instr.dst)}, {reg(instr.a)}, "
+                f"{reg(instr.b)}"
+            )
+        elif op == "load":
+            emitter.emit(f"lw {reg(instr.dst)}, 0({reg(instr.a)})")
+        elif op == "store":
+            emitter.emit(f"sw {reg(instr.b)}, 0({reg(instr.a)})")
+        elif op == "arg":
+            emitter.emit(f"sw {reg(instr.a)}, {instr.extra}(sp)")
+        elif op == "call":
+            emitter.emit(f"call {instr.a}")
+            if instr.dst is not None and instr.dst in allocation.assignment:
+                emitter.emit(f"lw {reg(instr.dst)}, 0(sp)")
+        elif op == "ret":
+            if instr.a is not None:
+                emitter.emit(f"sw {reg(instr.a)}, {frame}(sp)")
+            emitter.emit(f"j {exit_label}")
+        elif op == "label":
+            emitter.label(f".{name}${instr.a[1:]}")
+        elif op == "jmp":
+            emitter.emit(f"j .{name}${instr.a[1:]}")
+        elif op == "br":
+            emitter.emit(
+                f"bne {reg(instr.a)}, zr, .{name}${instr.b[1:]}"
+            )
+            emitter.emit(f"j .{name}${instr.extra[1:]}")
+        elif op == "unspill":
+            emitter.emit(
+                f"lw {reg(instr.dst)}, {spill_offset(instr.a)}(sp)"
+            )
+        elif op == "spill":
+            emitter.emit(
+                f"sw {reg(instr.a)}, {spill_offset(instr.b)}(sp)"
+            )
+        else:
+            raise CompileError(f"cannot generate code for {instr}")
+        if index in freeable and op not in _NO_RFREE_AFTER:
+            for color in freeable[index]:
+                emitter.emit(f"rfree r{color}")
+
+    emitter.label(exit_label)
+    if frame:
+        emitter.emit(f"addi sp, sp, {frame}")
+    emitter.emit("ret")
+
+    used = len(set(allocation.assignment.values()))
+    return CompiledFunction(name=name, frame_words=frame,
+                            spill_slots=nspill, registers_used=used,
+                            allocator_rounds=allocation.rounds)

@@ -1,0 +1,45 @@
+"""Compiler driver: source text → linked NSF program.
+
+Pipeline: lex → parse → lower to IR → Chaitin-Briggs register
+allocation per function → code generation → assembly → linked
+:class:`repro.isa.instructions.Program`.
+"""
+
+from repro.lang.codegen import CompiledProgram, generate
+from repro.lang.lower import lower_program
+from repro.lang.optimize import optimize
+from repro.lang.parser import parse
+from repro.lang.regalloc import allocate
+
+#: default registers available to the allocator (a 20-register
+#: sequential context, matching the paper's simulation setup)
+DEFAULT_K = 20
+
+
+def compile_source(source, k=DEFAULT_K, emit_rfree=False,
+                   optimize_level=1):
+    """Compile mini-C source; returns a :class:`CompiledProgram`.
+
+    ``emit_rfree`` inserts explicit register-deallocation instructions
+    at last-use points (NSF §4.2) — see :mod:`repro.lang.rfree`.
+    ``optimize_level`` 0 disables the scalar optimization passes.
+    """
+    program_ast = parse(source)
+    ir_program = lower_program(program_ast)
+    for fn in ir_program.functions.values():
+        optimize(fn, level=optimize_level)
+    allocations = {
+        name: allocate(fn, k) for name, fn in ir_program.functions.items()
+    }
+    return generate(ir_program, allocations, emit_rfree=emit_rfree)
+
+
+def run_source(source, regfile, k=DEFAULT_K, max_steps=5_000_000,
+               cache=None, emit_rfree=False, optimize_level=1):
+    """Compile and execute on a CPU over ``regfile``; returns CPUResult."""
+    from repro.cpu import CPU  # local import: cpu depends on core only
+
+    compiled = compile_source(source, k=k, emit_rfree=emit_rfree,
+                              optimize_level=optimize_level)
+    cpu = CPU(compiled.program, regfile, max_steps=max_steps, cache=cache)
+    return cpu.run()

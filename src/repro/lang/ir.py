@@ -1,0 +1,122 @@
+"""Linear three-address IR over virtual registers.
+
+Each function lowers to a list of :class:`IRInstr`.  Virtual registers
+are integers (``v0``, ``v1``, …); the register allocator later maps
+them to the 0–31 offsets of a context or to stack slots.
+
+Opcodes
+-------
+``const d, imm``          load constant
+``mov d, s``              copy
+``bin op, d, a, b``       ALU (op is an ISA R-format mnemonic)
+``load d, a``             d = mem[a]
+``store a, s``            mem[a] = s
+``arg k, s``              outgoing argument slot k = s
+``call d, name, nargs``   call; d receives the return value (or None)
+``ret s``                 return s (or None)
+``label L`` / ``jmp L``   control flow
+``br s, Ltrue, Lfalse``   branch on s != 0
+"""
+
+from dataclasses import dataclass, field
+
+from repro.errors import CompileError
+
+
+@dataclass
+class IRInstr:
+    op: str
+    dst: object = None
+    a: object = None
+    b: object = None
+    extra: object = None
+
+    def uses(self):
+        """Virtual registers this instruction reads."""
+        if self.op == "mov":
+            return [self.a]
+        if self.op == "bin":
+            return [self.a, self.b]
+        if self.op == "load":
+            return [self.a]
+        if self.op == "store":
+            return [self.a, self.b]
+        if self.op == "arg":
+            return [self.a]
+        if self.op == "ret":
+            return [] if self.a is None else [self.a]
+        if self.op == "br":
+            return [self.a]
+        if self.op == "spill":  # spill pseudo-op: reads the temp
+            return [self.a]
+        return []
+
+    def defs(self):
+        """Virtual registers this instruction writes."""
+        if self.op in ("const", "mov", "bin", "load", "unspill", "param"):
+            return [self.dst]
+        if self.op == "call" and self.dst is not None:
+            return [self.dst]
+        return []
+
+    def __str__(self):
+        if self.op == "param":
+            return f"v{self.dst} = param[{self.extra}]"
+        if self.op == "const":
+            return f"v{self.dst} = {self.a}"
+        if self.op == "mov":
+            return f"v{self.dst} = v{self.a}"
+        if self.op == "bin":
+            return f"v{self.dst} = {self.extra} v{self.a}, v{self.b}"
+        if self.op == "load":
+            return f"v{self.dst} = mem[v{self.a}]"
+        if self.op == "store":
+            return f"mem[v{self.a}] = v{self.b}"
+        if self.op == "arg":
+            return f"arg[{self.extra}] = v{self.a}"
+        if self.op == "call":
+            dst = f"v{self.dst} = " if self.dst is not None else ""
+            return f"{dst}call {self.a}({self.b} args)"
+        if self.op == "ret":
+            return "ret" if self.a is None else f"ret v{self.a}"
+        if self.op == "label":
+            return f"{self.a}:"
+        if self.op == "jmp":
+            return f"jmp {self.a}"
+        if self.op == "br":
+            return f"br v{self.a} ? {self.b} : {self.extra}"
+        return self.op
+
+
+@dataclass
+class IRFunction:
+    name: str
+    num_params: int
+    instructions: list = field(default_factory=list)
+    num_virtuals: int = 0
+    #: max outgoing argument count over all calls (frame layout)
+    max_outgoing: int = 0
+
+    def new_virtual(self):
+        v = self.num_virtuals
+        self.num_virtuals += 1
+        return v
+
+    def emit(self, op, dst=None, a=None, b=None, extra=None):
+        instr = IRInstr(op=op, dst=dst, a=a, b=b, extra=extra)
+        self.instructions.append(instr)
+        return instr
+
+    def listing(self):
+        return "\n".join(str(i) for i in self.instructions)
+
+
+@dataclass
+class IRProgram:
+    functions: dict  # name -> IRFunction
+
+    def function(self, name):
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise CompileError(f"undefined function {name!r}") from None

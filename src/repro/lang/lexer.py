@@ -1,0 +1,81 @@
+"""Lexer for the mini-C language ("mc") compiled to the NSF ISA.
+
+Tokens: identifiers, integer literals (decimal or ``0x``), keywords
+(``func var if else while return mem alloc``), operators and
+punctuation.  Comments run from ``//`` to end of line.
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import CompileError
+
+KEYWORDS = {"func", "var", "if", "else", "while", "return", "mem", "alloc"}
+
+#: multi-character operators, longest first
+OPERATORS = [
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ",", ";",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str       # "ident" | "number" | "keyword" | operator text | "eof"
+    text: str
+    line: int
+
+    @property
+    def value(self):
+        return int(self.text, 0)
+
+
+def tokenize(source):
+    """Tokenize source text; returns a list ending with an EOF token."""
+    tokens = []
+    line = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isdigit():
+            j = i + 1
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+            else:
+                while j < n and source[j].isdigit():
+                    j += 1
+            tokens.append(Token("number", source[i:j], line))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, line))
+            i = j
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token(op, op, line))
+                i += len(op)
+                break
+        else:
+            raise CompileError(f"unexpected character {ch!r}", line=line)
+    tokens.append(Token("eof", "", line))
+    return tokens

@@ -1,0 +1,107 @@
+"""Liveness analysis over the linear IR.
+
+Builds basic blocks and runs the standard backward dataflow to a fixed
+point, then replays each block to produce a live-out set per
+instruction — the input the Chaitin-Briggs allocator needs to build its
+interference graph.
+"""
+
+
+def basic_blocks(instructions):
+    """Split linear IR into blocks; returns (blocks, label_to_block).
+
+    A block is a (start, end) index range [start, end).
+    """
+    leaders = {0} if instructions else set()
+    label_index = {}
+    for i, instr in enumerate(instructions):
+        if instr.op == "label":
+            leaders.add(i)
+            label_index[instr.a] = i
+        elif instr.op in ("jmp", "br", "ret"):
+            if i + 1 < len(instructions):
+                leaders.add(i + 1)
+    ordered = sorted(leaders)
+    blocks = []
+    for n, start in enumerate(ordered):
+        end = ordered[n + 1] if n + 1 < len(ordered) else len(instructions)
+        blocks.append((start, end))
+    label_to_block = {}
+    for b, (start, end) in enumerate(blocks):
+        for i in range(start, end):
+            if instructions[i].op == "label":
+                label_to_block[instructions[i].a] = b
+            else:
+                break
+    return blocks, label_to_block
+
+
+def successors(instructions, blocks, label_to_block):
+    """Successor block indices for each block."""
+    succ = []
+    for b, (start, end) in enumerate(blocks):
+        out = []
+        if end == start:
+            succ.append(out)
+            continue
+        last = instructions[end - 1]
+        if last.op == "jmp":
+            out.append(label_to_block[last.a])
+        elif last.op == "br":
+            out.append(label_to_block[last.b])
+            out.append(label_to_block[last.extra])
+        elif last.op == "ret":
+            pass
+        elif b + 1 < len(blocks):
+            out.append(b + 1)
+        succ.append(out)
+    return succ
+
+
+def analyze(ir_function):
+    """Compute per-instruction live-out sets.
+
+    Returns ``(live_out, blocks)`` where ``live_out[i]`` is the set of
+    virtual registers live immediately after instruction ``i``.
+    """
+    instructions = ir_function.instructions
+    blocks, label_to_block = basic_blocks(instructions)
+    succ = successors(instructions, blocks, label_to_block)
+
+    use = [set() for _ in blocks]
+    define = [set() for _ in blocks]
+    for b, (start, end) in enumerate(blocks):
+        seen_defs = set()
+        for i in range(start, end):
+            instr = instructions[i]
+            for v in instr.uses():
+                if v not in seen_defs:
+                    use[b].add(v)
+            for v in instr.defs():
+                seen_defs.add(v)
+        define[b] = seen_defs
+
+    live_in = [set() for _ in blocks]
+    live_out_block = [set() for _ in blocks]
+    changed = True
+    while changed:
+        changed = False
+        for b in reversed(range(len(blocks))):
+            out = set()
+            for s in succ[b]:
+                out |= live_in[s]
+            new_in = use[b] | (out - define[b])
+            if out != live_out_block[b] or new_in != live_in[b]:
+                live_out_block[b] = out
+                live_in[b] = new_in
+                changed = True
+
+    live_out = [set() for _ in instructions]
+    for b, (start, end) in enumerate(blocks):
+        live = set(live_out_block[b])
+        for i in reversed(range(start, end)):
+            instr = instructions[i]
+            live_out[i] = set(live)
+            live -= set(instr.defs())
+            live |= set(instr.uses())
+    return live_out, blocks

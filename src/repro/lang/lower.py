@@ -1,0 +1,266 @@
+"""AST → IR lowering.
+
+Local variables and expression temporaries become virtual registers.
+``alloc(n)`` lowers to a bump allocation off the heap pointer kept at
+the fixed memory word :data:`HEAP_POINTER` (initialized by the code
+generator's start stub).
+"""
+
+import itertools
+
+from repro.errors import CompileError
+from repro.lang import ast_nodes as ast
+from repro.lang.ir import IRFunction, IRProgram
+
+#: memory word holding the heap bump pointer
+HEAP_POINTER = 8
+#: first free heap word
+HEAP_BASE = 0x4000
+
+#: AST binary op -> ISA R-format mnemonic
+_BIN_OPS = {
+    "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+    "&": "and", "|": "or", "^": "xor", "<<": "sll", ">>": "sra",
+    "<": "slt", "==": "seq",
+}
+
+_label_counter = itertools.count()
+
+
+def _fresh_label(stem):
+    return f".{stem}{next(_label_counter)}"
+
+
+def lower_program(program_ast):
+    """Lower a parsed program to IR; validates calls and variable use."""
+    arities = {fn.name: len(fn.params) for fn in program_ast.functions}
+    if "main" not in arities:
+        raise CompileError("program has no 'main' function")
+    if arities["main"] != 0:
+        raise CompileError("'main' must take no parameters")
+    functions = {}
+    for fn_ast in program_ast.functions:
+        functions[fn_ast.name] = _FunctionLowerer(fn_ast, arities).lower()
+    return IRProgram(functions=functions)
+
+
+class _FunctionLowerer:
+    def __init__(self, fn_ast, arities):
+        self.fn_ast = fn_ast
+        self.arities = arities
+        self.ir = IRFunction(name=fn_ast.name,
+                             num_params=len(fn_ast.params))
+        self.scope = {}
+
+    def lower(self):
+        # Explicit parameter definitions: they give each parameter a
+        # definition point, so the allocator sees parameters interfere
+        # with each other and with everything live at entry.
+        for index, name in enumerate(self.fn_ast.params):
+            v = self.ir.new_virtual()
+            self.scope[name] = v
+            self.ir.emit("param", dst=v, extra=index)
+        self.lower_block(self.fn_ast.body)
+        # Implicit `return 0` at the end of a function body.
+        zero = self.ir.new_virtual()
+        self.ir.emit("const", dst=zero, a=0)
+        self.ir.emit("ret", a=zero)
+        return self.ir
+
+    # -- statements -------------------------------------------------------
+
+    def lower_block(self, statements):
+        for statement in statements:
+            self.lower_statement(statement)
+
+    def lower_statement(self, node):
+        if isinstance(node, ast.VarDecl):
+            if node.name in self.scope:
+                raise CompileError(f"redeclared variable {node.name!r}",
+                                   line=node.line)
+            v = self.ir.new_virtual()
+            self.scope[node.name] = v
+            if node.init is not None:
+                value = self.lower_expr(node.init)
+                self.ir.emit("mov", dst=v, a=value)
+            else:
+                self.ir.emit("const", dst=v, a=0)
+        elif isinstance(node, ast.Assign):
+            v = self._variable(node.name, node.line)
+            value = self.lower_expr(node.expr)
+            self.ir.emit("mov", dst=v, a=value)
+        elif isinstance(node, ast.MemStore):
+            address = self.lower_expr(node.address)
+            value = self.lower_expr(node.value)
+            self.ir.emit("store", a=address, b=value)
+        elif isinstance(node, ast.If):
+            self.lower_if(node)
+        elif isinstance(node, ast.While):
+            self.lower_while(node)
+        elif isinstance(node, ast.Return):
+            if node.expr is None:
+                zero = self.ir.new_virtual()
+                self.ir.emit("const", dst=zero, a=0)
+                self.ir.emit("ret", a=zero)
+            else:
+                self.ir.emit("ret", a=self.lower_expr(node.expr))
+        elif isinstance(node, ast.ExprStmt):
+            self.lower_expr(node.expr)
+        else:
+            raise CompileError(f"cannot lower statement {node!r}")
+
+    def lower_if(self, node):
+        then_label = _fresh_label("then")
+        else_label = _fresh_label("else")
+        end_label = _fresh_label("endif")
+        cond = self.lower_expr(node.cond)
+        self.ir.emit("br", a=cond, b=then_label,
+                     extra=else_label if node.else_body else end_label)
+        self.ir.emit("label", a=then_label)
+        self.lower_block(node.then_body)
+        self.ir.emit("jmp", a=end_label)
+        if node.else_body:
+            self.ir.emit("label", a=else_label)
+            self.lower_block(node.else_body)
+            self.ir.emit("jmp", a=end_label)
+        self.ir.emit("label", a=end_label)
+
+    def lower_while(self, node):
+        head = _fresh_label("while")
+        body = _fresh_label("body")
+        end = _fresh_label("endwhile")
+        self.ir.emit("label", a=head)
+        cond = self.lower_expr(node.cond)
+        self.ir.emit("br", a=cond, b=body, extra=end)
+        self.ir.emit("label", a=body)
+        self.lower_block(node.body)
+        self.ir.emit("jmp", a=head)
+        self.ir.emit("label", a=end)
+
+    # -- expressions --------------------------------------------------------------
+
+    def lower_expr(self, node):
+        if isinstance(node, ast.Num):
+            v = self.ir.new_virtual()
+            self.ir.emit("const", dst=v, a=node.value)
+            return v
+        if isinstance(node, ast.Var):
+            return self._variable(node.name, node.line)
+        if isinstance(node, ast.Unary):
+            return self.lower_unary(node)
+        if isinstance(node, ast.Binary):
+            return self.lower_binary(node)
+        if isinstance(node, ast.Call):
+            return self.lower_call(node)
+        if isinstance(node, ast.MemLoad):
+            address = self.lower_expr(node.address)
+            v = self.ir.new_virtual()
+            self.ir.emit("load", dst=v, a=address)
+            return v
+        if isinstance(node, ast.Alloc):
+            return self.lower_alloc(node)
+        raise CompileError(f"cannot lower expression {node!r}")
+
+    def lower_unary(self, node):
+        operand = self.lower_expr(node.operand)
+        v = self.ir.new_virtual()
+        if node.op == "-":
+            zero = self.ir.new_virtual()
+            self.ir.emit("const", dst=zero, a=0)
+            self.ir.emit("bin", dst=v, a=zero, b=operand, extra="sub")
+        else:  # "!": v = (operand == 0)
+            zero = self.ir.new_virtual()
+            self.ir.emit("const", dst=zero, a=0)
+            self.ir.emit("bin", dst=v, a=operand, b=zero, extra="seq")
+        return v
+
+    def lower_binary(self, node):
+        op = node.op
+        left = self.lower_expr(node.left)
+        right = self.lower_expr(node.right)
+        v = self.ir.new_virtual()
+        if op in _BIN_OPS:
+            self.ir.emit("bin", dst=v, a=left, b=right, extra=_BIN_OPS[op])
+            return v
+        if op == "!=":
+            eq = self.ir.new_virtual()
+            self.ir.emit("bin", dst=eq, a=left, b=right, extra="seq")
+            one = self.ir.new_virtual()
+            self.ir.emit("const", dst=one, a=1)
+            self.ir.emit("bin", dst=v, a=one, b=eq, extra="sub")
+            return v
+        if op == ">":
+            self.ir.emit("bin", dst=v, a=right, b=left, extra="slt")
+            return v
+        if op == "<=":
+            gt = self.ir.new_virtual()
+            self.ir.emit("bin", dst=gt, a=right, b=left, extra="slt")
+            one = self.ir.new_virtual()
+            self.ir.emit("const", dst=one, a=1)
+            self.ir.emit("bin", dst=v, a=one, b=gt, extra="sub")
+            return v
+        if op == ">=":
+            lt = self.ir.new_virtual()
+            self.ir.emit("bin", dst=lt, a=left, b=right, extra="slt")
+            one = self.ir.new_virtual()
+            self.ir.emit("const", dst=one, a=1)
+            self.ir.emit("bin", dst=v, a=one, b=lt, extra="sub")
+            return v
+        if op in ("&&", "||"):
+            # Numeric logical ops over 0/1 (both sides evaluated).
+            zero = self.ir.new_virtual()
+            self.ir.emit("const", dst=zero, a=0)
+            lbool = self.ir.new_virtual()
+            rbool = self.ir.new_virtual()
+            eq_l = self.ir.new_virtual()
+            eq_r = self.ir.new_virtual()
+            one = self.ir.new_virtual()
+            self.ir.emit("bin", dst=eq_l, a=left, b=zero, extra="seq")
+            self.ir.emit("bin", dst=eq_r, a=right, b=zero, extra="seq")
+            self.ir.emit("const", dst=one, a=1)
+            self.ir.emit("bin", dst=lbool, a=one, b=eq_l, extra="sub")
+            self.ir.emit("bin", dst=rbool, a=one, b=eq_r, extra="sub")
+            mnemonic = "and" if op == "&&" else "or"
+            self.ir.emit("bin", dst=v, a=lbool, b=rbool, extra=mnemonic)
+            return v
+        raise CompileError(f"unsupported operator {op!r}", line=node.line)
+
+    def lower_call(self, node):
+        if node.name not in self.arities:
+            raise CompileError(f"call to undefined function {node.name!r}",
+                               line=node.line)
+        expected = self.arities[node.name]
+        if len(node.args) != expected:
+            raise CompileError(
+                f"{node.name!r} takes {expected} argument(s), "
+                f"got {len(node.args)}",
+                line=node.line,
+            )
+        values = [self.lower_expr(arg) for arg in node.args]
+        for k, value in enumerate(values):
+            self.ir.emit("arg", a=value, extra=k)
+        self.ir.max_outgoing = max(self.ir.max_outgoing,
+                                   len(values), 1)
+        v = self.ir.new_virtual()
+        self.ir.emit("call", dst=v, a=node.name, b=len(values))
+        return v
+
+    def lower_alloc(self, node):
+        size = self.lower_expr(node.size)
+        hp_addr = self.ir.new_virtual()
+        self.ir.emit("const", dst=hp_addr, a=HEAP_POINTER)
+        old = self.ir.new_virtual()
+        self.ir.emit("load", dst=old, a=hp_addr)
+        new = self.ir.new_virtual()
+        self.ir.emit("bin", dst=new, a=old, b=size, extra="add")
+        self.ir.emit("store", a=hp_addr, b=new)
+        return old
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _variable(self, name, line):
+        try:
+            return self.scope[name]
+        except KeyError:
+            raise CompileError(f"undefined variable {name!r}",
+                               line=line) from None

@@ -1,0 +1,170 @@
+"""IR optimization passes: constant folding, copy propagation, DCE.
+
+Classic scalar optimizations run before register allocation.  Besides
+making the generated code respectable, they matter for the paper's
+subject: fewer live temporaries per activation means a smaller context
+footprint in the register file.
+
+* **copy propagation** (per basic block): after ``mov d, s``, uses of
+  ``d`` read ``s`` directly until either is redefined;
+* **constant folding** (per basic block): ``bin`` ops whose operands
+  are known constants evaluate at compile time; known branches are
+  *not* folded (the CFG stays stable);
+* **dead-code elimination** (global): definitions never used by any
+  side-effecting computation are removed, iteratively.
+
+The driver runs the passes to a fixed point (bounded).
+"""
+
+from repro.isa.instructions import alu_semantics
+from repro.lang.liveness import basic_blocks, successors
+
+MAX_PASSES = 10
+
+#: IR ops whose results are pure values (safe to delete when unused)
+_PURE_DEFS = {"const", "mov", "bin", "load", "param", "unspill"}
+
+
+def copy_propagate(ir_function):
+    """Per-block copy propagation; returns True when anything changed."""
+    instructions = ir_function.instructions
+    blocks, _ = basic_blocks(instructions)
+    changed = False
+    for start, end in blocks:
+        copies = {}  # dst -> src
+        for i in range(start, end):
+            instr = instructions[i]
+            remap = {}
+            for v in instr.uses():
+                if v in copies:
+                    remap[v] = copies[v]
+            if remap:
+                _rewrite_uses(instr, remap)
+                changed = True
+            defs = instr.defs()
+            if defs:
+                d = defs[0]
+                # Any copy involving d is invalidated by the redefinition.
+                copies = {
+                    dst: src for dst, src in copies.items()
+                    if dst != d and src != d
+                }
+                if instr.op == "mov" and instr.a != d:
+                    copies[d] = instr.a
+    return changed
+
+
+def fold_constants(ir_function):
+    """Per-block constant folding; returns True when anything changed."""
+    instructions = ir_function.instructions
+    blocks, _ = basic_blocks(instructions)
+    changed = False
+    for start, end in blocks:
+        known = {}  # virtual -> constant value
+        for i in range(start, end):
+            instr = instructions[i]
+            if instr.op == "bin":
+                if instr.a in known and instr.b in known:
+                    try:
+                        value = alu_semantics(instr.extra)(
+                            known[instr.a], known[instr.b]
+                        )
+                    except ZeroDivisionError:
+                        value = None  # preserve the runtime fault
+                    if value is not None:
+                        instr.op = "const"
+                        instr.a = value
+                        instr.b = None
+                        instr.extra = None
+                        changed = True
+            elif instr.op == "mov" and instr.a in known:
+                value = known[instr.a]
+                instr.op = "const"
+                instr.a = value
+                changed = True
+            defs = instr.defs()
+            if defs:
+                d = defs[0]
+                if instr.op == "const":
+                    known[d] = instr.a
+                else:
+                    known.pop(d, None)
+    return changed
+
+
+def eliminate_dead_code(ir_function):
+    """Global DCE; returns True when anything was removed."""
+    changed = False
+    while True:
+        used = set()
+        for instr in ir_function.instructions:
+            used.update(instr.uses())
+        kept = []
+        removed = False
+        for instr in ir_function.instructions:
+            defs = instr.defs()
+            if (defs and instr.op in _PURE_DEFS
+                    and defs[0] not in used):
+                removed = True
+                continue
+            kept.append(instr)
+        ir_function.instructions = kept
+        changed = changed or removed
+        if not removed:
+            return changed
+
+
+def remove_unreachable(ir_function):
+    """Drop blocks with no path from the entry (e.g. code after a
+    ``return`` on every path); returns True when anything was removed.
+    """
+    instructions = ir_function.instructions
+    if not instructions:
+        return False
+    blocks, label_to_block = basic_blocks(instructions)
+    succ = successors(instructions, blocks, label_to_block)
+    reachable = set()
+    frontier = [0]
+    while frontier:
+        b = frontier.pop()
+        if b in reachable:
+            continue
+        reachable.add(b)
+        frontier.extend(succ[b])
+    if len(reachable) == len(blocks):
+        return False
+    kept = []
+    for b, (start, end) in enumerate(blocks):
+        if b in reachable:
+            kept.extend(instructions[start:end])
+    ir_function.instructions = kept
+    return True
+
+
+def optimize(ir_function, level=1):
+    """Run the pass pipeline to a (bounded) fixed point."""
+    if level <= 0:
+        return ir_function
+    for _ in range(MAX_PASSES):
+        changed = copy_propagate(ir_function)
+        changed = fold_constants(ir_function) or changed
+        changed = remove_unreachable(ir_function) or changed
+        changed = eliminate_dead_code(ir_function) or changed
+        if not changed:
+            break
+    return ir_function
+
+
+def _rewrite_uses(instr, remap):
+    if instr.op in ("mov", "load", "br", "arg"):
+        instr.a = remap.get(instr.a, instr.a)
+    elif instr.op == "bin":
+        instr.a = remap.get(instr.a, instr.a)
+        instr.b = remap.get(instr.b, instr.b)
+    elif instr.op == "store":
+        instr.a = remap.get(instr.a, instr.a)
+        instr.b = remap.get(instr.b, instr.b)
+    elif instr.op == "ret" and instr.a is not None:
+        instr.a = remap.get(instr.a, instr.a)
+    elif instr.op == "spill":
+        instr.a = remap.get(instr.a, instr.a)

@@ -1,0 +1,274 @@
+"""Recursive-descent parser for the mini-C language.
+
+Grammar::
+
+    program   := function*
+    function  := "func" ident "(" params? ")" block
+    params    := ident ("," ident)*
+    block     := "{" statement* "}"
+    statement := "var" ident ("=" expr)? ";"
+               | ident "=" expr ";"
+               | "mem" "[" expr "]" "=" expr ";"
+               | "if" "(" expr ")" block ("else" block)?
+               | "while" "(" expr ")" block
+               | "return" expr? ";"
+               | expr ";"
+    expr      := binary expression with C-like precedence
+    primary   := number | ident | ident "(" args ")" | "(" expr ")"
+               | "mem" "[" expr "]" | "alloc" "(" expr ")"
+               | "-" primary | "!" primary
+
+``&&`` and ``||`` evaluate both operands and yield 0/1 (documented
+divergence from C's short-circuit semantics).
+"""
+
+from repro.errors import CompileError
+from repro.lang.ast_nodes import (
+    Alloc,
+    Assign,
+    Binary,
+    Call,
+    ExprStmt,
+    FunctionAST,
+    If,
+    MemLoad,
+    MemStore,
+    Num,
+    ProgramAST,
+    Return,
+    Unary,
+    Var,
+    VarDecl,
+    While,
+)
+from repro.lang.lexer import tokenize
+
+#: precedence levels, loosest first
+_PRECEDENCE = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    @property
+    def current(self):
+        return self.tokens[self.pos]
+
+    def advance(self):
+        token = self.current
+        self.pos += 1
+        return token
+
+    def expect(self, kind, text=None):
+        token = self.current
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text or kind
+            raise CompileError(
+                f"expected {want!r}, found {token.text or token.kind!r}",
+                line=token.line,
+            )
+        return self.advance()
+
+    def accept(self, kind, text=None):
+        token = self.current
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    # -- grammar -----------------------------------------------------------------
+
+    def parse_program(self):
+        functions = []
+        while self.current.kind != "eof":
+            functions.append(self.parse_function())
+        names = [fn.name for fn in functions]
+        for name in names:
+            if names.count(name) > 1:
+                raise CompileError(f"duplicate function {name!r}")
+        return ProgramAST(functions=functions)
+
+    def parse_function(self):
+        start = self.expect("keyword", "func")
+        name = self.expect("ident").text
+        self.expect("(")
+        params = []
+        if not self.accept(")"):
+            while True:
+                params.append(self.expect("ident").text)
+                if self.accept(")"):
+                    break
+                self.expect(",")
+        if len(set(params)) != len(params):
+            raise CompileError(f"duplicate parameter in {name!r}",
+                               line=start.line)
+        body = self.parse_block()
+        return FunctionAST(name=name, params=params, body=body,
+                           line=start.line)
+
+    def parse_block(self):
+        self.expect("{")
+        statements = []
+        while not self.accept("}"):
+            statements.append(self.parse_statement())
+        return statements
+
+    def parse_statement(self):
+        token = self.current
+        if token.kind == "keyword":
+            if token.text == "var":
+                return self.parse_var_decl()
+            if token.text == "if":
+                return self.parse_if()
+            if token.text == "while":
+                return self.parse_while()
+            if token.text == "return":
+                return self.parse_return()
+            if token.text == "mem":
+                return self.parse_mem_store_or_expr()
+            if token.text == "alloc":
+                expr = self.parse_expression()
+                self.expect(";")
+                return ExprStmt(expr=expr, line=token.line)
+            raise CompileError(f"unexpected keyword {token.text!r}",
+                               line=token.line)
+        if token.kind == "ident" and self.tokens[self.pos + 1].kind == "=":
+            name = self.advance().text
+            self.advance()  # "="
+            expr = self.parse_expression()
+            self.expect(";")
+            return Assign(name=name, expr=expr, line=token.line)
+        expr = self.parse_expression()
+        self.expect(";")
+        return ExprStmt(expr=expr, line=token.line)
+
+    def parse_var_decl(self):
+        token = self.expect("keyword", "var")
+        name = self.expect("ident").text
+        init = None
+        if self.accept("="):
+            init = self.parse_expression()
+        self.expect(";")
+        return VarDecl(name=name, init=init, line=token.line)
+
+    def parse_if(self):
+        token = self.expect("keyword", "if")
+        self.expect("(")
+        cond = self.parse_expression()
+        self.expect(")")
+        then_body = self.parse_block()
+        else_body = []
+        if self.accept("keyword", "else"):
+            if self.current.kind == "keyword" and self.current.text == "if":
+                else_body = [self.parse_if()]
+            else:
+                else_body = self.parse_block()
+        return If(cond=cond, then_body=then_body, else_body=else_body,
+                  line=token.line)
+
+    def parse_while(self):
+        token = self.expect("keyword", "while")
+        self.expect("(")
+        cond = self.parse_expression()
+        self.expect(")")
+        body = self.parse_block()
+        return While(cond=cond, body=body, line=token.line)
+
+    def parse_return(self):
+        token = self.expect("keyword", "return")
+        expr = None
+        if self.current.kind != ";":
+            expr = self.parse_expression()
+        self.expect(";")
+        return Return(expr=expr, line=token.line)
+
+    def parse_mem_store_or_expr(self):
+        token = self.expect("keyword", "mem")
+        self.expect("[")
+        address = self.parse_expression()
+        self.expect("]")
+        if self.accept("="):
+            value = self.parse_expression()
+            self.expect(";")
+            return MemStore(address=address, value=value, line=token.line)
+        self.expect(";")
+        return ExprStmt(expr=MemLoad(address=address, line=token.line),
+                        line=token.line)
+
+    # -- expressions ----------------------------------------------------------------
+
+    def parse_expression(self, level=0):
+        if level >= len(_PRECEDENCE):
+            return self.parse_unary()
+        left = self.parse_expression(level + 1)
+        while self.current.kind in _PRECEDENCE[level]:
+            op = self.advance()
+            right = self.parse_expression(level + 1)
+            left = Binary(op=op.text, left=left, right=right, line=op.line)
+        return left
+
+    def parse_unary(self):
+        token = self.current
+        if token.kind in ("-", "!"):
+            self.advance()
+            operand = self.parse_unary()
+            return Unary(op=token.kind, operand=operand, line=token.line)
+        return self.parse_primary()
+
+    def parse_primary(self):
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            return Num(value=token.value, line=token.line)
+        if token.kind == "(":
+            self.advance()
+            expr = self.parse_expression()
+            self.expect(")")
+            return expr
+        if token.kind == "keyword" and token.text == "mem":
+            self.advance()
+            self.expect("[")
+            address = self.parse_expression()
+            self.expect("]")
+            return MemLoad(address=address, line=token.line)
+        if token.kind == "keyword" and token.text == "alloc":
+            self.advance()
+            self.expect("(")
+            size = self.parse_expression()
+            self.expect(")")
+            return Alloc(size=size, line=token.line)
+        if token.kind == "ident":
+            name = self.advance().text
+            if self.accept("("):
+                args = []
+                if not self.accept(")"):
+                    while True:
+                        args.append(self.parse_expression())
+                        if self.accept(")"):
+                            break
+                        self.expect(",")
+                return Call(name=name, args=args, line=token.line)
+            return Var(name=name, line=token.line)
+        raise CompileError(
+            f"unexpected token {token.text or token.kind!r}",
+            line=token.line,
+        )
+
+
+def parse(source):
+    """Parse source text into a :class:`ProgramAST`."""
+    return _Parser(tokenize(source)).parse_program()

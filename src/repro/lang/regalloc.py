@@ -1,0 +1,208 @@
+"""Chaitin-Briggs graph-coloring register allocation ([5] in the paper).
+
+Builds an interference graph from liveness, simplifies nodes of
+insignificant degree, optimistically pushes spill candidates, and
+rewrites the IR with spill code (store after definition, load before
+use via short-lived temporaries) when a node really cannot be colored.
+Iterates until everything colors — guaranteed to terminate because
+spill temporaries have single-instruction live ranges.
+
+The allocator colors into ``k`` registers; the code generator reserves
+two context registers above ``k`` as scratch for spill-slot addressing,
+mirroring a conventional compiler's reserved temporaries.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.errors import CompileError
+from repro.lang.ir import IRInstr
+from repro.lang.liveness import analyze
+
+MAX_ROUNDS = 24
+
+
+@dataclass
+class Allocation:
+    """Result of register allocation for one function."""
+
+    #: virtual register -> physical register number (0..k-1)
+    assignment: dict
+    #: virtual register -> spill slot index (slots are frame words)
+    spill_slots: dict
+    num_spill_slots: int
+    #: the (possibly rewritten) instruction list the assignment refers to
+    instructions: list
+    rounds: int = 1
+    stats: dict = field(default_factory=dict)
+
+
+def build_interference(instructions, live_out):
+    """Interference graph: v -> set of virtuals it conflicts with."""
+    graph = {}
+
+    def node(v):
+        return graph.setdefault(v, set())
+
+    for instr, live in zip(instructions, live_out):
+        for v in instr.uses():
+            node(v)
+        for d in instr.defs():
+            node(d)
+            # A definition interferes with everything live after it,
+            # except itself; for moves, the source is excluded (classic
+            # move-exclusion, enables natural coalescing-like packing).
+            excluded = {d}
+            if instr.op == "mov":
+                excluded.add(instr.a)
+            for v in live:
+                if v not in excluded:
+                    node(d).add(v)
+                    node(v).add(d)
+    return graph
+
+
+def _spill_cost(v, instructions):
+    uses = 0
+    for instr in instructions:
+        uses += instr.uses().count(v) + instr.defs().count(v)
+    return uses
+
+
+def color(graph, k, instructions, unspillable=frozenset()):
+    """Chaitin-Briggs simplify/select; returns (colors, actual_spills).
+
+    ``unspillable`` holds the short-lived temporaries created by earlier
+    spill rounds: choosing them as spill candidates again would loop
+    forever, so they are only picked when nothing else remains.
+    """
+    degrees = {v: len(neigh) for v, neigh in graph.items()}
+    adj = {v: set(neigh) for v, neigh in graph.items()}
+    stack = []
+    removed = set()
+    work = set(graph)
+    while work:
+        candidate = None
+        for v in sorted(work, key=lambda v: (degrees[v], v)):
+            if degrees[v] < k:
+                candidate = v
+                break
+        if candidate is None:
+            # Optimistic spill candidate: high degree, low cost —
+            # never a spill temp while a real virtual remains.
+            pool = sorted(work - unspillable) or sorted(work)
+            candidate = min(
+                pool,
+                key=lambda v: (_spill_cost(v, instructions)
+                               / max(1, degrees[v])),
+            )
+        work.discard(candidate)
+        removed.add(candidate)
+        stack.append(candidate)
+        for neighbor in adj[candidate]:
+            if neighbor not in removed:
+                degrees[neighbor] -= 1
+
+    colors = {}
+    spills = []
+    for v in reversed(stack):
+        taken = {colors[n] for n in adj[v] if n in colors}
+        for c in range(k):
+            if c not in taken:
+                colors[v] = c
+                break
+        else:
+            spills.append(v)
+    return colors, spills
+
+
+def insert_spill_code(ir_function, spilled, slot_of):
+    """Rewrite IR: loads before uses, stores after defs, via fresh temps.
+
+    Returns the set of temporaries created (they must not be chosen as
+    spill candidates in later rounds).
+    """
+    new_instructions = []
+    temps = set()
+    for instr in ir_function.instructions:
+        reads = [v for v in instr.uses() if v in spilled]
+        remap = {}
+        for v in set(reads):
+            temp = ir_function.new_virtual()
+            temps.add(temp)
+            remap[v] = temp
+            new_instructions.append(
+                IRInstr(op="unspill", dst=temp, a=slot_of[v])
+            )
+        rewritten = IRInstr(op=instr.op, dst=instr.dst, a=instr.a,
+                            b=instr.b, extra=instr.extra)
+        _remap_uses(rewritten, remap)
+        defs = [v for v in rewritten.defs() if v in spilled]
+        if defs:
+            v = defs[0]
+            temp = ir_function.new_virtual()
+            temps.add(temp)
+            _remap_defs(rewritten, {v: temp})
+            new_instructions.append(rewritten)
+            new_instructions.append(
+                IRInstr(op="spill", a=temp, b=slot_of[v])
+            )
+        else:
+            new_instructions.append(rewritten)
+    ir_function.instructions = new_instructions
+    return temps
+
+
+def _remap_uses(instr, remap):
+    if not remap:
+        return
+    if instr.op in ("mov", "load", "br", "arg"):
+        instr.a = remap.get(instr.a, instr.a)
+    elif instr.op == "bin":
+        instr.a = remap.get(instr.a, instr.a)
+        instr.b = remap.get(instr.b, instr.b)
+    elif instr.op == "store":
+        instr.a = remap.get(instr.a, instr.a)
+        instr.b = remap.get(instr.b, instr.b)
+    elif instr.op == "ret" and instr.a is not None:
+        instr.a = remap.get(instr.a, instr.a)
+
+
+def _remap_defs(instr, remap):
+    if instr.dst in remap:
+        instr.dst = remap[instr.dst]
+
+
+def allocate(ir_function, k):
+    """Allocate ``ir_function``'s virtuals into ``k`` registers.
+
+    ``unspill``/``spill`` pseudo-ops reference frame slots; the code
+    generator lowers them to ``lw``/``sw`` off the stack pointer.
+    """
+    if k < 2:
+        raise CompileError(f"need at least 2 allocatable registers, got {k}")
+    spill_slots = {}
+    unspillable = set()
+    for round_number in range(1, MAX_ROUNDS + 1):
+        live_out, _ = analyze(ir_function)
+        graph = build_interference(ir_function.instructions, live_out)
+        colors, spills = color(graph, k, ir_function.instructions,
+                               unspillable=unspillable)
+        if not spills:
+            return Allocation(
+                assignment=colors,
+                spill_slots=spill_slots,
+                num_spill_slots=len(spill_slots),
+                instructions=ir_function.instructions,
+                rounds=round_number,
+                stats={"virtuals": ir_function.num_virtuals,
+                       "spilled": len(spill_slots)},
+            )
+        slot_of = {}
+        for v in spills:
+            slot = spill_slots.setdefault(v, len(spill_slots))
+            slot_of[v] = slot
+        unspillable |= insert_spill_code(ir_function, set(spills),
+                                         slot_of)
+    raise CompileError(
+        f"register allocation did not converge for {ir_function.name!r}"
+    )

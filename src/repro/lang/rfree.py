@@ -1,0 +1,58 @@
+"""Dead-register deallocation analysis (the NSF's ``rfree``, §4.2).
+
+"The NSF can explicitly deallocate a single register after it is no
+longer needed … The instruction stream creates and destroys contexts
+and local variables."  A compiler targeting the NSF can therefore free
+a physical register the moment its last live value dies, shrinking the
+context's footprint in the file (fewer live registers → less spill
+pressure → more resident contexts).
+
+A physical register may be freed after instruction ``i`` only when *no
+live virtual* maps to its color there.  (It is not enough that the
+dying virtual's color is unique to it: move-exclusion in the
+interference builder deliberately lets a copy's source and destination
+share a color while both are live — they hold the same value — so a
+dying virtual can share its color with a still-live one.)
+:func:`dead_colors_after` computes, per IR instruction index, the
+physical registers that may be ``rfree``'d right after it.
+
+This trades instruction count (one ``rfree`` each) for occupancy; the
+``bench_ablation_rfree`` benchmark quantifies the trade.
+"""
+
+from repro.lang.liveness import analyze
+
+
+def dead_colors_after(ir_function, assignment):
+    """Map instruction index → sorted list of colors freeable after it.
+
+    ``assignment`` maps virtual registers to colors; virtuals without a
+    color (never-used parameters) are ignored.
+    """
+    live_out, _ = analyze(ir_function)
+    instructions = ir_function.instructions
+    freeable = {}
+    for index, (instr, live) in enumerate(zip(instructions, live_out)):
+        dying = set()
+        for v in list(instr.uses()) + list(instr.defs()):
+            if v in assignment and v not in live:
+                dying.add(v)
+        if not dying:
+            continue
+        # A color is freeable only when NOTHING live still uses it —
+        # including the same instruction's own (live) definition and
+        # any move-sharing virtual that carries the same value.
+        live_colors = {
+            assignment[v] for v in live if v in assignment
+        }
+        colors = sorted(
+            {assignment[v] for v in dying} - live_colors
+        )
+        if colors:
+            freeable[index] = colors
+    return freeable
+
+
+def rfree_schedule(ir_function, allocation):
+    """Convenience wrapper taking an :class:`Allocation`."""
+    return dead_colors_after(ir_function, allocation.assignment)

@@ -1,0 +1,20 @@
+"""Block-multithreaded runtime: threads, futures, I-structures,
+scheduler, bounded Context-ID allocation, and multiprocessor clusters.
+"""
+
+from repro.runtime.cid import CIDAllocator, CIDExhaustedError
+from repro.runtime.multiproc import Cluster, NodeMachine
+from repro.runtime.scheduler import ThreadMachine
+from repro.runtime.threads import Future, IStructure, Stall, Thread
+
+__all__ = [
+    "CIDAllocator",
+    "CIDExhaustedError",
+    "Cluster",
+    "Future",
+    "IStructure",
+    "NodeMachine",
+    "Stall",
+    "Thread",
+    "ThreadMachine",
+]

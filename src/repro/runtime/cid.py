@@ -1,0 +1,67 @@
+"""Context-ID management.
+
+The NSF names registers with a short Context ID field — the paper uses
+the CID width as part of the register address (Fig 3: ``<Context ID :
+Offset>``) and defers allocation policy to the thesis [1]: "Context IDs
+are neither virtual addresses, nor global thread identifiers, they can
+be assigned to contexts in any way needed by the programming model."
+
+:class:`CIDAllocator` implements the obvious policy: a bounded free
+list over the 2^bits name space with LIFO reuse (recently-freed CIDs
+are reused first, which keeps the backing-store footprint compact).
+Exhaustion is a *real* architectural event — a machine with more live
+activations than CIDs must virtualize them — and surfaces as
+:class:`CIDExhaustedError` so runtimes can decide what to do.
+"""
+
+from repro.errors import RuntimeModelError
+
+
+class CIDExhaustedError(RuntimeModelError):
+    """More live contexts than the CID field can name."""
+
+    def __init__(self, bits):
+        super().__init__(
+            f"all {1 << bits} context IDs ({bits}-bit field) are live; "
+            "end a context before creating another, or widen the field"
+        )
+        self.bits = bits
+
+
+class CIDAllocator:
+    """Bounded Context-ID name space with LIFO reuse."""
+
+    def __init__(self, bits=6):
+        if not 1 <= bits <= 16:
+            raise ValueError("CID field width must be 1..16 bits")
+        self.bits = bits
+        self.capacity = 1 << bits
+        self._free = list(range(self.capacity - 1, -1, -1))
+        self._live = set()
+        self.high_watermark = 0
+
+    def alloc(self):
+        """Allocate a CID; raises :class:`CIDExhaustedError` when full."""
+        if not self._free:
+            raise CIDExhaustedError(self.bits)
+        cid = self._free.pop()
+        self._live.add(cid)
+        if len(self._live) > self.high_watermark:
+            self.high_watermark = len(self._live)
+        return cid
+
+    def free(self, cid):
+        """Return a CID to the pool."""
+        if cid not in self._live:
+            raise RuntimeModelError(f"CID {cid} is not live")
+        self._live.discard(cid)
+        self._free.append(cid)
+
+    def live_count(self):
+        return len(self._live)
+
+    def is_live(self, cid):
+        return cid in self._live
+
+    def __len__(self):
+        return len(self._live)

@@ -1,0 +1,167 @@
+"""A multiprocessor of NSF nodes (the paper's §2 machine context).
+
+"Most parallel applications frequently pass data among processors.
+Fine grain programs send messages every 75 to 100 instructions, each
+of which may require a round trip latency of more than 100 instruction
+cycles."  The single-machine runtime models that latency with
+``remote()``; this module builds the machine itself: ``P`` processor
+nodes, each with its *own* register file and block-multithreading
+scheduler, connected by a fixed-latency interconnect.
+
+* ``cluster.spawn_on(node, fn, *args)`` places a thread;
+* futures work transparently across nodes — resolving a future wakes
+  remote waiters after the network latency (the reply message);
+* scheduling is conservative global-clock: the node with the smallest
+  local cycle count runs next, so cross-node causality is respected.
+"""
+
+import heapq
+
+from repro.errors import DeadlockError
+from repro.runtime.scheduler import ThreadMachine
+from repro.runtime.threads import Thread
+
+
+class NodeMachine(ThreadMachine):
+    """One processor of the cluster."""
+
+    def __init__(self, node_id, cluster, regfile, **kwargs):
+        super().__init__(regfile, **kwargs)
+        self.node_id = node_id
+        self.cluster = cluster
+        self.messages_received = 0
+
+    def _receive_wake(self, thread, value, sender_cycles):
+        """A wake-up arriving over the interconnect."""
+        self.messages_received += 1
+        thread.pending_value = value
+        arrival = sender_cycles + self.cluster.network_latency
+        if arrival <= self.cycles:
+            thread.state = Thread.READY
+            self._ready.append(thread)
+        else:
+            thread.state = Thread.SLEEPING
+            heapq.heappush(self._sleeping,
+                           (arrival, next(self._sleep_seq), thread))
+
+    def __repr__(self):
+        return (f"<Node {self.node_id} cycles={self.cycles} "
+                f"live={self._live}>")
+
+
+class Cluster:
+    """``P`` NSF processors behind a fixed-latency network."""
+
+    def __init__(self, num_nodes, make_regfile, context_size=None,
+                 network_latency=100, remote_latency=100,
+                 verify_values=True, work_stealing=False):
+        if num_nodes < 1:
+            raise ValueError("a cluster needs at least one node")
+        self.network_latency = network_latency
+        #: idle nodes steal not-yet-started threads from the most
+        #: loaded node's ready queue (paying the network latency)
+        self.work_stealing = work_stealing
+        self.steals = 0
+        self.nodes = [
+            NodeMachine(i, self, make_regfile(i),
+                        context_size=context_size,
+                        remote_latency=remote_latency,
+                        verify_values=verify_values)
+            for i in range(num_nodes)
+        ]
+
+    def __len__(self):
+        return len(self.nodes)
+
+    def node(self, index):
+        return self.nodes[index]
+
+    def spawn_on(self, node_index, fn, *args, name=None):
+        """Place a thread on a specific node."""
+        return self.nodes[node_index].spawn(fn, *args, name=name)
+
+    def spawn_round_robin(self, items, fn, offset=0):
+        """One thread per item, dealt across the nodes; returns threads."""
+        threads = []
+        for k, item in enumerate(items):
+            node = (offset + k) % len(self.nodes)
+            threads.append(self.spawn_on(node, fn, item))
+        return threads
+
+    # -- global conservative scheduler -------------------------------------
+
+    def _try_steal(self):
+        """Move one not-yet-started thread to the least busy node."""
+        victims = sorted(
+            (n for n in self.nodes if len(n._ready) > 1),
+            key=lambda n: -len(n._ready),
+        )
+        if not victims:
+            return False
+        victim = victims[0]
+        thief = min(self.nodes, key=lambda n: (len(n._ready), n.cycles))
+        if thief is victim:
+            return False
+        # Steal from the back of the queue; only threads that have not
+        # started yet (no context allocated) can migrate.
+        for index in range(len(victim._ready) - 1, -1, -1):
+            thread = victim._ready[index]
+            if thread.gen is None:
+                del victim._ready[index]
+                victim._live -= 1
+                thread.machine = thief
+                thief._live += 1
+                thief._ready.append(thread)
+                # The steal request/response crosses the network.
+                thief.cycles = max(thief.cycles,
+                                   victim.cycles) + self.network_latency
+                thief.messages_received += 1
+                self.steals += 1
+                return True
+        return False
+
+    def run(self):
+        """Run every node to completion on a shared virtual clock."""
+        while True:
+            if self.work_stealing:
+                idle = [n for n in self.nodes if not n._ready]
+                if idle:
+                    self._try_steal()
+            ready_nodes = [n for n in self.nodes if n._ready]
+            if ready_nodes:
+                node = min(ready_nodes, key=lambda n: n.cycles)
+                node._run_thread(node._ready.popleft())
+                continue
+            sleeping_nodes = [n for n in self.nodes if n._sleeping]
+            if sleeping_nodes:
+                node = min(sleeping_nodes,
+                           key=lambda n: n._sleeping[0][0])
+                wake_at, _, thread = heapq.heappop(node._sleeping)
+                if wake_at > node.cycles:
+                    node.idle_cycles += wake_at - node.cycles
+                    node.cycles = wake_at
+                thread.state = Thread.READY
+                node._ready.append(thread)
+                continue
+            live = sum(n._live for n in self.nodes)
+            if live:
+                raise DeadlockError(
+                    f"{live} thread(s) blocked cluster-wide on futures "
+                    "nobody can resolve"
+                )
+            return self
+
+    # -- aggregate statistics ----------------------------------------------------
+
+    def total_instructions(self):
+        return sum(n.instructions for n in self.nodes)
+
+    def total_messages(self):
+        return sum(n.messages_received for n in self.nodes)
+
+    def makespan(self):
+        """Finish time of the slowest node (parallel execution time)."""
+        return max(n.cycles for n in self.nodes)
+
+    def stats_by_node(self):
+        return [n.regfile.stats for n in self.nodes]

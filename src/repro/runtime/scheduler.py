@@ -1,0 +1,223 @@
+"""Block-multithreading scheduler (§3 of the paper).
+
+A processor runs one thread until it stalls — on a synchronization
+point (an unresolved future) or a remote access — then switches to
+another ready thread rather than idling (Figure 1 of the paper).  The
+register-file model underneath sees exactly the context-switch pattern
+this produces; the NSF pays per-register demand reloads while a
+segmented file swaps whole frames.
+
+The clock advances with executed instructions; a remote access parks
+the issuing thread until ``clock + remote_latency``.  When no thread is
+ready but some are sleeping, the processor idles forward (those cycles
+are recorded in ``idle_cycles`` — the cost fast context switching is
+meant to avoid).
+"""
+
+import heapq
+import itertools
+from collections import deque
+
+from repro.activation.machine import Activation, Machine
+from repro.errors import DeadlockError, RuntimeModelError
+from repro.runtime.threads import Future, IStructure, Stall, Thread
+
+
+class ThreadMachine(Machine):
+    """Runs fine-grain guest threads over a register-file model."""
+
+    #: instructions charged for spawning a thread (message format + send)
+    SPAWN_COST = 2
+    #: instructions charged for a successful synchronization test
+    SYNC_COST = 1
+
+    def __init__(self, regfile, context_size=None, remote_latency=100,
+                 verify_values=True, cid_bits=None, eager_switch=False):
+        super().__init__(regfile, verify_values=verify_values)
+        self.context_size = context_size or regfile.context_size
+        self.remote_latency = remote_latency
+        #: block multithreading (False, the paper's focus) runs a thread
+        #: until it really stalls; eager switching (True) rotates to the
+        #: next ready thread at *every* synchronization point, modeling
+        #: the finer-grain interleaved processors of §3 (HEP, Monsoon).
+        self.eager_switch = eager_switch
+        #: bounded Context-ID space (None = unbounded simulation CIDs)
+        self.cid_allocator = None
+        if cid_bits is not None:
+            from repro.runtime.cid import CIDAllocator
+            self.cid_allocator = CIDAllocator(cid_bits)
+        self._ready = deque()
+        self._sleeping = []
+        self._sleep_seq = itertools.count()
+        self._live = 0
+        self.idle_cycles = 0
+        self.threads_spawned = 0
+
+    # -- guest/front-end API ----------------------------------------------------
+
+    def spawn(self, fn, *args, name=None):
+        """Create a thread; it becomes runnable immediately."""
+        thread = Thread(fn, args, name=name, machine=self)
+        self._instr(self.SPAWN_COST)
+        self._ready.append(thread)
+        thread.state = Thread.READY
+        self._live += 1
+        self.threads_spawned += 1
+        return thread
+
+    def wait(self, future):
+        """Yieldable: block the thread until ``future`` resolves."""
+        if not isinstance(future, Future):
+            raise RuntimeModelError(f"wait() needs a Future, got {future!r}")
+        return Stall(Stall.WAIT, future=future)
+
+    def remote(self, latency=None):
+        """Yieldable: a remote access round-trip (paper §2: ~100 cycles)."""
+        return Stall(Stall.REMOTE,
+                     latency=self.remote_latency if latency is None else latency)
+
+    def put(self, future, value):
+        """Resolve a future with a host value (one store instruction)."""
+        self._instr()
+        for waiter in future._resolve(value):
+            self._wake(waiter, value)
+
+    def put_reg(self, act, future, reg):
+        """Resolve a future with a register's value (read + store)."""
+        self._instr()
+        value = act._read(reg)
+        for waiter in future._resolve(value):
+            self._wake(waiter, value)
+
+    def istructure(self, length, name=None):
+        return IStructure(length, name=name)
+
+    def future(self, name=None):
+        return Future(name=name)
+
+    # -- the scheduler proper ------------------------------------------------------
+
+    def run(self):
+        """Run until every spawned thread has finished.
+
+        Raises :class:`DeadlockError` if threads remain blocked on
+        futures nobody will resolve.
+        """
+        while self._live:
+            thread = self._next_ready()
+            if thread is None:
+                self._diagnose_deadlock()
+            self._run_thread(thread)
+        return self
+
+    # -- internals --------------------------------------------------------------
+
+    def _next_ready(self):
+        while True:
+            if self._ready:
+                return self._ready.popleft()
+            if not self._sleeping:
+                return None
+            wake_at, _seq, thread = heapq.heappop(self._sleeping)
+            if wake_at > self.cycles:
+                self.idle_cycles += wake_at - self.cycles
+                self.cycles = wake_at
+            thread.state = Thread.READY
+            return thread
+
+    def _run_thread(self, thread):
+        if thread.state == Thread.DONE:
+            raise RuntimeModelError(f"{thread!r} scheduled after completion")
+        if thread.gen is None:
+            self._start(thread)
+        self._switch(thread.cid)
+        send_value = thread.pending_value
+        thread.pending_value = None
+        while True:
+            try:
+                stall = thread.gen.send(send_value)
+            except StopIteration as stop:
+                self._finish(thread, stop.value)
+                return
+            if not isinstance(stall, Stall):
+                raise RuntimeModelError(
+                    f"{thread!r} yielded {stall!r}; threads must yield "
+                    "machine.wait(...) or machine.remote(...)"
+                )
+            if stall.kind == Stall.WAIT:
+                future = stall.future
+                if future.resolved:
+                    self._instr(self.SYNC_COST)
+                    if self.eager_switch and self._ready:
+                        # Interleaved mode: rotate even on a sync hit.
+                        thread.pending_value = future.value
+                        thread.state = Thread.READY
+                        self._ready.append(thread)
+                        return
+                    # Block multithreading — no switch on a hit.
+                    send_value = future.value
+                    continue
+                self._instr(self.SYNC_COST)
+                future.waiters.append(thread)
+                thread.state = Thread.BLOCKED
+                return
+            # Remote access: park until the reply arrives.
+            wake_at = self.cycles + stall.latency
+            heapq.heappush(self._sleeping,
+                           (wake_at, next(self._sleep_seq), thread))
+            thread.state = Thread.SLEEPING
+            return
+
+    def _start(self, thread):
+        if self.cid_allocator is not None:
+            thread.cid = self.regfile.begin_context(
+                cid=self.cid_allocator.alloc()
+            )
+        else:
+            thread.cid = self.regfile.begin_context()
+        thread.act = Activation(self, thread.cid, self.context_size)
+        gen = thread.fn(thread.act, *thread.args)
+        if not hasattr(gen, "send"):
+            raise RuntimeModelError(
+                f"thread body {thread.name!r} is not a generator function; "
+                "write it with at least one `yield` (or `return` after "
+                "`yield` statements)"
+            )
+        thread.gen = gen
+
+    def _finish(self, thread, value):
+        thread.state = Thread.DONE
+        self.regfile.end_context(thread.cid)
+        if self.cid_allocator is not None:
+            self.cid_allocator.free(thread.cid)
+        self._instr()  # thread-exit instruction
+        self._live -= 1
+        for waiter in thread.result._resolve(value):
+            self._wake(waiter, value)
+
+    def _wake(self, thread, value):
+        """Make a blocked thread runnable again.
+
+        When the thread lives on a different processor node (cluster
+        runs), the wake-up is a network message: the owner enqueues it
+        after the interconnect delay instead of immediately.
+        """
+        owner = thread.machine or self
+        if owner is not self:
+            owner._receive_wake(thread, value, sender_cycles=self.cycles)
+            return
+        thread.pending_value = value
+        thread.state = Thread.READY
+        self._ready.append(thread)
+
+    def _receive_wake(self, thread, value, sender_cycles):
+        """Default single-node behaviour: deliver immediately."""
+        thread.pending_value = value
+        thread.state = Thread.READY
+        self._ready.append(thread)
+
+    def _diagnose_deadlock(self):
+        raise DeadlockError(
+            f"{self._live} thread(s) blocked on futures that no runnable "
+            "thread can resolve"
+        )

@@ -1,0 +1,130 @@
+"""Thread, future and I-structure primitives for the parallel runtime.
+
+The paper's parallel benchmarks are TAM dataflow programs: dynamically
+spawned fine-grain threads that synchronize through write-once
+structures and frequently stall on remote accesses.  We reproduce that
+regime with generator-based guest threads:
+
+* a guest thread is a *generator function* ``def body(act, *args)``;
+* it performs emulated instructions through its :class:`Activation`;
+* it stalls by yielding — ``value = yield machine.wait(future)`` blocks
+  until the future resolves, ``yield machine.remote()`` models a remote
+  memory access round-trip.
+
+Futures are write-once (I-structure semantics): a second ``put``
+faults, as it would on a dataflow machine.
+"""
+
+import itertools
+
+from repro.errors import RuntimeModelError
+
+_thread_ids = itertools.count(1)
+
+
+class Future:
+    """A write-once synchronization slot."""
+
+    __slots__ = ("value", "resolved", "waiters", "name")
+
+    def __init__(self, name=None):
+        self.value = None
+        self.resolved = False
+        self.waiters = []
+        self.name = name
+
+    def _resolve(self, value):
+        if self.resolved:
+            raise RuntimeModelError(
+                f"future {self.name or id(self)} written twice "
+                f"(old={self.value!r}, new={value!r})"
+            )
+        self.value = value
+        self.resolved = True
+        woken, self.waiters = self.waiters, []
+        return woken
+
+    def __repr__(self):
+        state = f"={self.value!r}" if self.resolved else " pending"
+        return f"<Future {self.name or hex(id(self))}{state}>"
+
+
+class IStructure:
+    """A write-once array (TAM/Id I-structure).
+
+    Element reads that arrive before the corresponding write are
+    deferred: the reader blocks on the slot's future and is woken by the
+    eventual producer.
+    """
+
+    def __init__(self, length, name=None):
+        self.slots = [Future(name=f"{name or 'istruct'}[{i}]")
+                      for i in range(length)]
+
+    def __len__(self):
+        return len(self.slots)
+
+    def slot(self, index):
+        return self.slots[index]
+
+    def is_full(self):
+        return all(slot.resolved for slot in self.slots)
+
+    def values(self):
+        """Resolved values (for result checking); unresolved slots fault."""
+        missing = [i for i, s in enumerate(self.slots) if not s.resolved]
+        if missing:
+            raise RuntimeModelError(
+                f"I-structure read of empty slots {missing[:5]}"
+            )
+        return [slot.value for slot in self.slots]
+
+
+class Stall:
+    """What a guest thread yields to the scheduler."""
+
+    WAIT = "wait"
+    REMOTE = "remote"
+
+    __slots__ = ("kind", "future", "latency")
+
+    def __init__(self, kind, future=None, latency=0):
+        self.kind = kind
+        self.future = future
+        self.latency = latency
+
+    def __repr__(self):
+        if self.kind == Stall.WAIT:
+            return f"<Stall wait {self.future!r}>"
+        return f"<Stall remote {self.latency}>"
+
+
+class Thread:
+    """A fine-grain guest thread (one TAM activation)."""
+
+    NEW = "new"
+    READY = "ready"
+    BLOCKED = "blocked"
+    SLEEPING = "sleeping"
+    DONE = "done"
+
+    __slots__ = ("tid", "fn", "args", "state", "cid", "act", "gen",
+                 "pending_value", "result", "name", "machine")
+
+    def __init__(self, fn, args, name=None, machine=None):
+        self.tid = next(_thread_ids)
+        self.fn = fn
+        self.args = args
+        self.state = Thread.NEW
+        self.cid = None
+        self.act = None
+        self.gen = None
+        self.pending_value = None
+        #: resolves with the generator's return value when the thread ends
+        self.result = Future(name=f"thread-{self.tid}-result")
+        self.name = name or getattr(fn, "__name__", "thread")
+        #: the machine (processor node) this thread runs on
+        self.machine = machine
+
+    def __repr__(self):
+        return f"<Thread {self.tid} {self.name} {self.state}>"

@@ -1,0 +1,14 @@
+"""Register-reference traces: record once, replay across configurations."""
+
+from repro.trace.events import Trace, TraceFormatError
+from repro.trace.recorder import TracingRegisterFile
+from repro.trace.replay import ReplayDivergenceError, replay, sweep
+
+__all__ = [
+    "ReplayDivergenceError",
+    "Trace",
+    "TraceFormatError",
+    "TracingRegisterFile",
+    "replay",
+    "sweep",
+]

@@ -1,0 +1,116 @@
+"""Register-reference trace format.
+
+The authors evaluated the NSF by feeding register-reference traces from
+cross-compiled programs to a register file simulator.  This package
+makes that methodology a first-class feature: a
+:class:`TracingRegisterFile` records every event a front-end generates,
+and :func:`repro.trace.replay.replay` re-drives any model configuration
+from the recording — so one (expensive) workload execution can evaluate
+an entire design-space sweep.
+
+Events are 4-tuples ``(op, cid, offset, value)`` with string ops:
+
+====== =====================================
+op     meaning
+====== =====================================
+B      begin_context(cid)
+E      end_context(cid)
+S      switch_to(cid)
+R      read(offset) in context cid
+W      write(offset, value) in context cid
+F      free_register(offset) in context cid
+T      tick(n)  (n carried in ``value``)
+====== =====================================
+
+The text serialization is one event per line (``op cid offset value``),
+dense enough for multi-million-event traces and trivially diffable.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+BEGIN, END, SWITCH, READ, WRITE, FREE, TICK = "B", "E", "S", "R", "W", "F", "T"
+
+_VALID_OPS = {BEGIN, END, SWITCH, READ, WRITE, FREE, TICK}
+
+
+class TraceFormatError(ReproError):
+    """Raised for malformed serialized traces."""
+
+
+@dataclass
+class Trace:
+    """A recorded register-reference stream."""
+
+    events: list = field(default_factory=list)
+    context_size: int = 32
+
+    def append(self, op, cid=0, offset=0, value=0):
+        self.events.append((op, cid, offset, value))
+
+    def __len__(self):
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    # -- statistics ----------------------------------------------------------
+
+    def counts(self):
+        """Event-type histogram."""
+        histogram = {}
+        for op, _, _, _ in self.events:
+            histogram[op] = histogram.get(op, 0) + 1
+        return histogram
+
+    def instructions(self):
+        return sum(value for op, _, _, value in self.events if op == TICK)
+
+    def context_ids(self):
+        return {cid for op, cid, _, _ in self.events if op == BEGIN}
+
+    # -- serialization ---------------------------------------------------------
+
+    def dumps(self):
+        """Serialize to trace text."""
+        lines = [f"# nsf-trace v1 context_size={self.context_size}"]
+        for op, cid, offset, value in self.events:
+            lines.append(f"{op} {cid} {offset} {value}")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def loads(cls, text):
+        """Parse trace text produced by :meth:`dumps`."""
+        lines = text.splitlines()
+        if not lines or not lines[0].startswith("# nsf-trace v1"):
+            raise TraceFormatError("missing trace header")
+        try:
+            context_size = int(lines[0].rsplit("=", 1)[1])
+        except (IndexError, ValueError):
+            raise TraceFormatError("bad context_size in header") from None
+        trace = cls(context_size=context_size)
+        for lineno, line in enumerate(lines[1:], start=2):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 4 or parts[0] not in _VALID_OPS:
+                raise TraceFormatError(f"line {lineno}: bad event {line!r}")
+            try:
+                trace.append(parts[0], int(parts[1]), int(parts[2]),
+                             int(parts[3]))
+            except ValueError:
+                raise TraceFormatError(
+                    f"line {lineno}: non-integer field in {line!r}"
+                ) from None
+        return trace
+
+    def dump(self, path):
+        with open(path, "w") as handle:
+            handle.write(self.dumps())
+
+    @classmethod
+    def load(cls, path):
+        with open(path) as handle:
+            return cls.loads(handle.read())

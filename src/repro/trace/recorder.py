@@ -1,0 +1,73 @@
+"""Recording wrapper: capture the event stream a front-end generates."""
+
+from repro.trace.events import (
+    BEGIN,
+    END,
+    FREE,
+    READ,
+    SWITCH,
+    TICK,
+    Trace,
+    WRITE,
+)
+
+
+class TracingRegisterFile:
+    """Wraps any register-file model and records every event.
+
+    The wrapper is API-compatible with :class:`repro.core.base
+    .RegisterFile`, so it can be handed to the activation machine, the
+    thread scheduler or the CPU simulator in place of a bare model::
+
+        inner = NamedStateRegisterFile(...)
+        tracer = TracingRegisterFile(inner)
+        workload.run(tracer, ...)
+        tracer.trace.dump("quicksort.trace")
+    """
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.trace = Trace(context_size=inner.context_size)
+
+    # -- recorded operations ------------------------------------------------
+
+    def begin_context(self, cid=None, base_address=None):
+        cid = self.inner.begin_context(cid=cid, base_address=base_address)
+        self.trace.append(BEGIN, cid)
+        return cid
+
+    def end_context(self, cid):
+        self.inner.end_context(cid)
+        self.trace.append(END, cid)
+
+    def switch_to(self, cid):
+        result = self.inner.switch_to(cid)
+        self.trace.append(SWITCH, cid)
+        return result
+
+    def read(self, offset, cid=None):
+        value, result = self.inner.read(offset, cid=cid)
+        self.trace.append(READ, self._cid(cid), offset)
+        return value, result
+
+    def write(self, offset, value, cid=None):
+        result = self.inner.write(offset, value, cid=cid)
+        recorded = value if isinstance(value, int) else 0
+        self.trace.append(WRITE, self._cid(cid), offset, recorded)
+        return result
+
+    def free_register(self, offset, cid=None):
+        self.inner.free_register(offset, cid=cid)
+        self.trace.append(FREE, self._cid(cid), offset)
+
+    def tick(self, n=1):
+        self.inner.tick(n)
+        self.trace.append(TICK, 0, 0, n)
+
+    # -- pass-through -----------------------------------------------------------
+
+    def _cid(self, cid):
+        return self.inner.current_cid if cid is None else cid
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)

@@ -1,0 +1,73 @@
+"""Replay a recorded trace against any register-file configuration.
+
+This is the cheap half of the paper's methodology: one recorded
+workload evaluates an arbitrary number of file organizations.  Replay
+verifies values — every read must return the most recent recorded write
+— so a model bug surfaces during sweeps too.
+"""
+
+from repro.errors import ReproError
+from repro.trace.events import BEGIN, END, FREE, READ, SWITCH, TICK, WRITE
+
+
+class ReplayDivergenceError(ReproError):
+    """A replayed read returned a different value than was written."""
+
+    def __init__(self, index, cid, offset, expected, actual):
+        super().__init__(
+            f"replay diverged at event {index}: context {cid} r{offset} "
+            f"returned {actual!r}, trace wrote {expected!r}"
+        )
+
+
+def replay(trace, model, verify=True):
+    """Drive ``model`` with ``trace``; returns the model (stats filled).
+
+    ``model.context_size`` must be at least the trace's recorded
+    context size, or offsets will fault.
+    """
+    if model.context_size < trace.context_size:
+        raise ValueError(
+            f"model context_size {model.context_size} smaller than the "
+            f"trace's {trace.context_size}"
+        )
+    shadow = {}
+    for index, (op, cid, offset, value) in enumerate(trace):
+        if op == TICK:
+            model.tick(value)
+        elif op == WRITE:
+            model.write(offset, value, cid=cid)
+            shadow[(cid, offset)] = value
+        elif op == READ:
+            got, _ = model.read(offset, cid=cid)
+            if verify:
+                expected = shadow.get((cid, offset))
+                if expected is not None and got != expected:
+                    raise ReplayDivergenceError(index, cid, offset,
+                                                expected, got)
+        elif op == SWITCH:
+            model.switch_to(cid)
+        elif op == BEGIN:
+            model.begin_context(cid=cid)
+        elif op == END:
+            model.end_context(cid)
+            for key in [k for k in shadow if k[0] == cid]:
+                del shadow[key]
+        elif op == FREE:
+            model.free_register(offset, cid=cid)
+            shadow.pop((cid, offset), None)
+    return model
+
+
+def sweep(trace, model_factory, configurations):
+    """Replay one trace over many configurations.
+
+    ``model_factory(**config)`` builds a model; returns a list of
+    ``(config, stats)`` pairs.
+    """
+    results = []
+    for config in configurations:
+        model = model_factory(**config)
+        replay(trace, model)
+        results.append((config, model.stats))
+    return results

@@ -1,0 +1,79 @@
+"""CLI: run one paper benchmark over chosen register-file models.
+
+Examples::
+
+    python -m repro.workloads Quicksort
+    python -m repro.workloads GateSim --model segmented --scale 2
+    python -m repro.workloads --list
+"""
+
+import argparse
+import sys
+
+from repro.core import (
+    ConventionalRegisterFile,
+    NamedStateRegisterFile,
+    SegmentedRegisterFile,
+)
+from repro.workloads import ALL_WORKLOADS, get_workload, workload_names
+
+
+def _build_model(name, workload, registers):
+    context = workload.context_size
+    if name == "nsf":
+        return NamedStateRegisterFile(num_registers=registers,
+                                      context_size=context)
+    if name == "segmented":
+        return SegmentedRegisterFile(num_registers=registers,
+                                     context_size=context)
+    if name == "conventional":
+        return ConventionalRegisterFile(context_size=context)
+    raise ValueError(name)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Run one of the paper's nine benchmarks."
+    )
+    parser.add_argument("benchmark", nargs="?",
+                        help=f"one of {', '.join(workload_names())}")
+    parser.add_argument("--list", action="store_true",
+                        help="list benchmarks and exit")
+    parser.add_argument("--model", default="both",
+                        choices=["nsf", "segmented", "conventional",
+                                 "both"])
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--registers", type=int, default=None,
+                        help="register file size (default: paper setup)")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.benchmark:
+        for cls in ALL_WORKLOADS:
+            w = cls()
+            print(f"{w.name:10s} {w.kind:10s} {w.description}")
+        return 0
+
+    workload = get_workload(args.benchmark)
+    registers = args.registers or (
+        80 if workload.kind == "sequential" else 128
+    )
+    models = (["nsf", "segmented"] if args.model == "both"
+              else [args.model])
+    for name in models:
+        model = _build_model(name, workload, registers)
+        result = workload.run(model, scale=args.scale, seed=args.seed)
+        stats = model.stats
+        print(f"{name:12s} verified={result.verified} "
+              f"output={result.output}")
+        print(f"{'':12s} instructions={stats.instructions:,} "
+              f"switches={stats.context_switches:,} "
+              f"(every {stats.instructions_per_switch:.1f})")
+        print(f"{'':12s} reloads/instr={stats.reloads_per_instruction:.4%} "
+              f"utilization={stats.utilization_avg:.1%} "
+              f"resident-contexts={stats.avg_resident_contexts:.2f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,131 @@
+"""AS: associative search over a distributed key table (parallel).
+
+A small number of long-running worker threads each scan a partition of
+a key table, counting entries within a Hamming-distance threshold of a
+query word (popcount of the XOR, computed nibble by nibble in
+registers).  Workers fetch their partition descriptor remotely once and
+then run thousands of instructions uninterrupted — the paper's AS
+spawns very few threads and switches contexts only every ~19,000
+instructions, leaving the register file mostly empty.
+"""
+
+import random
+
+from repro.workloads.base import Workload
+
+WORKERS = 4
+THRESHOLD = 6
+WORD_BITS = 16
+
+
+def _popcount16(v):
+    count = 0
+    for _ in range(4):
+        nib = v & 0xF
+        count += (nib & 1) + ((nib >> 1) & 1) + ((nib >> 2) & 1) + ((nib >> 3) & 1)
+        v >>= 4
+    return count
+
+
+class AssociativeSearch(Workload):
+    name = "AS"
+    kind = "parallel"
+    description = "associative search over a distributed key table"
+
+    def build(self, seed, scale):
+        rng = random.Random(seed + 44)
+        num_keys = max(WORKERS * 8, int(192 * scale))
+        num_keys -= num_keys % WORKERS
+        keys = [rng.randrange(1 << WORD_BITS) for _ in range(num_keys)]
+        query = rng.randrange(1 << WORD_BITS)
+        return {"keys": keys, "query": query}
+
+    def reference(self, spec):
+        query = spec["query"]
+        keys = spec["keys"]
+        per_worker = len(keys) // WORKERS
+        total_matches = 0
+        weight_sum = 0
+        for w in range(WORKERS):
+            matches = 0
+            weight = 0
+            for key in keys[w * per_worker:(w + 1) * per_worker]:
+                distance = _popcount16(key ^ query)
+                if distance <= THRESHOLD:
+                    matches += 1
+                    weight += distance
+            total_matches += matches
+            weight_sum += weight % 1000
+        return total_matches * 1000 + weight_sum % 1000
+
+    def execute(self, machine, spec):
+        m = machine
+        keys = spec["keys"]
+        query = spec["query"]
+        n = len(keys)
+        per_worker = n // WORKERS
+        t_keys = m.heap_alloc(n)
+        m.memory.write_block(t_keys, keys)
+
+        def worker(act, w):
+            (rw, rq, key, diff, nib, bit, count, dist, matches,
+             weight, idx, lo, hi, base, mask, shifts, probe,
+             stride) = act.alloc_many(
+                ["w", "q", "key", "diff", "nib", "bit", "count", "dist",
+                 "matches", "weight", "idx", "lo", "hi", "base", "mask",
+                 "shifts", "probe", "stride"]
+            )
+            act.let(rw, w)
+            act.let(rq, query)
+            act.let(lo, w * per_worker)
+            act.let(hi, (w + 1) * per_worker)
+            act.let(base, t_keys)
+            act.let(mask, 0xF)
+            act.let(matches, 0)
+            act.let(weight, 0)
+            # Fetch the partition descriptor from the master node.
+            yield m.remote()
+            for index in range(w * per_worker, (w + 1) * per_worker):
+                act.let(idx, index)
+                act.load(key, base, disp=index)
+                act.bxor(diff, key, rq)
+                act.let(dist, 0)
+                for _ in range(4):
+                    act.band(nib, diff, mask)
+                    act.let(count, 0)
+                    for shift in range(4):
+                        act.shr(bit, nib, shift)
+                        act.band(bit, bit, 1)
+                        act.add(count, count, bit)
+                    act.add(dist, dist, count)
+                    act.shr(diff, diff, 4)
+                if act.test(dist) <= THRESHOLD:
+                    act.addi(matches, matches, 1)
+                    act.add(weight, weight, dist)
+            act.muli(matches, matches, 1000)
+            act.op(weight, lambda v: v % 1000, weight)
+            act.add(matches, matches, weight)
+            return act.test(matches)
+
+        def master(act):
+            (total, part, mcount, wsum) = act.alloc_many(
+                ["total", "part", "mcount", "wsum"]
+            )
+            act.let(mcount, 0)
+            act.let(wsum, 0)
+            workers = [m.spawn(worker, w) for w in range(WORKERS)]
+            for thread in workers:
+                value = yield m.wait(thread.result)
+                act.let(part, value)
+                act.div(total, part, 1000)
+                act.add(mcount, mcount, total)
+                act.op(part, lambda v: v % 1000, part)
+                act.add(wsum, wsum, part)
+            act.muli(mcount, mcount, 1000)
+            act.op(wsum, lambda v: v % 1000, wsum)
+            act.add(mcount, mcount, wsum)
+            return act.test(mcount)
+
+        root = m.spawn(master)
+        m.run()
+        return root.result.value

@@ -1,0 +1,116 @@
+"""DTW: banded dynamic time warping with wavefront threads (parallel).
+
+Computes the classic DTW cost matrix
+``D[i][j] = |x_i - y_j| + min(D[i-1][j], D[i][j-1], D[i-1][j-1])``
+with one thread per row.  Rows synchronize at *block* granularity
+through per-row I-structures: a row thread computes a block of columns,
+publishes the block's completion, and waits for the previous row to
+finish the next block before continuing — the medium-grain pipeline the
+paper measures at a context switch every few hundred instructions.
+"""
+
+import random
+
+from repro.workloads.base import Workload
+
+BLOCK = 8
+
+
+class DTW(Workload):
+    name = "DTW"
+    kind = "parallel"
+    description = "banded dynamic time warping, wavefront threads"
+
+    def build(self, seed, scale):
+        rng = random.Random(seed + 21)
+        rows = max(6, int(20 * scale))
+        cols_blocks = max(2, int(6 * scale))
+        cols = cols_blocks * BLOCK
+        x = [rng.randrange(64) for _ in range(rows)]
+        y = [rng.randrange(64) for _ in range(cols)]
+        return {"x": x, "y": y}
+
+    def reference(self, spec):
+        x, y = spec["x"], spec["y"]
+        rows, cols = len(x), len(y)
+        prev = [0] * cols
+        for j in range(cols):
+            cost = abs(x[0] - y[j])
+            prev[j] = cost + (prev[j - 1] if j else 0)
+        for i in range(1, rows):
+            cur = [0] * cols
+            for j in range(cols):
+                cost = abs(x[i] - y[j])
+                best = prev[j]
+                if j:
+                    best = min(best, cur[j - 1], prev[j - 1])
+                cur[j] = cost + best
+            prev = cur
+        return prev[-1]
+
+    def execute(self, machine, spec):
+        m = machine
+        x, y = spec["x"], spec["y"]
+        rows, cols = len(x), len(y)
+        blocks = cols // BLOCK
+
+        t_x = m.heap_alloc(rows)
+        t_y = m.heap_alloc(cols)
+        t_d = m.heap_alloc(rows * cols)
+        m.memory.write_block(t_x, x)
+        m.memory.write_block(t_y, y)
+        done = [m.istructure(blocks, name=f"row{i}") for i in range(rows)]
+
+        def row_thread(act, i):
+            # A TAM translation keeps the whole row state in registers.
+            (ri, xi, yj, j, cost, up, left, diag, best, cell,
+             rowbase, prevbase, blk, limit, tmp_a, tmp_b, acc,
+             count) = act.alloc_many(
+                ["i", "xi", "yj", "j", "cost", "up", "left", "diag",
+                 "best", "cell", "rowbase", "prevbase", "blk", "limit",
+                 "tmp_a", "tmp_b", "acc", "count"]
+            )
+            act.let(ri, i)
+            act.load(xi, t_x + i)
+            act.let(rowbase, t_d + i * cols)
+            act.let(prevbase, t_d + (i - 1) * cols)
+            act.let(acc, 0)
+            act.let(count, 0)
+            for b in range(blocks):
+                act.let(blk, b)
+                if i > 0:
+                    # Wait for the previous row to finish this block.
+                    yield m.wait(done[i - 1].slot(b))
+                else:
+                    yield m.remote(0)
+                act.let(limit, (b + 1) * BLOCK)
+                for j_index in range(b * BLOCK, (b + 1) * BLOCK):
+                    act.let(j, j_index)
+                    act.load(yj, t_y + j_index)
+                    act.sub(cost, xi, yj)
+                    act.op(cost, abs, cost)
+                    if i == 0:
+                        if j_index == 0:
+                            act.let(best, 0)
+                        else:
+                            act.load(best, rowbase, disp=j_index - 1)
+                    else:
+                        act.load(up, prevbase, disp=j_index)
+                        if j_index == 0:
+                            act.mov(best, up)
+                        else:
+                            act.load(left, rowbase, disp=j_index - 1)
+                            act.load(diag, prevbase, disp=j_index - 1)
+                            act.min_(best, up, left)
+                            act.min_(best, best, diag)
+                    act.add(cell, cost, best)
+                    act.store(rowbase, cell, disp=j_index)
+                    act.add(acc, acc, cell)
+                    act.addi(count, count, 1)
+                m.put(done[i].slot(b), i * blocks + b)
+            return act.test(acc)
+
+        threads = [m.spawn(row_thread, i) for i in range(rows)]
+        m.run()
+        assert all(t.result.resolved for t in threads)
+        return m.memory.peek(t_d + rows * cols - 1)

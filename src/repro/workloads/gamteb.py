@@ -1,0 +1,167 @@
+"""Gamteb: Monte-Carlo photon transport through a 1-D slab (parallel).
+
+The paper's Gamteb is an Id Monte-Carlo photon-transport code, the most
+fine-grained of its benchmarks (a context switch every ~16
+instructions).  Ours transports photon bundles through a slab: each
+flight samples a free path from an in-register linear-congruential
+generator, moves the photon, and resolves a collision as absorption,
+scattering (direction flip) or continuation.  Every collision fetches
+cross-section data from a remote node — ``yield machine.remote()`` —
+so the processor switches threads at collision frequency, exactly the
+latency-masking regime of §2 of the paper.
+
+The LCG makes the simulation bit-for-bit deterministic, so the plain
+Python reference reproduces the same physics.
+"""
+
+from repro.workloads.base import Workload
+
+LCG_A = 1103
+LCG_C = 12345
+LCG_M = 1 << 16
+
+SLAB = 20          # slab thickness
+MAX_FLIGHTS = 64   # safety bound per photon
+
+ABSORBED, ESCAPED_LEFT, ESCAPED_RIGHT = 0, 1, 2
+
+
+def _lcg(seed):
+    return (LCG_A * seed + LCG_C) % LCG_M
+
+
+def _transport(seed):
+    """Reference physics for one photon; returns (outcome, collisions)."""
+    x = 0
+    direction = 1
+    collisions = 0
+    for _ in range(MAX_FLIGHTS):
+        seed = _lcg(seed)
+        distance = 1 + ((seed >> 7) % 8)
+        x += direction * distance
+        if x < 0:
+            return ESCAPED_LEFT, collisions, seed
+        if x >= SLAB:
+            return ESCAPED_RIGHT, collisions, seed
+        collisions += 1
+        seed = _lcg(seed)
+        event = (seed >> 9) % 16
+        if event < 3:
+            return ABSORBED, collisions, seed
+        if event < 9:
+            direction = -direction
+    return ABSORBED, collisions, seed
+
+
+class Gamteb(Workload):
+    name = "Gamteb"
+    kind = "parallel"
+    description = "Monte-Carlo photon transport through a slab"
+
+    def build(self, seed, scale):
+        num_photons = max(8, int(200 * scale))
+        seeds = [(seed * 7919 + 31 * k) % LCG_M for k in range(num_photons)]
+        return {"seeds": seeds}
+
+    def reference(self, spec):
+        tallies = [0, 0, 0]
+        collisions = 0
+        for s in spec["seeds"]:
+            outcome, n, _ = _transport(s)
+            tallies[outcome] += 1
+            collisions += n
+        return (tallies[ABSORBED] * 1_000_000
+                + tallies[ESCAPED_LEFT] * 10_000
+                + tallies[ESCAPED_RIGHT] * 100
+                + collisions % 100)
+
+    def execute(self, machine, spec):
+        m = machine
+        seeds = spec["seeds"]
+
+        def photon(act, s0):
+            (seed, x, direction, distance, event, collisions, tmp,
+             bound, flights, absorbed, esc_l, esc_r, tag, mask,
+             stride) = act.alloc_many(
+                ["seed", "x", "dir", "dist", "event", "coll", "tmp",
+                 "bound", "flights", "absorbed", "esc_l", "esc_r",
+                 "tag", "mask", "stride"]
+            )
+            # A TAM translation initializes the whole frame up front
+            # ("without regard to variable lifetime", §7.1.1).
+            act.let(seed, s0)
+            act.let(x, 0)
+            act.let(direction, 1)
+            act.let(collisions, 0)
+            act.let(bound, SLAB)
+            act.let(flights, 0)
+            act.let(absorbed, 0)
+            act.let(esc_l, 0)
+            act.let(esc_r, 0)
+            act.let(tag, 0)
+            act.let(mask, 0xF)
+            act.let(stride, 1)
+            act.let(event, 0)
+            act.let(distance, 0)
+            act.let(tmp, 0)
+            outcome = ABSORBED
+            for _ in range(MAX_FLIGHTS):
+                act.op(seed, lambda v: (LCG_A * v + LCG_C) % LCG_M, seed)
+                act.op(distance, lambda v: 1 + ((v >> 7) % 8), seed)
+                act.mul(tmp, direction, distance)
+                act.add(x, x, tmp)
+                act.addi(flights, flights, 1)
+                if act.test(x) < 0:
+                    outcome = ESCAPED_LEFT
+                    break
+                if act.test(x) >= SLAB:
+                    outcome = ESCAPED_RIGHT
+                    break
+                act.addi(collisions, collisions, 1)
+                # Cross-section lookup lives on a remote node.
+                yield m.remote()
+                act.op(seed, lambda v: (LCG_A * v + LCG_C) % LCG_M, seed)
+                act.op(event, lambda v: (v >> 9) % 16, seed)
+                ev = act.test(event)
+                if ev < 3:
+                    outcome = ABSORBED
+                    break
+                if ev < 9:
+                    act.op(direction, lambda d: -d, direction)
+            else:
+                outcome = ABSORBED
+            act.let(tag, outcome)
+            yield m.remote(0)
+            return outcome, act.peek(collisions)
+
+        def tally(act):
+            (absorbed, left, right, coll, part) = act.alloc_many(
+                ["absorbed", "left", "right", "coll", "part"]
+            )
+            act.let(absorbed, 0)
+            act.let(left, 0)
+            act.let(right, 0)
+            act.let(coll, 0)
+            photons = [m.spawn(photon, s) for s in seeds]
+            for thread in photons:
+                outcome, n = yield m.wait(thread.result)
+                act.let(part, n)
+                act.add(coll, coll, part)
+                if outcome == ABSORBED:
+                    act.addi(absorbed, absorbed, 1)
+                elif outcome == ESCAPED_LEFT:
+                    act.addi(left, left, 1)
+                else:
+                    act.addi(right, right, 1)
+            act.muli(absorbed, absorbed, 1_000_000)
+            act.muli(left, left, 10_000)
+            act.muli(right, right, 100)
+            act.op(coll, lambda v: v % 100, coll)
+            act.add(absorbed, absorbed, left)
+            act.add(absorbed, absorbed, right)
+            act.add(absorbed, absorbed, coll)
+            return act.test(absorbed)
+
+        root = m.spawn(tally)
+        m.run()
+        return root.result.value

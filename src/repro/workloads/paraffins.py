@@ -1,0 +1,150 @@
+"""Paraffins: enumeration of alkyl-radical isomers (parallel benchmark).
+
+The Id "Paraffins" program enumerates paraffin (alkane) isomers.  The
+heart of that computation is the radical count ``r(n)`` — the number of
+distinct alkyl radicals C_nH_{2n+1} — defined by a multiset recurrence:
+a radical of size ``n`` is a root carbon with an unordered multiset of
+three sub-radicals of sizes ``a ≤ b ≤ c`` with ``a+b+c = n-1``:
+
+* ``a < b < c``   →  ``r(a)·r(b)·r(c)`` combinations
+* ``a = b < c``   →  ``C(r(a)+1, 2)·r(c)``
+* ``a < b = c``   →  ``r(a)·C(r(b)+1, 2)``
+* ``a = b = c``   →  ``C(r(a)+2, 3)``
+
+(r(0) = r(1) = 1; the sequence is OEIS A000598: 1, 1, 1, 2, 4, 8, 17,
+39, 89, 211, …)
+
+One thread computes each ``r(n)``, reading the smaller counts from an
+I-structure; early threads block until their inputs appear, later ones
+mostly find them resolved — the irregular fine-grain dataflow the
+paper's parallel suite exhibits.
+"""
+
+from repro.workloads.base import Workload
+
+#: ground truth for the first entries of A000598 (used by tests)
+KNOWN_RADICALS = [1, 1, 1, 2, 4, 8, 17, 39, 89, 211, 507, 1238, 3057,
+                  7639, 19241]
+
+
+def _pairs(r):
+    """C(r+1, 2): multisets of two equal-size radicals."""
+    return r * (r + 1) // 2
+
+
+def _triples(r):
+    """C(r+2, 3): multisets of three equal-size radicals."""
+    return r * (r + 1) * (r + 2) // 6
+
+
+def radical_counts(n_max):
+    """Reference computation of r(0..n_max)."""
+    r = [0] * (n_max + 1)
+    r[0] = 1
+    if n_max >= 1:
+        r[1] = 1
+    for n in range(2, n_max + 1):
+        total = 0
+        rest = n - 1
+        for a in range(rest // 3 + 1):
+            for b in range(a, (rest - a) // 2 + 1):
+                c = rest - a - b
+                if c < b:
+                    continue
+                if a == b == c:
+                    total += _triples(r[a])
+                elif a == b:
+                    total += _pairs(r[a]) * r[c]
+                elif b == c:
+                    total += r[a] * _pairs(r[b])
+                else:
+                    total += r[a] * r[b] * r[c]
+        r[n] = total
+    return r
+
+
+class Paraffins(Workload):
+    name = "Paraffins"
+    kind = "parallel"
+    description = "alkyl-radical isomer enumeration (dataflow)"
+
+    def build(self, seed, scale):
+        n_max = max(8, int(23 * scale))
+        return {"n_max": n_max}
+
+    def reference(self, spec):
+        counts = radical_counts(spec["n_max"])
+        checksum = 0
+        for value in counts:
+            checksum = (checksum * 31 + value) % 1_000_003
+        return checksum
+
+    def execute(self, machine, spec):
+        m = machine
+        n_max = spec["n_max"]
+        radicals = m.istructure(n_max + 1, name="radicals")
+
+        def base_case(act, n):
+            r, = act.args(1)
+            yield m.remote(0)
+            m.put_reg(act, radicals.slot(n), r)
+
+        def radical_thread(act, n):
+            (rn, total, ra, rb, rc, term, pa, pb, rrest, a_reg,
+             b_reg, c_reg, t1, t2, t3, acc) = act.alloc_many(
+                ["n", "total", "ra", "rb", "rc", "term", "pa", "pb",
+                 "rest", "a", "b", "c", "t1", "t2", "t3", "acc"]
+            )
+            act.let(rn, n)
+            act.let(total, 0)
+            rest = n - 1
+            act.let(acc, rest)
+            for a in range(rest // 3 + 1):
+                act.let(a_reg, a)
+                va = yield m.wait(radicals.slot(a))
+                act.let(ra, va)
+                for b in range(a, (rest - a) // 2 + 1):
+                    c = rest - a - b
+                    if c < b:
+                        continue
+                    act.let(b_reg, b)
+                    act.let(c_reg, c)
+                    vb = yield m.wait(radicals.slot(b))
+                    act.let(rb, vb)
+                    vc = yield m.wait(radicals.slot(c))
+                    act.let(rc, vc)
+                    if a == b == c:
+                        act.op(term, lambda r: r * (r + 1) * (r + 2) // 6,
+                               ra)
+                    elif a == b:
+                        act.op(pa, lambda r: r * (r + 1) // 2, ra)
+                        act.mul(term, pa, rc)
+                    elif b == c:
+                        act.op(pb, lambda r: r * (r + 1) // 2, rb)
+                        act.mul(term, ra, pb)
+                    else:
+                        act.mul(t1, ra, rb)
+                        act.mul(term, t1, rc)
+                    act.add(total, total, term)
+            m.put_reg(act, radicals.slot(n), total)
+            return act.test(total)
+
+        def checksum_thread(act):
+            (chk, v) = act.alloc_many(["chk", "v"])
+            act.let(chk, 0)
+            for n in range(n_max + 1):
+                value = yield m.wait(radicals.slot(n))
+                act.let(v, value)
+                act.muli(chk, chk, 31)
+                act.add(chk, chk, v)
+                act.op(chk, lambda x: x % 1_000_003, chk)
+            return act.test(chk)
+
+        m.spawn(base_case, 0)
+        m.spawn(base_case, 1)
+        # Spawn large sizes first so early threads really block.
+        for n in range(n_max, 1, -1):
+            m.spawn(radical_thread, n)
+        chk = m.spawn(checksum_thread)
+        m.run()
+        return chk.result.value

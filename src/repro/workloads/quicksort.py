@@ -1,0 +1,135 @@
+"""Quicksort: fork-join parallel quicksort (parallel benchmark).
+
+The Id/TAM quicksort of the paper: each partition step runs in its own
+fine-grain thread, which spawns child threads for the two halves and
+joins them through their result futures.  Small ranges fall back to an
+in-place insertion sort.  Partitioning touches the array through guest
+memory, with a remote round-trip to fetch each block (the array lives
+in a distributed heap).
+
+The paper reports quicksort switching contexts every ~20 instructions —
+the join-heavy fork tree reproduces that regime.
+"""
+
+import random
+
+from repro.workloads.base import Workload
+
+LEAF = 6
+
+
+class Quicksort(Workload):
+    name = "Quicksort"
+    kind = "parallel"
+    description = "fork-join parallel quicksort"
+
+    def build(self, seed, scale):
+        rng = random.Random(seed + 5)
+        length = max(24, int(160 * scale))
+        data = [rng.randrange(10_000) for _ in range(length)]
+        return {"data": data}
+
+    def reference(self, spec):
+        ordered = sorted(spec["data"])
+        checksum = 0
+        for i, value in enumerate(ordered):
+            checksum = (checksum * 3 + value * (i + 1)) % 1_000_003
+        return checksum
+
+    def execute(self, machine, spec):
+        m = machine
+        data = spec["data"]
+        n = len(data)
+        base = m.heap_alloc(n)
+        m.memory.write_block(base, data)
+
+        def insertion_sort(act, rlo, rhi, abase):
+            """In-register insertion sort of a small range."""
+            (i, j, key, cur, addr) = act.alloc_many(
+                ["i", "j", "key", "cur", "addr"]
+            )
+            lo = act.peek(rlo)
+            hi = act.peek(rhi)
+            for ii in range(lo + 1, hi):
+                act.let(i, ii)
+                act.load(key, abase, disp=ii)
+                act.let(j, ii - 1)
+                while act.test(j) >= lo:
+                    jj = act.peek(j)
+                    act.load(cur, abase, disp=jj)
+                    if act.test(cur) <= act.peek(key):
+                        break
+                    act.store(abase + jj + 1, cur)
+                    act.addi(j, j, -1)
+                act.add(addr, j, 1)
+                act.store(abase + act.peek(j) + 1, key)
+
+        def qsort(act, lo, hi):
+            # A generous TAM-style frame: bounds, cursors, pivot,
+            # temporaries and child bookkeeping all live in registers.
+            (rlo, rhi, i, j, pivot, a, b, tmp, span, mid,
+             left_lo, left_hi, right_lo, right_hi, probe, swaps,
+             depth_tag, abase) = act.alloc_many(
+                ["lo", "hi", "i", "j", "pivot", "a", "b", "tmp", "span",
+                 "mid", "llo", "lhi", "rlo2", "rhi2", "probe", "swaps",
+                 "depth", "abase"]
+            )
+            act.let(rlo, lo)
+            act.let(rhi, hi)
+            act.let(abase, base)
+            act.sub(span, rhi, rlo)
+            # Fetch the block from the distributed heap.
+            yield m.remote()
+            if act.test(span) <= LEAF:
+                insertion_sort(act, rlo, rhi, base)
+                return None
+            # Lomuto partition around the last element: both recursions
+            # exclude the pivot slot, so they strictly shrink.
+            act.load(pivot, abase, disp=hi - 1)
+            act.let(i, lo)
+            act.let(swaps, 0)
+            for jj in range(lo, hi - 1):
+                act.let(j, jj)
+                act.load(tmp, abase, disp=jj)
+                if act.test(tmp) < act.peek(pivot):
+                    ii = act.peek(i)
+                    act.load(a, abase, disp=ii)
+                    act.store(base + ii, tmp)
+                    act.store(base + jj, a)
+                    act.addi(i, i, 1)
+                    act.addi(swaps, swaps, 1)
+            split = act.peek(i)
+            act.load(b, abase, disp=split)
+            act.store(base + split, pivot)
+            act.store(base + hi - 1, b)
+            act.let(mid, split)
+            act.let(left_lo, lo)
+            act.let(left_hi, split)
+            act.let(right_lo, split + 1)
+            act.let(right_hi, hi)
+            act.bxor(probe, left_lo, right_hi)
+            left = m.spawn(qsort, lo, split)
+            right = m.spawn(qsort, split + 1, hi)
+            yield m.wait(left.result)
+            yield m.wait(right.result)
+            return None
+
+        def checksum_thread(act):
+            (chk, v, i, abase) = act.alloc_many(["chk", "v", "i", "abase"])
+            act.let(chk, 0)
+            act.let(abase, base)
+            yield m.remote()
+            for index in range(n):
+                act.load(v, abase, disp=index)
+                act.muli(chk, chk, 3)
+                act.op(v, lambda x: x * (index + 1), v)
+                act.add(chk, chk, v)
+                act.op(chk, lambda x: x % 1_000_003, chk)
+            return act.test(chk)
+
+        root = m.spawn(qsort, 0, n)
+        m.run()
+        assert root.result.resolved
+        chk = m.spawn(checksum_thread)
+        m.run()
+        return chk.result.value

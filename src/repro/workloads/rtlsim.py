@@ -1,0 +1,215 @@
+"""RTLSim: a two-phase register-transfer-level simulator (sequential).
+
+Simulates a synchronous RTL design: a set of architectural registers
+updated by register-transfer statements (ALU ops and 2-way muxes),
+organized into modules.  Each clock cycle evaluates every statement
+into a *next-state* array (phase 1) and then commits next state to
+current state (phase 2) — the classic two-phase evaluation that keeps
+the simulation race-free.
+
+The module hierarchy is walked recursively (modules contain module
+groups), giving the deep, oscillating call chains of a real RTL
+simulator's elaborated design tree.
+"""
+
+import random
+
+from repro.workloads.base import Workload
+
+OP_ADD, OP_SUB, OP_AND, OP_OR, OP_XOR, OP_MUX, OP_SHL, OP_INC = range(8)
+
+MASK = 0xFFFF
+
+#: statements per module (leaf of the hierarchy walk)
+MODULE_SIZE = 2
+
+
+def _rtl_eval(op, a, b, c):
+    if op == OP_ADD:
+        return (a + b) & MASK
+    if op == OP_SUB:
+        return (a - b) & MASK
+    if op == OP_AND:
+        return a & b
+    if op == OP_OR:
+        return a | b
+    if op == OP_XOR:
+        return a ^ b
+    if op == OP_MUX:
+        return a if c & 1 else b
+    if op == OP_SHL:
+        return (a << 1) & MASK
+    return (a + 1) & MASK  # OP_INC
+
+
+class RTLSim(Workload):
+    name = "RTLSim"
+    kind = "sequential"
+    description = "two-phase register-transfer-level simulator"
+
+    def build(self, seed, scale):
+        rng = random.Random(seed + 17)
+        num_state = 24
+        num_stmts = max(16, int(112 * scale))
+        num_cycles = max(3, int(10 * scale))
+        stmts = []
+        for _ in range(num_stmts):
+            op = rng.randrange(8)
+            dst = rng.randrange(num_state)
+            src_a = rng.randrange(num_state)
+            src_b = rng.randrange(num_state)
+            cond = rng.randrange(num_state)
+            stmts.append((op, dst, src_a, src_b, cond))
+        init = [rng.randrange(MASK + 1) for _ in range(num_state)]
+        return {
+            "num_state": num_state,
+            "stmts": stmts,
+            "init": init,
+            "cycles": num_cycles,
+        }
+
+    # -- plain-Python reference --------------------------------------------------
+
+    def reference(self, spec):
+        state = list(spec["init"])
+        num_state = spec["num_state"]
+        checksum = 0
+        for _ in range(spec["cycles"]):
+            nxt = list(state)
+            for op, dst, src_a, src_b, cond in spec["stmts"]:
+                nxt[dst] = _rtl_eval(op, state[src_a], state[src_b],
+                                     state[cond])
+            state = nxt
+            for value in state:
+                checksum = (checksum * 13 + value) % 65521
+        return checksum
+
+    # -- guest program --------------------------------------------------------------
+
+    def execute(self, machine, spec):
+        m = machine
+        num_state = spec["num_state"]
+        stmts = spec["stmts"]
+        num_stmts = len(stmts)
+
+        t_op = m.heap_alloc(num_stmts)
+        t_dst = m.heap_alloc(num_stmts)
+        t_a = m.heap_alloc(num_stmts)
+        t_b = m.heap_alloc(num_stmts)
+        t_c = m.heap_alloc(num_stmts)
+        cur = m.heap_alloc(num_state)
+        nxt = m.heap_alloc(num_state)
+        for i, (op, dst, src_a, src_b, cond) in enumerate(stmts):
+            m.memory.poke(t_op + i, op)
+            m.memory.poke(t_dst + i, dst)
+            m.memory.poke(t_a + i, src_a)
+            m.memory.poke(t_b + i, src_b)
+            m.memory.poke(t_c + i, cond)
+        m.memory.write_block(cur, spec["init"])
+        m.memory.write_block(nxt, spec["init"])
+
+        def eval_module(act, lo, hi):
+            """Leaf module: evaluate statements [lo, hi)."""
+            (op, dst, va, vb, vc, out, curb, nxtb, addr) = act.alloc_many(
+                ["op", "dst", "va", "vb", "vc", "out", "curb", "nxtb",
+                 "addr"]
+            )
+            act.let(curb, cur)
+            act.let(nxtb, nxt)
+            for i in range(lo, hi):
+                act.load(op, t_op + i)
+                act.load(dst, t_dst + i)
+                act.load(va, t_a + i)
+                act.add(addr, curb, va)
+                act.load(va, addr)
+                act.load(vb, t_b + i)
+                act.add(addr, curb, vb)
+                act.load(vb, addr)
+                act.load(vc, t_c + i)
+                act.add(addr, curb, vc)
+                act.load(vc, addr)
+                code = act.test(op)
+                if code == OP_ADD:
+                    act.op(out, lambda x, y: (x + y) & MASK, va, vb)
+                elif code == OP_SUB:
+                    act.op(out, lambda x, y: (x - y) & MASK, va, vb)
+                elif code == OP_AND:
+                    act.band(out, va, vb)
+                elif code == OP_OR:
+                    act.bor(out, va, vb)
+                elif code == OP_XOR:
+                    act.bxor(out, va, vb)
+                elif code == OP_MUX:
+                    act.op(out, lambda x, y, z: x if z & 1 else y,
+                           va, vb, vc)
+                elif code == OP_SHL:
+                    act.op(out, lambda x: (x << 1) & MASK, va)
+                else:
+                    act.op(out, lambda x: (x + 1) & MASK, va)
+                act.add(addr, nxtb, dst)
+                act.store(addr, out)
+            return None
+
+        def walk_design(act, lo, hi):
+            """Recursive walk of the module hierarchy."""
+            if hi - lo <= MODULE_SIZE:
+                m.call(eval_module, lo, hi)
+                return None
+            (rlo, rhi, mid, width, probe) = act.alloc_many(
+                ["lo", "hi", "mid", "width", "probe"]
+            )
+            act.let(rlo, lo)
+            act.let(rhi, hi)
+            act.sub(width, rhi, rlo)
+            act.add(mid, rlo, rhi)
+            act.shr(mid, mid, 1)
+            act.bor(probe, rlo, width)
+            split = act.test(mid)
+            m.call(walk_design, lo, split)
+            m.call(walk_design, split, hi)
+            return None
+
+        def commit_block(act, lo, hi):
+            """Phase 2: copy next state into current state."""
+            v, curb, nxtb = act.alloc_many(["v", "curb", "nxtb"])
+            act.let(curb, cur)
+            act.let(nxtb, nxt)
+            for i in range(lo, hi):
+                act.load(v, nxtb, disp=i)
+                act.store(curb, v, disp=i)
+            return None
+
+        def commit(act):
+            half = num_state // 2
+            m.call(commit_block, 0, half)
+            m.call(commit_block, half, num_state)
+            return None
+
+        def checksum_state(act, checksum):
+            chk, v, base = act.alloc_many(["chk", "v", "base"])
+            act.let(chk, checksum)
+            act.let(base, cur)
+            for i in range(num_state):
+                act.load(v, base, disp=i)
+                act.muli(chk, chk, 13)
+                act.add(chk, chk, v)
+                act.op(chk, lambda x: x % 65521, chk)
+            return act.test(chk)
+
+        def clock_cycle(act, checksum):
+            phase, chk = act.alloc_many(["phase", "chk"])
+            act.let(phase, 1)
+            m.call(walk_design, 0, num_stmts)
+            act.addi(phase, phase, 1)
+            m.call(commit)
+            act.let(chk, m.call(checksum_state, checksum))
+            return act.test(chk)
+
+        def simulate(act):
+            chk = act.alloc("chk")
+            act.let(chk, 0)
+            for _ in range(spec["cycles"]):
+                act.let(chk, m.call(clock_cycle, act.test(chk)))
+            return act.test(chk)
+
+        return m.run(simulate)

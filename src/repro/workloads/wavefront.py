@@ -1,0 +1,96 @@
+"""Wavefront: coarse-grain 2-D recurrence (parallel benchmark).
+
+Computes ``A[i][j] = (A[i-1][j] + A[i][j-1] + A[i-1][j-1]) mod P`` over
+an H×W grid with one long-running thread per row.  A row waits *once*
+for its predecessor row to complete, then sweeps its whole row — the
+very coarse regime the paper reports for Wavefront (a context switch
+every ~8000 instructions, too few threads to fill the register file).
+"""
+
+import random
+
+from repro.workloads.base import Workload
+
+P = 9973
+
+
+class Wavefront(Workload):
+    name = "Wavefront"
+    kind = "parallel"
+    description = "coarse-grain 2-D wavefront recurrence"
+
+    def build(self, seed, scale):
+        rng = random.Random(seed + 33)
+        rows = max(4, int(10 * scale))
+        cols = max(16, int(96 * scale))
+        top = [rng.randrange(P) for _ in range(cols)]
+        left = [rng.randrange(P) for _ in range(rows)]
+        return {"rows": rows, "cols": cols, "top": top, "left": left}
+
+    def reference(self, spec):
+        rows, cols = spec["rows"], spec["cols"]
+        grid = [[0] * (cols + 1) for _ in range(rows + 1)]
+        grid[0][1:] = spec["top"]
+        for i in range(1, rows + 1):
+            grid[i][0] = spec["left"][i - 1]
+        for i in range(1, rows + 1):
+            for j in range(1, cols + 1):
+                grid[i][j] = (grid[i - 1][j] + grid[i][j - 1]
+                              + grid[i - 1][j - 1]) % P
+        checksum = 0
+        for j in range(cols + 1):
+            checksum = (checksum * 7 + grid[rows][j]) % 65521
+        return checksum
+
+    def execute(self, machine, spec):
+        m = machine
+        rows, cols = spec["rows"], spec["cols"]
+        width = cols + 1
+        t_grid = m.heap_alloc((rows + 1) * width)
+        m.memory.write_block(t_grid + 1, spec["top"])
+        for i in range(1, rows + 1):
+            m.memory.poke(t_grid + i * width, spec["left"][i - 1])
+        row_done = [m.future(name=f"row{i}") for i in range(rows + 1)]
+
+        def row_thread(act, i):
+            (ri, j, up, left, diag, cell, acc, rowbase, prevbase,
+             steps, lo, hi, stride, tag, carry) = act.alloc_many(
+                ["i", "j", "up", "left", "diag", "cell", "acc",
+                 "rowbase", "prevbase", "steps", "lo", "hi", "stride",
+                 "tag", "carry"]
+            )
+            act.let(ri, i)
+            act.let(rowbase, t_grid + i * width)
+            act.let(prevbase, t_grid + (i - 1) * width)
+            act.let(stride, width)
+            act.let(acc, 0)
+            act.let(steps, 0)
+            if i > 1:
+                # The single coarse synchronization: predecessor row done.
+                yield m.wait(row_done[i - 1])
+            else:
+                yield m.remote()
+            act.let(lo, 1)
+            act.let(hi, cols)
+            for j_index in range(1, cols + 1):
+                act.let(j, j_index)
+                act.load(up, prevbase, disp=j_index)
+                act.load(left, rowbase, disp=j_index - 1)
+                act.load(diag, prevbase, disp=j_index - 1)
+                act.add(cell, up, left)
+                act.add(cell, cell, diag)
+                act.op(cell, lambda v: v % P, cell)
+                act.store(rowbase, cell, disp=j_index)
+                act.add(acc, acc, cell)
+                act.addi(steps, steps, 1)
+            m.put(row_done[i], i)
+            return act.test(acc)
+
+        threads = [m.spawn(row_thread, i) for i in range(1, rows + 1)]
+        m.run()
+        assert all(t.result.resolved for t in threads)
+        checksum = 0
+        for j in range(width):
+            checksum = (checksum * 7
+                        + m.memory.peek(t_grid + rows * width + j)) % 65521
+        return checksum

@@ -1,0 +1,321 @@
+"""ZipFile: an LZSS + Huffman compressor (sequential benchmark).
+
+A real compression pipeline at model scale:
+
+1. **LZSS**: a sliding-window matcher with hash chains finds the
+   longest match for each position; the stream becomes literal and
+   (length, distance) tokens.
+2. **Huffman**: literal frequencies are counted and a Huffman tree is
+   built by repeated minimum-pair merging; the encoded size is the
+   frequency-weighted depth sum, computed by a recursive tree walk.
+
+The guest output is a checksum over the token stream combined with the
+encoded bit count; the plain-Python reference computes the same
+pipeline, so any register-file data corruption changes the answer.
+"""
+
+import random
+
+from repro.workloads.base import Workload
+
+MIN_MATCH = 3
+MAX_MATCH = 10
+WINDOW = 48
+MAX_CHAIN = 6
+ALPHABET = 20
+
+
+def _find_match(text, pos, heads, links):
+    """Longest match for text[pos:] within the window via hash chains."""
+    best_len = 0
+    best_dist = 0
+    limit = min(MAX_MATCH, len(text) - pos)
+    candidate = heads[text[pos]]
+    chain = 0
+    while candidate >= 0 and chain < MAX_CHAIN:
+        if pos - candidate > WINDOW:
+            break
+        length = 0
+        while length < limit and text[candidate + length] == text[pos + length]:
+            length += 1
+        if length > best_len:
+            best_len = length
+            best_dist = pos - candidate
+        candidate = links[candidate]
+        chain += 1
+    return best_len, best_dist
+
+
+def _reference_tokens(text):
+    heads = [-1] * ALPHABET
+    links = [-1] * len(text)
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        best_len, best_dist = _find_match(text, pos, heads, links)
+        if best_len >= MIN_MATCH:
+            tokens.append((1, best_len, best_dist))
+            advance = best_len
+        else:
+            tokens.append((0, text[pos], 0))
+            advance = 1
+        for p in range(pos, min(pos + advance, len(text))):
+            links[p] = heads[text[p]]
+            heads[text[p]] = p
+        pos += advance
+    return tokens
+
+
+def _huffman_bits(freqs):
+    """Total encoded bits for the given symbol frequencies."""
+    nodes = [(f, i) for i, f in enumerate(freqs) if f > 0]
+    if not nodes:
+        return 0
+    if len(nodes) == 1:
+        return nodes[0][0]  # one symbol: one bit each
+    weights = [n[0] for n in nodes]
+    alive = list(range(len(weights)))
+    depth_gain = 0
+    while len(alive) > 1:
+        alive.sort(key=lambda i: weights[i])
+        a, b = alive[0], alive[1]
+        merged = weights[a] + weights[b]
+        weights.append(merged)
+        alive = alive[2:] + [len(weights) - 1]
+        depth_gain += merged
+    return depth_gain
+
+
+class ZipFile(Workload):
+    name = "ZipFile"
+    kind = "sequential"
+    description = "LZSS + Huffman compression utility"
+
+    def build(self, seed, scale):
+        rng = random.Random(seed + 99)
+        length = max(60, int(340 * scale))
+        # Synthetic "text": phrases repeat, so LZSS finds real matches.
+        phrases = [
+            [rng.randrange(ALPHABET) for _ in range(rng.randrange(3, 9))]
+            for _ in range(6)
+        ]
+        text = []
+        while len(text) < length:
+            if rng.random() < 0.6:
+                text.extend(rng.choice(phrases))
+            else:
+                text.append(rng.randrange(ALPHABET))
+        return {"text": text[:length]}
+
+    # -- plain-Python reference ---------------------------------------------------
+
+    def reference(self, spec):
+        text = spec["text"]
+        tokens = _reference_tokens(text)
+        checksum = 0
+        freqs = [0] * ALPHABET
+        for kind, a, b in tokens:
+            checksum = (checksum * 17 + kind * 256 + a * 7 + b) % 65521
+            if kind == 0:
+                freqs[a] += 1
+        bits = _huffman_bits(freqs)
+        return (checksum * 11 + bits) % 65521
+
+    # -- guest program ---------------------------------------------------------------
+
+    def execute(self, machine, spec):
+        m = machine
+        text = spec["text"]
+        n = len(text)
+
+        t_text = m.heap_alloc(n)
+        t_heads = m.heap_alloc(ALPHABET)
+        t_links = m.heap_alloc(n)
+        t_freqs = m.heap_alloc(ALPHABET)
+        m.memory.write_block(t_text, text)
+        m.memory.write_block(t_heads, [-1] * ALPHABET)
+        m.memory.write_block(t_links, [-1] * n)
+        m.memory.write_block(t_freqs, [0] * ALPHABET)
+
+        def match_length(act, cand, pos):
+            """Compare text[cand:] against text[pos:], up to MAX_MATCH."""
+            (rc, rp, length, limit, ca, cb, base) = act.alloc_many(
+                ["cand", "pos", "len", "limit", "ca", "cb", "base"]
+            )
+            act.let(rc, cand)
+            act.let(rp, pos)
+            act.let(base, t_text)
+            act.let(limit, min(MAX_MATCH, n - pos))
+            act.let(length, 0)
+            while act.test(length) < act.peek(limit):
+                act.add(ca, base, rc)
+                act.load(ca, ca, disp=act.peek(length))
+                act.add(cb, base, rp)
+                act.load(cb, cb, disp=act.peek(length))
+                if act.test(ca) != act.test(cb):
+                    break
+                act.addi(length, length, 1)
+            return act.test(length)
+
+        def walk_chain(act, cand, pos, best, dist, chain):
+            """Recursive hash-chain walk: one activation per candidate."""
+            (rc, rp, rbest, rdist, rchain, length, nxt) = act.alloc_many(
+                ["cand", "pos", "best", "dist", "chain", "length", "nxt"]
+            )
+            act.let(rc, cand)
+            act.let(rp, pos)
+            act.let(rbest, best)
+            act.let(rdist, dist)
+            act.let(rchain, chain)
+            if cand < 0 or chain >= MAX_CHAIN or pos - cand > WINDOW:
+                return act.test(rbest), act.peek(rdist)
+            act.let(length, m.call(match_length, cand, pos))
+            if act.test(length) > act.peek(rbest):
+                act.mov(rbest, length)
+                act.op(rdist, lambda c: pos - c, rc)
+            act.add(nxt, rc, t_links)
+            act.load(nxt, nxt)
+            act.addi(rchain, rchain, 1)
+            return m.call(walk_chain, act.test(nxt), pos,
+                          act.peek(rbest), act.peek(rdist),
+                          act.peek(rchain))
+
+        def find_match(act, pos):
+            """Longest window match for position ``pos`` via hash chains."""
+            rp, sym, cand = act.alloc_many(["pos", "sym", "cand"])
+            act.let(rp, pos)
+            act.load(sym, t_text + pos)
+            act.add(cand, sym, t_heads)
+            act.load(cand, cand)
+            return m.call(walk_chain, act.test(cand), pos, 0, 0, 0)
+
+        def insert_positions(act, lo, hi):
+            """Add text positions [lo, hi) to their hash chains."""
+            (p, sym, head, tb, hb, lb) = act.alloc_many(
+                ["p", "sym", "head", "tb", "hb", "lb"]
+            )
+            act.let(tb, t_text)
+            act.let(hb, t_heads)
+            act.let(lb, t_links)
+            for position in range(lo, hi):
+                act.let(p, position)
+                act.load(sym, tb, disp=position)
+                act.add(head, hb, sym)
+                act.load(head, head)
+                act.store(t_links + position, head)
+                act.add(sym, sym, hb)
+                act.store(sym, p)
+            return None
+
+        def emit_token(act, checksum, kind, a, b):
+            chk, t = act.alloc_many(["chk", "t"])
+            act.let(chk, checksum)
+            act.let(t, kind * 256 + a * 7 + b)
+            act.muli(chk, chk, 17)
+            act.add(chk, chk, t)
+            act.op(chk, lambda x: x % 65521, chk)
+            if kind == 0:
+                f = act.alloc("f")
+                act.load(f, t_freqs + a)
+                act.addi(f, f, 1)
+                act.store(t_freqs + a, f)
+            return act.test(chk)
+
+        def process_position(act, position, checksum):
+            """Encode one position: match, emit, update chains."""
+            (rp, chk, blen, bdist, adv, lim) = act.alloc_many(
+                ["pos", "chk", "blen", "bdist", "adv", "lim"]
+            )
+            act.let(rp, position)
+            act.let(chk, checksum)
+            act.let(lim, n)
+            best_len, best_dist = m.call(find_match, position)
+            act.let(blen, best_len)
+            act.let(bdist, best_dist)
+            if act.test(blen) >= MIN_MATCH:
+                act.let(chk, m.call(emit_token, act.peek(chk), 1,
+                                    best_len, best_dist))
+                act.mov(adv, blen)
+            else:
+                literal = text[position]
+                act.let(chk, m.call(emit_token, act.peek(chk), 0,
+                                    literal, 0))
+                act.let(adv, 1)
+            advance = act.test(adv)
+            m.call(insert_positions, position,
+                   min(position + advance, n))
+            return act.test(chk), advance
+
+        def compress(act):
+            chk, pos = act.alloc_many(["chk", "pos"])
+            act.let(chk, 0)
+            act.let(pos, 0)
+            while act.test(pos) < n:
+                checksum, advance = m.call(
+                    process_position, act.peek(pos), act.peek(chk)
+                )
+                act.let(chk, checksum)
+                act.addi(pos, pos, advance)
+            return act.test(chk)
+
+        def huffman_cost(act):
+            """Repeated min-pair merging over the frequency table."""
+            wbase = m.heap_alloc(2 * ALPHABET)
+            (w, count, total) = act.alloc_many(["w", "count", "total"])
+            act.let(count, 0)
+            for sym in range(ALPHABET):
+                act.load(w, t_freqs + sym)
+                if act.test(w) > 0:
+                    act.store(wbase + act.peek(count), w)
+                    act.addi(count, count, 1)
+            alive = act.peek(count)
+            if alive == 0:
+                return 0
+            if alive == 1:
+                act.load(w, wbase)
+                return act.test(w)
+            act.let(total, 0)
+            live = alive
+            while live > 1:
+                ia = m.call(find_min_slot, wbase, live, -1)
+                ib = m.call(find_min_slot, wbase, live, ia)
+                wa, wb, merged = act.alloc_many(["wa", "wb", "merged"])
+                act.load(wa, wbase + ia)
+                act.load(wb, wbase + ib)
+                act.add(merged, wa, wb)
+                act.add(total, total, merged)
+                # Replace slot ia with the merged node, move the last
+                # live slot into ib.
+                act.store(wbase + ia, merged)
+                last = act.alloc()
+                act.load(last, wbase + live - 1)
+                act.store(wbase + ib, last)
+                live -= 1
+            return act.test(total)
+
+        def find_min_slot(act, base, live, skip):
+            (best, besti, v, i) = act.alloc_many(
+                ["best", "besti", "v", "i"]
+            )
+            act.let(best, 1 << 30)
+            act.let(besti, -1)
+            for slot in range(live):
+                if slot == skip:
+                    continue
+                act.let(i, slot)
+                act.load(v, base + slot)
+                if act.test(v) < act.peek(best):
+                    act.mov(best, v)
+                    act.mov(besti, i)
+            return act.test(besti)
+
+        def pipeline(act):
+            chk, bits, out = act.alloc_many(["chk", "bits", "out"])
+            act.let(chk, m.call(compress))
+            act.let(bits, m.call(huffman_cost))
+            act.muli(out, chk, 11)
+            act.add(out, out, bits)
+            act.op(out, lambda x: x % 65521, out)
+            return act.test(out)
+
+        return m.run(pipeline)

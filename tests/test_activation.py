@@ -1,0 +1,344 @@
+"""Unit tests for the activation-trace machine."""
+
+import pytest
+
+from repro.activation import GuestFault, Memory, SequentialMachine
+from repro.core import NamedStateRegisterFile, SegmentedRegisterFile
+
+
+def nsf_machine(registers=80, context=20):
+    rf = NamedStateRegisterFile(num_registers=registers, context_size=context)
+    return SequentialMachine(rf)
+
+
+class TestMemory:
+    def test_alloc_is_contiguous_and_disjoint(self):
+        mem = Memory()
+        a = mem.alloc(10)
+        b = mem.alloc(5)
+        assert b == a + 10
+
+    def test_default_zero(self):
+        mem = Memory()
+        assert mem.load(1234) == 0
+
+    def test_store_load_roundtrip(self):
+        mem = Memory()
+        mem.store(5, 42)
+        assert mem.load(5) == 42
+        assert mem.loads == 1 and mem.stores == 1
+
+    def test_block_helpers_do_not_count(self):
+        mem = Memory()
+        mem.write_block(100, [1, 2, 3])
+        assert mem.read_block(100, 3) == [1, 2, 3]
+        assert mem.loads == 0 and mem.stores == 0
+
+    def test_negative_alloc_rejected(self):
+        with pytest.raises(ValueError):
+            Memory().alloc(-1)
+
+
+class TestBasicOps:
+    def test_let_and_arithmetic(self):
+        m = nsf_machine()
+
+        def body(act):
+            a, b, c = act.alloc_many(3)
+            act.let(a, 6)
+            act.let(b, 7)
+            act.mul(c, a, b)
+            return act.test(c)
+
+        assert m.run(body) == 42
+        assert m.instructions > 0
+
+    def test_each_op_is_one_instruction(self):
+        m = nsf_machine()
+
+        def body(act):
+            a, b = act.alloc_many(2)
+            before = m.instructions
+            act.let(a, 1)      # 1
+            act.let(b, 2)      # 2
+            act.add(a, a, b)   # 3
+            act.test(a)        # 4
+            return m.instructions - before
+
+        # +2 for call/return bookkeeping happen outside the body
+        assert m.run(body) == 4
+
+    def test_helper_ops(self):
+        m = nsf_machine()
+
+        def body(act):
+            a, b, c = act.alloc_many(3)
+            act.let(a, 12)
+            act.let(b, 5)
+            results = []
+            for name in ("sub", "div", "rem", "band", "bor", "bxor",
+                         "shl", "shr", "lt", "le", "eq", "min_", "max_"):
+                getattr(act, name)(c, a, b)
+                results.append(act.test(c))
+            act.addi(c, a, 100)
+            results.append(act.test(c))
+            act.muli(c, a, 3)
+            results.append(act.test(c))
+            act.mov(c, a)
+            results.append(act.test(c))
+            return results
+
+        assert m.run(body) == [
+            7, 2, 2, 4, 13, 9, 384, 0, 0, 0, 0, 5, 12, 112, 36, 12,
+        ]
+
+    def test_named_registers(self):
+        m = nsf_machine()
+
+        def body(act):
+            x = act.alloc("x")
+            assert "x" in repr(x)
+            act.let(x, 1)
+            return act.peek(x)
+
+        assert m.run(body) == 1
+
+    def test_immediate_operands_in_op(self):
+        m = nsf_machine()
+
+        def body(act):
+            a = act.alloc()
+            act.let(a, 5)
+            act.op(a, lambda x, y: x + y, a, 10)  # int src = immediate
+            return act.test(a)
+
+        assert m.run(body) == 15
+
+
+class TestMemoryOps:
+    def test_load_store_via_register_address(self):
+        m = nsf_machine()
+
+        def body(act):
+            base = m.heap_alloc(4)
+            addr, v = act.alloc_many(2)
+            act.let(addr, base)
+            act.let(v, 77)
+            act.store(addr, v, disp=2)
+            out = act.alloc()
+            act.load(out, addr, disp=2)
+            return act.test(out)
+
+        assert m.run(body) == 77
+
+    def test_load_store_via_int_address(self):
+        m = nsf_machine()
+
+        def body(act):
+            base = m.heap_alloc(1)
+            v = act.alloc()
+            act.let(v, 5)
+            act.store(base, v)
+            act.load(v, base)
+            return act.test(v)
+
+        assert m.run(body) == 5
+
+    def test_store_immediate_value(self):
+        m = nsf_machine()
+
+        def body(act):
+            base = m.heap_alloc(1)
+            act.store(base, 9)
+            v = act.alloc()
+            act.load(v, base)
+            return act.test(v)
+
+        assert m.run(body) == 9
+
+
+class TestOverflowLocals:
+    def test_locals_beyond_context_live_in_memory(self):
+        m = nsf_machine(registers=16, context=4)
+
+        def body(act):
+            regs = act.alloc_many(8)  # 4 in registers, 4 in memory
+            for i, r in enumerate(regs):
+                act.let(r, i * 10)
+            assert sum(r.in_memory for r in regs) == 4
+            return [act.test(r) for r in regs]
+
+        assert m.run(body) == [0, 10, 20, 30, 40, 50, 60, 70]
+
+    def test_memory_locals_cost_extra_instructions(self):
+        m1 = nsf_machine(registers=16, context=4)
+        m2 = nsf_machine(registers=16, context=16)
+
+        def body(act):
+            regs = act.alloc_many(8)
+            for r in regs:
+                act.let(r, 1)
+            return None
+
+        m1.run(body)
+        m2.run(body)
+        assert m1.instructions > m2.instructions
+
+
+class TestCallProtocol:
+    def test_nested_calls_get_fresh_contexts(self):
+        m = nsf_machine()
+        seen = []
+
+        def inner(act, depth):
+            seen.append(act.cid)
+            if depth:
+                m.call(inner, depth - 1)
+            return None
+
+        m.run(inner, 3)
+        assert len(set(seen)) == 4
+
+    def test_register_arguments_are_read(self):
+        m = nsf_machine()
+
+        def callee(act, x):
+            rx, = act.args(x)
+            act.muli(rx, rx, 2)
+            return act.test(rx)
+
+        def caller(act):
+            a = act.alloc()
+            act.let(a, 21)
+            return m.call(callee, a)
+
+        assert m.run(caller) == 42
+
+    def test_call_switch_accounting(self):
+        m = nsf_machine()
+
+        def leaf(act):
+            return None
+
+        def root(act):
+            m.call(leaf)
+            m.call(leaf)
+            return None
+
+        m.run(root)
+        # root in, leaf in/out twice (2 switches each)
+        assert m.regfile.stats.context_switches == 5
+        assert m.regfile.stats.contexts_created == 3
+        assert m.regfile.stats.contexts_ended == 3
+
+    def test_depth_tracking(self):
+        m = nsf_machine()
+
+        def rec(act, n):
+            if n:
+                m.call(rec, n - 1)
+            return None
+
+        m.run(rec, 5)
+        assert m.max_call_depth == 6
+        assert m.call_depth == 0
+
+    def test_recursion_correct_over_small_file(self):
+        # A 2-line NSF forces constant spill/reload during recursion; the
+        # values must still be right.
+        rf = NamedStateRegisterFile(num_registers=2, context_size=20)
+        m = SequentialMachine(rf)
+
+        def tri(act, n):
+            rn, = act.args(n)
+            if act.test(rn) == 0:
+                return 0
+            rest = m.call(tri, n - 1)
+            rr = act.alloc()
+            act.let(rr, rest)
+            act.add(rr, rr, rn)
+            return act.test(rr)
+
+        assert m.run(tri, 10) == 55
+        assert rf.stats.registers_reloaded > 0
+
+    def test_recursion_correct_on_segmented(self):
+        rf = SegmentedRegisterFile(num_registers=40, context_size=20)
+        m = SequentialMachine(rf)
+
+        def tri(act, n):
+            rn, = act.args(n)
+            if act.test(rn) == 0:
+                return 0
+            rest = m.call(tri, n - 1)
+            rr = act.alloc()
+            act.let(rr, rest)
+            act.add(rr, rr, rn)
+            return act.test(rr)
+
+        assert m.run(tri, 10) == 55
+        assert rf.stats.switch_misses > 0
+
+
+class TestGuestFaults:
+    def test_double_free(self):
+        m = nsf_machine()
+
+        def body(act):
+            r = act.alloc()
+            act.let(r, 1)
+            act.free(r)
+            act.free(r)
+
+        with pytest.raises(GuestFault):
+            m.run(body)
+
+    def test_use_after_free(self):
+        m = nsf_machine()
+
+        def body(act):
+            r = act.alloc()
+            act.let(r, 1)
+            act.free(r)
+            act.test(r)
+
+        with pytest.raises(GuestFault):
+            m.run(body)
+
+    def test_write_after_free(self):
+        m = nsf_machine()
+
+        def body(act):
+            r = act.alloc()
+            act.let(r, 1)
+            act.free(r)
+            act.let(r, 2)
+
+        with pytest.raises(GuestFault):
+            m.run(body)
+
+    def test_value_verification_catches_corruption(self):
+        rf = NamedStateRegisterFile(num_registers=8, context_size=8)
+        m = SequentialMachine(rf)
+
+        def body(act):
+            r = act.alloc()
+            act.let(r, 10)
+            # Corrupt the model behind the shadow's back.
+            rf.write(r.offset, 999, cid=act.cid)
+            act.test(r)
+
+        with pytest.raises(GuestFault):
+            m.run(body)
+
+    def test_free_releases_model_register(self):
+        rf = NamedStateRegisterFile(num_registers=8, context_size=8)
+        m = SequentialMachine(rf)
+
+        def body(act):
+            r = act.alloc()
+            act.let(r, 1)
+            act.free(r)
+            return rf.active_register_count()
+
+        assert m.run(body) == 0

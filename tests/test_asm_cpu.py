@@ -1,0 +1,372 @@
+"""Tests for the assembler and the cycle-level CPU simulator."""
+
+import pytest
+
+from repro.asm import assemble, disassemble
+from repro.core import NamedStateRegisterFile, SegmentedRegisterFile
+from repro.cpu import CPU, DirectMappedCache, PerfectCache
+from repro.errors import AssemblerError, MachineError
+
+
+def nsf(registers=80, context=20):
+    return NamedStateRegisterFile(num_registers=registers,
+                                  context_size=context)
+
+
+def run(src, rf=None, **kw):
+    program = assemble(src)
+    cpu = CPU(program, rf or nsf(), **kw)
+    return cpu.run(), cpu
+
+
+class TestAssembler:
+    def test_basic_program(self):
+        program = assemble("main:\n  li r1, 5\n  out r1\n  halt\n")
+        assert len(program) == 3
+        assert program.labels["main"] == 0
+        assert program.entry == 0
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("""
+        ; leading comment
+        main:           # trailing comment
+            nop         ; mid comment
+            halt
+        """)
+        assert len(program) == 2
+
+    def test_label_on_same_line(self):
+        program = assemble("main: li r1, 1\n halt\n")
+        assert program.labels["main"] == 0
+        assert len(program) == 2
+
+    def test_memory_operand(self):
+        program = assemble("main: lw r1, -4(sp)\n halt")
+        instr = program.instructions[0]
+        assert instr.imm == -4 and instr.rs1 == 32
+
+    def test_branch_targets_resolved(self):
+        program = assemble("""
+        main:
+            beq r1, zr, done
+            nop
+        done:
+            halt
+        """)
+        assert program.instructions[0].target == 2
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("main: j nowhere\n")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("a: nop\na: nop\n")
+
+    def test_unknown_opcode(self):
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble("main:\n  frobnicate r1\n")
+        assert excinfo.value.line == 2
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError):
+            assemble("main: add r1, r2\n")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("main: li r99, 1\n")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblerError):
+            assemble("main: lw r1, sp+4\n")
+
+    def test_hex_immediates(self):
+        program = assemble("main: li r1, 0x10\n halt")
+        assert program.instructions[0].imm == 16
+
+    def test_disassemble_roundtrip(self):
+        source = """
+        main:
+            li r1, 10
+            addi r2, r1, -3
+            beq r2, zr, main
+            halt
+        """
+        program = assemble(source)
+        text = disassemble(program)
+        again = assemble(text)
+        assert [str(i) for i in again.instructions] == \
+            [str(i) for i in program.instructions]
+
+
+class TestCPUBasics:
+    def test_out_and_halt(self):
+        result, _ = run("main: li r1, 42\n out r1\n halt")
+        assert result.return_value == 42
+        assert result.output == [42]
+
+    def test_alu_operations(self):
+        result, _ = run("""
+        main:
+            li r1, 10
+            li r2, 3
+            add r3, r1, r2
+            out r3
+            sub r3, r1, r2
+            out r3
+            mul r3, r1, r2
+            out r3
+            div r3, r1, r2
+            out r3
+            rem r3, r1, r2
+            out r3
+            slt r3, r2, r1
+            out r3
+            halt
+        """)
+        assert result.output == [13, 7, 30, 3, 1, 1]
+
+    def test_division_truncates_toward_zero(self):
+        result, _ = run("""
+        main:
+            li r1, -7
+            li r2, 2
+            div r3, r1, r2
+            out r3
+            rem r3, r1, r2
+            out r3
+            halt
+        """)
+        assert result.output == [-3, -1]
+
+    def test_zero_register(self):
+        result, _ = run("""
+        main:
+            li r1, 9
+            add r2, r1, zr
+            out r2
+            add zr, r1, r1   ; write to zr vanishes
+            add r3, zr, zr
+            out r3
+            halt
+        """)
+        assert result.output == [9, 0]
+
+    def test_memory_and_sp(self):
+        result, _ = run("""
+        main:
+            addi sp, sp, -2
+            li r1, 5
+            sw r1, 0(sp)
+            li r2, 6
+            sw r2, 1(sp)
+            lw r3, 0(sp)
+            lw r4, 1(sp)
+            add r5, r3, r4
+            out r5
+            halt
+        """)
+        assert result.return_value == 11
+
+    def test_loop(self):
+        result, _ = run("""
+        main:
+            li r1, 0      ; sum
+            li r2, 1      ; i
+            li r3, 11
+        loop:
+            beq r2, r3, done
+            add r1, r1, r2
+            addi r2, r2, 1
+            j loop
+        done:
+            out r1
+            halt
+        """)
+        assert result.return_value == 55
+
+    def test_branch_variants(self):
+        result, _ = run("""
+        main:
+            li r1, 3
+            li r2, 5
+            blt r1, r2, yes1
+            j no
+        yes1:
+            bge r2, r1, yes2
+            j no
+        yes2:
+            bne r1, r2, yes3
+            j no
+        yes3:
+            li r9, 1
+            out r9
+            halt
+        no:
+            out zr
+            halt
+        """)
+        assert result.return_value == 1
+
+    def test_runaway_guard(self):
+        with pytest.raises(MachineError):
+            run("main: j main\n", max_steps=100)
+
+    def test_pc_out_of_range(self):
+        program = assemble("main: nop\n")  # falls off the end
+        cpu = CPU(program, nsf())
+        with pytest.raises(MachineError):
+            cpu.run()
+
+    def test_div_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            run("main: li r1, 1\n div r2, r1, zr\n halt")
+
+
+class TestCalls:
+    DOUBLE = """
+    main:
+        li r1, 21
+        addi sp, sp, -1
+        sw r1, 0(sp)
+        call double
+        lw r2, 0(sp)
+        addi sp, sp, 1
+        out r2
+        halt
+    double:
+        lw r1, 0(sp)
+        add r1, r1, r1
+        sw r1, 0(sp)
+        ret
+    """
+
+    def test_call_ret(self):
+        result, cpu = run(self.DOUBLE)
+        assert result.return_value == 42
+
+    def test_call_allocates_context(self):
+        rf = nsf()
+        run(self.DOUBLE, rf)
+        # The entry activation plus one for the call to `double`.
+        assert rf.stats.contexts_created == 2
+        assert rf.stats.contexts_ended == 1
+
+    def test_callee_registers_are_private(self):
+        result, _ = run("""
+        main:
+            li r1, 7
+            call clobber
+            out r1          ; still 7: the callee had its own context
+            halt
+        clobber:
+            li r1, 999
+            ret
+        """)
+        assert result.return_value == 7
+
+    def test_ret_with_empty_stack_halts(self):
+        result, _ = run("main: li r1, 5\n out r1\n ret")
+        assert result.return_value == 5
+
+    def test_rfree(self):
+        rf = nsf()
+        result, _ = run("""
+        main:
+            li r1, 5
+            li r2, 6
+            rfree r1
+            out r2
+            halt
+        """, rf)
+        assert result.return_value == 6
+        assert rf.active_register_count() == 1  # r2 only
+
+
+class TestCache:
+    def test_cache_counts(self):
+        cache = DirectMappedCache(num_lines=4, words_per_line=2)
+        assert cache.access(0) == cache.miss_cycles
+        assert cache.access(1) == cache.hit_cycles  # same line
+        assert cache.access(8) == cache.miss_cycles
+        assert cache.accesses == 3
+        assert 0 < cache.hit_rate < 1
+
+    def test_conflict_eviction(self):
+        cache = DirectMappedCache(num_lines=2, words_per_line=1)
+        cache.access(0)
+        cache.access(2)   # maps to line 0: evicts
+        assert cache.access(0) == cache.miss_cycles
+
+    def test_perfect_cache(self):
+        cache = PerfectCache()
+        assert cache.access(123) == cache.hit_cycles
+        assert cache.misses == 0
+
+    def test_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            DirectMappedCache(num_lines=0)
+
+    def test_cpu_uses_cache_latency(self):
+        fast, _ = run("main: lw r1, 0(sp)\n lw r2, 0(sp)\n halt",
+                      cache=PerfectCache())
+        slow, _ = run("main: lw r1, 0(sp)\n lw r2, 0(sp)\n halt",
+                      cache=DirectMappedCache(miss_cycles=50))
+        assert slow.cycles > fast.cycles
+
+
+class TestRegisterFileInteraction:
+    FIB = """
+    main:
+        li   r1, 10
+        addi sp, sp, -1
+        sw   r1, 0(sp)
+        call fib
+        lw   r2, 0(sp)
+        addi sp, sp, 1
+        out  r2
+        halt
+    fib:
+        lw   r1, 0(sp)
+        slti r2, r1, 2
+        beq  r2, zr, rec
+        sw   r1, 0(sp)
+        ret
+    rec:
+        addi r3, r1, -1
+        addi sp, sp, -1
+        sw   r3, 0(sp)
+        call fib
+        lw   r4, 0(sp)
+        addi sp, sp, 1
+        addi r5, r1, -2
+        addi sp, sp, -1
+        sw   r5, 0(sp)
+        call fib
+        lw   r6, 0(sp)
+        addi sp, sp, 1
+        add  r7, r4, r6
+        sw   r7, 0(sp)
+        ret
+    """
+
+    def test_fib_on_both_models(self):
+        for rf in (nsf(), SegmentedRegisterFile(num_registers=80,
+                                                context_size=20)):
+            result, _ = run(self.FIB, rf)
+            assert result.return_value == 55
+
+    def test_nsf_faster_than_segmented(self):
+        nsf_result, _ = run(self.FIB, nsf())
+        seg_result, _ = run(
+            self.FIB,
+            SegmentedRegisterFile(num_registers=80, context_size=20),
+        )
+        assert nsf_result.instructions == seg_result.instructions
+        assert nsf_result.cycles < seg_result.cycles
+
+    def test_tiny_nsf_still_correct(self):
+        rf = nsf(registers=4, context=20)
+        result, _ = run(self.FIB, rf)
+        assert result.return_value == 55
+        assert rf.stats.registers_reloaded > 0

@@ -1,0 +1,84 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.evalx.charts import bar_chart, chart_for, line_chart
+from repro.evalx.tables import ExperimentTable
+
+
+class TestBarChart:
+    def test_basic(self):
+        text = bar_chart(["a", "bb"], [1.0, 2.0], width=10,
+                         title="T", unit="%")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "##########" in lines[2]   # the max fills the width
+        assert "2%" in lines[2]
+        assert lines[1].count("#") == 5   # half
+
+    def test_zero_values(self):
+        text = bar_chart(["x"], [0.0])
+        assert "|" in text
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart([], [])
+
+    def test_mismatched_inputs(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1, 2])
+
+
+class TestLineChart:
+    def test_shape(self):
+        text = line_chart([1, 2, 3], {"s": [1.0, 2.0, 3.0]},
+                          width=20, height=5, title="L")
+        lines = text.splitlines()
+        assert lines[0] == "L"
+        body = [ln for ln in lines if "|" in ln]
+        assert len(body) == 5
+        assert "s = s" in text or "o = s" in text
+
+    def test_log_scale_handles_zero(self):
+        text = line_chart([1, 2], {"s": [0.0, 100.0]}, log_y=True)
+        assert "log scale" in text
+
+    def test_multiple_series_use_distinct_marks(self):
+        text = line_chart([1, 2], {"a": [1, 2], "b": [2, 1]})
+        assert "o = a" in text and "x = b" in text
+
+    def test_flat_series(self):
+        text = line_chart([1, 2, 3], {"s": [5, 5, 5]})
+        assert "|" in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {"s": [1]})
+
+    def test_no_series(self):
+        with pytest.raises(ValueError):
+            line_chart([1], {})
+
+
+class TestChartFor:
+    def test_fig10_maps_to_bars(self):
+        t = ExperimentTable("Figure 10", "x",
+                            headers=["Benchmark", "Type", "NSF %",
+                                     "Segment %", "Segment live %",
+                                     "Segment/NSF"])
+        t.add_row("GateSim", "Sequential", 0.0, 20.0, 5.0, "inf")
+        chart = chart_for(t)
+        assert chart and "GateSim" in chart
+
+    def test_fig12_maps_to_lines(self):
+        t = ExperimentTable("Figure 12", "x",
+                            headers=["Frames", "Seq NSF %",
+                                     "Seq Segment %", "Par NSF %",
+                                     "Par Segment %"])
+        t.add_row(2, 0.1, 80.0, 20.0, 250.0)
+        t.add_row(4, 0.0, 20.0, 18.0, 240.0)
+        chart = chart_for(t)
+        assert chart and "log scale" in chart
+
+    def test_unknown_experiment_returns_none(self):
+        t = ExperimentTable("Table 1", "x", headers=["a"])
+        assert chart_for(t) is None

@@ -1,0 +1,130 @@
+"""Tests for bounded Context-ID management."""
+
+import pytest
+
+from repro.activation import SequentialMachine
+from repro.core import NamedStateRegisterFile
+from repro.errors import RuntimeModelError
+from repro.runtime import ThreadMachine
+from repro.runtime.cid import CIDAllocator, CIDExhaustedError
+
+
+class TestAllocator:
+    def test_capacity(self):
+        allocator = CIDAllocator(bits=3)
+        assert allocator.capacity == 8
+        cids = [allocator.alloc() for _ in range(8)]
+        assert sorted(cids) == list(range(8))
+
+    def test_exhaustion(self):
+        allocator = CIDAllocator(bits=2)
+        for _ in range(4):
+            allocator.alloc()
+        with pytest.raises(CIDExhaustedError):
+            allocator.alloc()
+
+    def test_lifo_reuse(self):
+        allocator = CIDAllocator(bits=4)
+        a = allocator.alloc()
+        b = allocator.alloc()
+        allocator.free(b)
+        assert allocator.alloc() == b  # most recently freed comes back
+
+    def test_double_free_rejected(self):
+        allocator = CIDAllocator(bits=4)
+        cid = allocator.alloc()
+        allocator.free(cid)
+        with pytest.raises(RuntimeModelError):
+            allocator.free(cid)
+
+    def test_high_watermark(self):
+        allocator = CIDAllocator(bits=4)
+        cids = [allocator.alloc() for _ in range(5)]
+        for cid in cids:
+            allocator.free(cid)
+        allocator.alloc()
+        assert allocator.high_watermark == 5
+        assert allocator.live_count() == 1
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            CIDAllocator(bits=0)
+        with pytest.raises(ValueError):
+            CIDAllocator(bits=17)
+
+
+class TestSequentialIntegration:
+    def _machine(self, bits):
+        rf = NamedStateRegisterFile(num_registers=80, context_size=20)
+        return SequentialMachine(rf, cid_bits=bits)
+
+    def test_shallow_recursion_fits(self):
+        machine = self._machine(bits=4)
+
+        def rec(act, n):
+            if n == 0:
+                return 0
+            return machine.call(rec, n - 1)
+
+        assert machine.run(rec, 10) == 0
+        assert machine.cid_allocator.live_count() == 0
+        assert machine.cid_allocator.high_watermark == 11
+
+    def test_deep_recursion_exhausts_cids(self):
+        machine = self._machine(bits=3)  # only 8 CIDs
+
+        def rec(act, n):
+            if n == 0:
+                return 0
+            return machine.call(rec, n - 1)
+
+        with pytest.raises(CIDExhaustedError):
+            machine.run(rec, 20)
+
+    def test_sibling_calls_reuse_cids(self):
+        machine = self._machine(bits=2)  # 4 CIDs is plenty for depth 2
+
+        def leaf(act):
+            return 1
+
+        def root(act):
+            total = 0
+            for _ in range(10):
+                total += machine.call(leaf)
+            return total
+
+        assert machine.run(root) == 10
+
+
+class TestThreadedIntegration:
+    def test_many_short_threads_reuse_cids(self):
+        rf = NamedStateRegisterFile(num_registers=128, context_size=32)
+        machine = ThreadMachine(rf, cid_bits=6)
+
+        def body(act, i):
+            r, = act.args(i)
+            if False:
+                yield  # pragma: no cover - marks this as a generator
+            return act.test(r)
+
+        threads = [machine.spawn(body, i) for i in range(100)]
+        machine.run()
+        assert [t.result.value for t in threads] == list(range(100))
+        assert machine.cid_allocator.live_count() == 0
+        # Threads that never stall run to completion one at a time, so
+        # 100 threads flow through a handful of names.
+        assert machine.cid_allocator.high_watermark < 8
+
+    def test_too_many_live_threads_exhaust(self):
+        rf = NamedStateRegisterFile(num_registers=128, context_size=32)
+        machine = ThreadMachine(rf, cid_bits=2)  # 4 CIDs
+        gate = machine.future()
+
+        def waiter(act, i):
+            value = yield machine.wait(gate)
+            return value + i
+
+        for i in range(8):  # 8 concurrently-live threads
+            machine.spawn(waiter, i)
+        with pytest.raises(CIDExhaustedError):
+            machine.run()

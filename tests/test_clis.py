@@ -1,0 +1,104 @@
+"""Tests for the command-line entry points."""
+
+import pytest
+
+from repro.asm.__main__ import main as asm_main
+from repro.evalx.report import main as evalx_main
+from repro.lang.__main__ import main as lang_main
+from repro.workloads.__main__ import main as workloads_main
+
+MC_SOURCE = """
+func double(x) { return x * 2; }
+func main() { return double(21); }
+"""
+
+ASM_SOURCE = """
+main:
+    li r1, 6
+    li r2, 7
+    mul r3, r1, r2
+    out r3
+    halt
+"""
+
+
+@pytest.fixture
+def mc_file(tmp_path):
+    path = tmp_path / "prog.mc"
+    path.write_text(MC_SOURCE)
+    return str(path)
+
+
+@pytest.fixture
+def asm_file(tmp_path):
+    path = tmp_path / "prog.s"
+    path.write_text(ASM_SOURCE)
+    return str(path)
+
+
+class TestLangCLI:
+    def test_run_default(self, mc_file, capsys):
+        assert lang_main([mc_file]) == 0
+        out = capsys.readouterr().out
+        assert "result: 42" in out
+        assert "nsf" in out
+
+    def test_run_segmented_with_asm(self, mc_file, capsys):
+        assert lang_main([mc_file, "--model", "segmented",
+                          "--show-asm"]) == 0
+        out = capsys.readouterr().out
+        assert "result: 42" in out
+        assert "call double" in out
+
+    def test_pipeline_and_rfree(self, mc_file, capsys):
+        assert lang_main([mc_file, "--pipeline", "--rfree"]) == 0
+        assert "result: 42" in capsys.readouterr().out
+
+    def test_opt_level_zero(self, mc_file, capsys):
+        assert lang_main([mc_file, "-O", "0"]) == 0
+        assert "result: 42" in capsys.readouterr().out
+
+
+class TestAsmCLI:
+    def test_run(self, asm_file, capsys):
+        assert asm_main([asm_file]) == 0
+        out = capsys.readouterr().out
+        assert "output: [42]" in out
+
+    def test_segmented(self, asm_file, capsys):
+        assert asm_main([asm_file, "--model", "segmented",
+                         "--registers", "40"]) == 0
+        assert "output: [42]" in capsys.readouterr().out
+
+    def test_encode_listing(self, asm_file, capsys):
+        assert asm_main([asm_file, "--encode"]) == 0
+        out = capsys.readouterr().out
+        assert "0000:" in out
+        assert "li r1, 6" in out
+
+
+class TestWorkloadsCLI:
+    def test_list(self, capsys):
+        assert workloads_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "GateSim" in out and "Wavefront" in out
+
+    def test_run_single_model(self, capsys):
+        assert workloads_main(["Quicksort", "--model", "nsf",
+                               "--scale", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "verified=True" in out
+
+    def test_run_both_models(self, capsys):
+        assert workloads_main(["Paraffins", "--scale", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("verified=True") == 2
+
+
+class TestEvalxCLI:
+    def test_csv_format(self, capsys):
+        assert evalx_main(["--experiment", "fig07",
+                           "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert "Organization,Decode" in out
+        assert "NSF 32x128" in out

@@ -1,0 +1,405 @@
+"""Unit tests for the Named-State Register File model."""
+
+import pytest
+
+from repro.core import NamedStateRegisterFile
+from repro.errors import (
+    CapacityError,
+    DuplicateContextError,
+    NoCurrentContextError,
+    ReadBeforeWriteError,
+    RegisterRangeError,
+    UnknownContextError,
+)
+
+
+def make(registers=8, context=8, line=1, **kw):
+    return NamedStateRegisterFile(
+        num_registers=registers, context_size=context, line_size=line, **kw
+    )
+
+
+class TestConstruction:
+    def test_basic_shape(self):
+        nsf = make(registers=128, context=32, line=4)
+        assert nsf.num_lines == 32
+        assert nsf.line_size == 4
+        assert nsf.kind == "nsf"
+
+    def test_rejects_nondivisible_line_size(self):
+        with pytest.raises(ValueError):
+            make(registers=10, line=4)
+
+    def test_rejects_bad_scope(self):
+        with pytest.raises(ValueError):
+            make(reload_scope="frame")
+
+    def test_rejects_zero_registers(self):
+        with pytest.raises(ValueError):
+            make(registers=0)
+
+    def test_rejects_zero_line(self):
+        with pytest.raises(ValueError):
+            make(line=0)
+
+
+class TestContextLifecycle:
+    def test_begin_assigns_fresh_cids(self):
+        nsf = make()
+        a = nsf.begin_context()
+        b = nsf.begin_context()
+        assert a != b
+        assert nsf.stats.contexts_created == 2
+
+    def test_duplicate_cid_rejected(self):
+        nsf = make()
+        nsf.begin_context(cid=7)
+        with pytest.raises(DuplicateContextError):
+            nsf.begin_context(cid=7)
+
+    def test_end_frees_registers_without_spilling(self):
+        nsf = make(registers=4, context=4)
+        a = nsf.begin_context()
+        nsf.switch_to(a)
+        for i in range(4):
+            nsf.write(i, i)
+        nsf.end_context(a)
+        assert nsf.active_register_count() == 0
+        assert nsf.allocated_lines() == 0
+        assert nsf.stats.registers_spilled == 0
+        assert len(nsf.backing) == 0
+
+    def test_end_unknown_context_raises(self):
+        nsf = make()
+        with pytest.raises(UnknownContextError):
+            nsf.end_context(99)
+
+    def test_cid_reuse_after_end(self):
+        nsf = make()
+        a = nsf.begin_context(cid=3)
+        nsf.end_context(a)
+        b = nsf.begin_context(cid=3)
+        nsf.switch_to(b)
+        nsf.write(0, 11)
+        assert nsf.read(0)[0] == 11
+
+    def test_switch_to_unknown_raises(self):
+        nsf = make()
+        with pytest.raises(UnknownContextError):
+            nsf.switch_to(42)
+
+
+class TestAccessBasics:
+    def test_read_after_write_hits(self):
+        nsf = make()
+        a = nsf.begin_context()
+        nsf.switch_to(a)
+        res = nsf.write(3, 99)
+        assert not res.hit  # first write allocates the line
+        value, res = nsf.read(3)
+        assert value == 99
+        assert res.hit
+
+    def test_access_without_context_raises(self):
+        nsf = make()
+        with pytest.raises(NoCurrentContextError):
+            nsf.read(0)
+
+    def test_offset_out_of_range(self):
+        nsf = make(context=8)
+        a = nsf.begin_context()
+        nsf.switch_to(a)
+        with pytest.raises(RegisterRangeError):
+            nsf.write(8, 1)
+        with pytest.raises(RegisterRangeError):
+            nsf.read(-1)
+
+    def test_read_before_write_strict(self):
+        nsf = make(strict=True)
+        a = nsf.begin_context()
+        nsf.switch_to(a)
+        with pytest.raises(ReadBeforeWriteError):
+            nsf.read(0)
+
+    def test_read_before_write_lenient(self):
+        nsf = make(strict=False)
+        a = nsf.begin_context()
+        nsf.switch_to(a)
+        value, res = nsf.read(0)
+        assert value == 0
+        assert not res.hit
+
+    def test_rewrite_hits(self):
+        nsf = make()
+        a = nsf.begin_context()
+        nsf.switch_to(a)
+        nsf.write(0, 1)
+        res = nsf.write(0, 2)
+        assert res.hit
+        assert nsf.read(0)[0] == 2
+
+    def test_explicit_cid_access(self):
+        nsf = make()
+        a = nsf.begin_context()
+        b = nsf.begin_context()
+        nsf.switch_to(a)
+        nsf.write(0, 5, cid=b)
+        assert nsf.read(0, cid=b)[0] == 5
+        assert nsf.current_cid == a
+
+
+class TestSpillReload:
+    def test_lru_victim_spilled_and_reloaded(self):
+        nsf = make(registers=2, context=4)
+        a = nsf.begin_context()
+        nsf.switch_to(a)
+        nsf.write(0, 10)
+        nsf.write(1, 11)
+        nsf.write(2, 12)  # evicts r0 (LRU)
+        assert not nsf.is_resident(a, 0)
+        assert nsf.backing.contains(a, 0)
+        value, res = nsf.read(0)  # demand reload
+        assert value == 10
+        assert not res.hit
+        assert res.reloaded == 1
+        assert nsf.stats.registers_spilled >= 1
+        assert nsf.stats.registers_reloaded == 1
+
+    def test_values_survive_many_round_trips(self):
+        nsf = make(registers=4, context=16)
+        a = nsf.begin_context()
+        nsf.switch_to(a)
+        for i in range(16):
+            nsf.write(i, i * i)
+        for i in range(16):
+            assert nsf.read(i)[0] == i * i
+
+    def test_interleaved_contexts_preserve_values(self):
+        nsf = make(registers=8, context=8)
+        cids = [nsf.begin_context() for _ in range(4)]
+        for rounds in range(3):
+            for k, cid in enumerate(cids):
+                nsf.switch_to(cid)
+                for i in range(6):
+                    nsf.write(i, rounds * 100 + k * 10 + i)
+        for k, cid in enumerate(cids):
+            nsf.switch_to(cid)
+            for i in range(6):
+                assert nsf.read(i)[0] == 200 + k * 10 + i
+
+    def test_switch_is_free_of_traffic(self):
+        nsf = make(registers=8, context=4)
+        a = nsf.begin_context()
+        b = nsf.begin_context()
+        nsf.switch_to(a)
+        nsf.write(0, 1)
+        res = nsf.switch_to(b)
+        assert res.reloaded == 0 and res.spilled == 0
+        assert not res.switch_miss
+        assert nsf.stats.switch_misses == 0
+
+    def test_active_reload_counted_once(self):
+        nsf = make(registers=2, context=4)
+        a = nsf.begin_context()
+        nsf.switch_to(a)
+        nsf.write(0, 1)
+        nsf.write(1, 2)
+        nsf.write(2, 3)          # spills r0
+        nsf.read(0)              # reload + access
+        nsf.read(0)              # plain hit
+        assert nsf.stats.active_registers_reloaded == 1
+
+
+class TestLineGranularity:
+    def test_line_groups_registers(self):
+        nsf = make(registers=8, context=8, line=4)
+        a = nsf.begin_context()
+        nsf.switch_to(a)
+        nsf.write(0, 1)  # allocates line 0 (offsets 0-3)
+        res = nsf.write(3, 2)
+        assert res.hit  # same line already allocated
+        res = nsf.write(4, 3)
+        assert not res.hit  # new line
+        assert nsf.allocated_lines() == 2
+
+    def test_valid_bit_replacement_within_line(self):
+        # A read to an invalid slot of a resident line reloads only that
+        # register (the paper's per-register valid-bit feature, §7.3).
+        nsf = make(registers=4, context=8, line=2)
+        a = nsf.begin_context()
+        nsf.switch_to(a)
+        nsf.write(0, 10)
+        nsf.write(1, 11)
+        nsf.write(2, 12)
+        nsf.write(3, 13)  # file full: lines (0,1) and (2,3)
+        nsf.write(4, 14)  # evicts line (0,1) -> spills 10, 11
+        value, res = nsf.read(0)
+        assert value == 10
+        assert res.reloaded == 1  # only r0, not the whole line
+
+    def test_line_scope_reloads_whole_line(self):
+        nsf = make(registers=4, context=8, line=2, reload_scope="line")
+        a = nsf.begin_context()
+        nsf.switch_to(a)
+        nsf.write(0, 10)
+        nsf.write(1, 11)
+        nsf.write(2, 12)
+        nsf.write(4, 14)  # fills third line -> evicts line (0,1)
+        value, res = nsf.read(0)
+        assert value == 10
+        assert res.reloaded == 2  # whole line moved
+        assert nsf.stats.live_registers_reloaded == 2
+        assert nsf.read(1)[0] == 11  # came back with the line
+
+    def test_line_scope_counts_empty_slots(self):
+        nsf = make(registers=4, context=8, line=2, reload_scope="line")
+        a = nsf.begin_context()
+        nsf.switch_to(a)
+        nsf.write(0, 10)  # line (0,1), slot 1 never written
+        nsf.write(2, 12)
+        nsf.write(4, 14)  # evicts line (0,1): only r0 live
+        nsf.read(0)
+        assert nsf.stats.registers_reloaded == 2      # curve A counts both
+        assert nsf.stats.live_registers_reloaded == 1  # curve B counts r0
+
+    def test_free_register_releases_empty_line(self):
+        nsf = make(registers=8, context=8, line=2)
+        a = nsf.begin_context()
+        nsf.switch_to(a)
+        nsf.write(0, 1)
+        nsf.write(1, 2)
+        nsf.free_register(0)
+        assert nsf.allocated_lines() == 1
+        nsf.free_register(1)
+        assert nsf.allocated_lines() == 0
+        assert nsf.active_register_count() == 0
+
+    def test_freed_register_read_faults(self):
+        nsf = make()
+        a = nsf.begin_context()
+        nsf.switch_to(a)
+        nsf.write(0, 1)
+        nsf.free_register(0)
+        with pytest.raises(ReadBeforeWriteError):
+            nsf.read(0)
+
+
+class TestFetchOnWrite:
+    def test_write_allocate_does_not_reload(self):
+        nsf = make(registers=2, context=4)
+        a = nsf.begin_context()
+        nsf.switch_to(a)
+        nsf.write(0, 1)
+        nsf.write(1, 2)
+        nsf.write(2, 3)          # evict r0
+        res = nsf.write(0, 9)    # write miss: allocate, no fetch
+        assert res.reloaded == 0
+        assert nsf.read(0)[0] == 9
+
+    def test_fetch_on_write_reloads_line(self):
+        nsf = make(registers=4, context=8, line=2, fetch_on_write=True)
+        a = nsf.begin_context()
+        nsf.switch_to(a)
+        nsf.write(0, 10)
+        nsf.write(1, 11)
+        nsf.write(2, 12)
+        nsf.write(4, 14)         # evicts line (0,1)
+        res = nsf.write(1, 99)   # fetch-on-write pulls the line back first
+        assert res.reloaded == 2
+        assert nsf.read(0)[0] == 10
+        assert nsf.read(1)[0] == 99
+
+
+class TestOccupancy:
+    def test_active_count_tracks_valid_registers(self):
+        nsf = make(registers=8, context=8)
+        a = nsf.begin_context()
+        nsf.switch_to(a)
+        assert nsf.active_register_count() == 0
+        nsf.write(0, 1)
+        nsf.write(1, 2)
+        assert nsf.active_register_count() == 2
+        nsf.free_register(0)
+        assert nsf.active_register_count() == 1
+
+    def test_resident_contexts(self):
+        nsf = make(registers=8, context=4)
+        a = nsf.begin_context()
+        b = nsf.begin_context()
+        assert nsf.resident_context_count() == 0
+        nsf.switch_to(a)
+        nsf.write(0, 1)
+        nsf.switch_to(b)
+        nsf.write(0, 2)
+        assert nsf.resident_context_count() == 2
+        assert nsf.resident_context_ids() == {a, b}
+
+    def test_tick_integrates_occupancy(self):
+        nsf = make(registers=8, context=8)
+        a = nsf.begin_context()
+        nsf.switch_to(a)
+        nsf.write(0, 1)
+        nsf.write(1, 1)
+        nsf.tick(10)
+        assert nsf.stats.instructions == 10
+        assert nsf.stats.occupancy_weighted == 20
+        assert nsf.stats.utilization_avg == pytest.approx(2 / 8)
+        assert nsf.stats.max_active_registers == 2
+
+    def test_more_contexts_than_lines_is_fine(self):
+        nsf = make(registers=4, context=4)
+        cids = [nsf.begin_context() for _ in range(10)]
+        for value, cid in enumerate(cids):
+            nsf.switch_to(cid)
+            nsf.write(0, value)
+        for value, cid in enumerate(cids):
+            nsf.switch_to(cid)
+            assert nsf.read(0)[0] == value
+
+
+class TestPolicies:
+    def test_fifo_differs_from_lru(self):
+        # With FIFO, touching r0 does not protect it from eviction.
+        results = {}
+        for policy in ("lru", "fifo"):
+            nsf = make(registers=2, context=4, policy=policy)
+            a = nsf.begin_context()
+            nsf.switch_to(a)
+            nsf.write(0, 0)
+            nsf.write(1, 1)
+            nsf.read(0)     # refresh r0 under LRU only
+            nsf.write(2, 2)  # evicts r1 under LRU, r0 under FIFO
+            results[policy] = nsf.is_resident(a, 0)
+        assert results["lru"] and not results["fifo"]
+
+    def test_random_policy_is_deterministic_per_seed(self):
+        def run(seed):
+            nsf = make(registers=4, context=16, policy="random",
+                       policy_seed=seed)
+            a = nsf.begin_context()
+            nsf.switch_to(a)
+            for i in range(16):
+                nsf.write(i, i)
+            return [nsf.is_resident(a, i) for i in range(16)]
+
+        assert run(1) == run(1)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            make(policy="belady")
+
+
+class TestCapacityEdge:
+    def test_single_line_file(self):
+        nsf = make(registers=1, context=4)
+        a = nsf.begin_context()
+        nsf.switch_to(a)
+        nsf.write(0, 1)
+        nsf.write(1, 2)  # evicts r0 immediately
+        assert nsf.read(0)[0] == 1
+        assert nsf.stats.registers_spilled >= 1
+
+    def test_capacity_error_when_no_lines(self):
+        with pytest.raises((CapacityError, ValueError)):
+            NamedStateRegisterFile(num_registers=2, context_size=4,
+                                   line_size=4)

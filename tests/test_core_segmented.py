@@ -1,0 +1,219 @@
+"""Unit tests for the segmented and conventional register-file models."""
+
+import pytest
+
+from repro.core import ConventionalRegisterFile, SegmentedRegisterFile
+from repro.errors import CapacityError, ReadBeforeWriteError
+
+
+def make(registers=8, context=4, **kw):
+    return SegmentedRegisterFile(num_registers=registers,
+                                 context_size=context, **kw)
+
+
+class TestConstruction:
+    def test_frames(self):
+        seg = make(registers=128, context=32)
+        assert seg.num_frames == 4
+        assert seg.frame_size == 32
+
+    def test_too_small_for_one_frame(self):
+        with pytest.raises(CapacityError):
+            make(registers=8, context=16)
+
+    def test_bad_spill_mode(self):
+        with pytest.raises(ValueError):
+            make(spill_mode="lazy")
+
+
+class TestResidentSwitching:
+    def test_switch_between_resident_contexts_is_free(self):
+        seg = make()
+        a = seg.begin_context()
+        b = seg.begin_context()
+        seg.switch_to(a)
+        seg.write(0, 1)
+        seg.switch_to(b)
+        seg.write(0, 2)
+        res = seg.switch_to(a)
+        assert not res.switch_miss
+        assert res.reloaded == 0
+        assert seg.stats.switch_misses == 2  # only first-time installs
+
+    def test_fresh_context_install_moves_nothing(self):
+        seg = make()
+        a = seg.begin_context()
+        res = seg.switch_to(a)
+        assert res.switch_miss  # frame had to be allocated
+        assert res.reloaded == 0  # but nothing came from memory
+        assert seg.stats.registers_reloaded == 0
+
+
+class TestEviction:
+    def test_third_context_evicts_lru_frame(self):
+        seg = make(registers=8, context=4)  # 2 frames
+        a = seg.begin_context()
+        b = seg.begin_context()
+        c = seg.begin_context()
+        seg.switch_to(a)
+        seg.write(0, 10)
+        seg.write(1, 11)
+        seg.switch_to(b)
+        seg.write(0, 20)
+        seg.switch_to(c)  # evicts a (LRU)
+        assert seg.resident_context_ids() == {b, c}
+        assert seg.stats.registers_spilled == 4  # whole frame in frame mode
+        assert seg.stats.live_registers_spilled == 2
+
+    def test_underflow_reloads_whole_frame(self):
+        seg = make(registers=8, context=4)
+        a, b, c = (seg.begin_context() for _ in range(3))
+        seg.switch_to(a)
+        seg.write(0, 10)
+        seg.switch_to(b)
+        seg.write(0, 20)
+        seg.switch_to(c)
+        seg.write(0, 30)
+        res = seg.switch_to(a)  # underflow: reload a's frame
+        assert res.switch_miss
+        assert res.reloaded == 4
+        assert seg.stats.live_registers_reloaded == 1
+        assert seg.read(0)[0] == 10
+
+    def test_live_mode_counts_only_valid(self):
+        seg = make(registers=8, context=4, spill_mode="live")
+        a, b, c = (seg.begin_context() for _ in range(3))
+        seg.switch_to(a)
+        seg.write(0, 10)
+        seg.write(1, 11)
+        seg.switch_to(b)
+        seg.write(0, 20)
+        seg.switch_to(c)  # evicts a: 2 live registers
+        assert seg.stats.registers_spilled == 2
+        seg.switch_to(a)  # evicts b; reloads a's 2
+        assert seg.stats.registers_reloaded == 2
+        assert seg.read(1)[0] == 11
+
+    def test_values_survive_eviction_cycles(self):
+        seg = make(registers=8, context=4)
+        cids = [seg.begin_context() for _ in range(5)]
+        for k, cid in enumerate(cids):
+            seg.switch_to(cid)
+            for i in range(4):
+                seg.write(i, k * 10 + i)
+        for k, cid in enumerate(cids):
+            seg.switch_to(cid)
+            for i in range(4):
+                assert seg.read(i)[0] == k * 10 + i
+
+    def test_active_reload_tracking(self):
+        seg = make(registers=8, context=4)
+        a, b, c = (seg.begin_context() for _ in range(3))
+        seg.switch_to(a)
+        seg.write(0, 1)
+        seg.write(1, 2)
+        seg.switch_to(b)
+        seg.write(0, 3)
+        seg.switch_to(c)
+        seg.write(0, 4)
+        seg.switch_to(a)  # reloads r0, r1
+        seg.read(0)       # only r0 is touched again
+        assert seg.stats.active_registers_reloaded == 1
+
+
+class TestAccessSemantics:
+    def test_read_before_write_strict(self):
+        seg = make()
+        a = seg.begin_context()
+        seg.switch_to(a)
+        with pytest.raises(ReadBeforeWriteError):
+            seg.read(2)
+
+    def test_read_before_write_lenient(self):
+        seg = make(strict=False)
+        a = seg.begin_context()
+        seg.switch_to(a)
+        assert seg.read(2)[0] == 0
+
+    def test_implicit_fault_in_on_foreign_access(self):
+        # Accessing a non-resident context faults its frame in, which is
+        # what a machine-level context switch would do.
+        seg = make(registers=4, context=4)  # one frame
+        a = seg.begin_context()
+        b = seg.begin_context()
+        seg.switch_to(a)
+        seg.write(0, 1)
+        res = seg.write(0, 2, cid=b)  # forces a's frame out
+        assert res.switch_miss
+        assert seg.resident_context_ids() == {b}
+
+    def test_free_register_drops_value(self):
+        seg = make()
+        a = seg.begin_context()
+        seg.switch_to(a)
+        seg.write(0, 5)
+        seg.free_register(0)
+        assert seg.active_register_count() == 0
+        with pytest.raises(ReadBeforeWriteError):
+            seg.read(0)
+
+
+class TestOccupancy:
+    def test_occupancy_counts_valid_only(self):
+        seg = make(registers=8, context=4)
+        a = seg.begin_context()
+        seg.switch_to(a)
+        seg.write(0, 1)
+        seg.write(1, 1)
+        assert seg.active_register_count() == 2  # not the whole frame
+        seg.tick(4)
+        assert seg.stats.occupancy_weighted == 8
+        assert seg.stats.utilization_avg == pytest.approx(2 / 8)
+
+    def test_resident_bounded_by_frames(self):
+        seg = make(registers=8, context=4)
+        cids = [seg.begin_context() for _ in range(6)]
+        for cid in cids:
+            seg.switch_to(cid)
+            seg.write(0, 1)
+        assert seg.resident_context_count() == 2
+        assert seg.stats.max_resident_contexts <= 2
+
+    def test_end_context_releases_frame(self):
+        seg = make(registers=8, context=4)
+        a = seg.begin_context()
+        b = seg.begin_context()
+        seg.switch_to(a)
+        seg.write(0, 1)
+        seg.switch_to(b)
+        seg.end_context(a)
+        assert seg.resident_context_count() == 1
+        c = seg.begin_context()
+        res = seg.switch_to(c)
+        assert res.spilled == 0  # reused the freed frame
+
+
+class TestConventional:
+    def test_single_frame(self):
+        conv = ConventionalRegisterFile(num_registers=8)
+        assert conv.num_frames == 1
+        assert conv.context_size == 8
+
+    def test_every_switch_swaps_whole_file(self):
+        conv = ConventionalRegisterFile(num_registers=4)
+        a = conv.begin_context()
+        b = conv.begin_context()
+        conv.switch_to(a)
+        for i in range(4):
+            conv.write(i, i)
+        conv.switch_to(b)
+        conv.write(0, 9)
+        assert conv.stats.registers_spilled == 4
+        conv.switch_to(a)
+        assert conv.stats.registers_reloaded == 4
+        assert conv.read(3)[0] == 3
+
+    def test_context_size_parameter(self):
+        conv = ConventionalRegisterFile(num_registers=128, context_size=20)
+        assert conv.num_frames == 1
+        assert conv.num_registers == 20

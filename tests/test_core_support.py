@@ -1,0 +1,291 @@
+"""Unit tests for policies, backing store, Ctable, stats and cost models."""
+
+import pytest
+
+from repro.core import (
+    NSF_COSTS,
+    SEGMENT_HW_COSTS,
+    SEGMENT_SW_COSTS,
+    BackingStore,
+    CostModel,
+    Ctable,
+    RegFileStats,
+    make_policy,
+    speedup,
+)
+from repro.core.policies import (
+    FIFOPolicy,
+    LRUPolicy,
+    NMRUPolicy,
+    RandomPolicy,
+)
+from repro.core.stats import AccessResult
+from repro.errors import CapacityError, UnknownContextError
+
+
+class TestLRUPolicy:
+    def test_victim_is_least_recent(self):
+        lru = LRUPolicy()
+        for key in "abc":
+            lru.insert(key)
+        assert lru.victim() == "a"
+        lru.touch("a")
+        assert lru.victim() == "b"
+
+    def test_remove(self):
+        lru = LRUPolicy()
+        lru.insert(1)
+        lru.insert(2)
+        lru.remove(1)
+        assert lru.victim() == 2
+        assert 1 not in lru
+        assert len(lru) == 1
+
+    def test_empty_victim_raises(self):
+        with pytest.raises(CapacityError):
+            LRUPolicy().victim()
+
+    def test_reinsert_refreshes(self):
+        lru = LRUPolicy()
+        lru.insert(1)
+        lru.insert(2)
+        lru.insert(1)
+        assert lru.victim() == 2
+        assert lru.keys_in_order() == [2, 1]
+
+    def test_touch_unknown_is_noop(self):
+        lru = LRUPolicy()
+        lru.insert(1)
+        lru.touch(99)
+        assert lru.victim() == 1
+
+
+class TestFIFOPolicy:
+    def test_touch_does_not_refresh(self):
+        fifo = FIFOPolicy()
+        fifo.insert(1)
+        fifo.insert(2)
+        fifo.touch(1)
+        assert fifo.victim() == 1
+
+
+class TestRandomPolicy:
+    def test_membership_and_removal(self):
+        rnd = RandomPolicy(seed=7)
+        for i in range(5):
+            rnd.insert(i)
+        rnd.remove(2)
+        assert 2 not in rnd
+        assert len(rnd) == 4
+        for _ in range(20):
+            assert rnd.victim() != 2
+
+    def test_duplicate_insert_ignored(self):
+        rnd = RandomPolicy()
+        rnd.insert(1)
+        rnd.insert(1)
+        assert len(rnd) == 1
+
+    def test_empty_victim_raises(self):
+        with pytest.raises(CapacityError):
+            RandomPolicy().victim()
+
+
+class TestNMRUPolicy:
+    def test_never_evicts_most_recent(self):
+        nmru = NMRUPolicy(seed=5)
+        for key in range(6):
+            nmru.insert(key)
+        nmru.touch(3)
+        for _ in range(50):
+            assert nmru.victim() != 3
+
+    def test_single_entry_is_evictable(self):
+        nmru = NMRUPolicy()
+        nmru.insert("only")
+        assert nmru.victim() == "only"
+
+    def test_remove_clears_mru(self):
+        nmru = NMRUPolicy(seed=1)
+        nmru.insert(1)
+        nmru.insert(2)
+        nmru.remove(2)  # 2 was MRU
+        assert nmru.victim() == 1
+        assert len(nmru) == 1 and 2 not in nmru
+
+    def test_empty_victim_raises(self):
+        with pytest.raises(CapacityError):
+            NMRUPolicy().victim()
+
+
+class TestMakePolicy:
+    @pytest.mark.parametrize("name", ["lru", "fifo", "random", "nmru"])
+    def test_known_names(self, name):
+        assert make_policy(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_policy("opt")
+
+
+class TestCtable:
+    def test_roundtrip(self):
+        ct = Ctable()
+        ct.set(3, 0x1000)
+        assert ct.lookup(3) == 0x1000
+        assert 3 in ct and len(ct) == 1
+
+    def test_missing_entry_faults(self):
+        with pytest.raises(UnknownContextError):
+            Ctable().lookup(5)
+
+    def test_drop(self):
+        ct = Ctable()
+        ct.set(1, 0)
+        ct.drop(1)
+        assert 1 not in ct
+
+
+class TestBackingStore:
+    def test_spill_reload_roundtrip(self):
+        bs = BackingStore()
+        bs.spill(1, 4, 99)
+        assert bs.contains(1, 4)
+        assert bs.reload(1, 4) == 99
+        assert bs.words_stored == 1 and bs.words_loaded == 1
+
+    def test_backed_offsets_sorted(self):
+        bs = BackingStore()
+        for off in (5, 1, 3):
+            bs.spill(2, off, off)
+        assert bs.backed_offsets(2) == [1, 3, 5]
+
+    def test_discard(self):
+        bs = BackingStore()
+        bs.spill(1, 0, 1)
+        bs.discard(1, 0)
+        assert not bs.contains(1, 0)
+        assert bs.backed_offsets(1) == []
+
+    def test_drop_context(self):
+        bs = BackingStore()
+        bs.ctable.set(1, 0x100)
+        bs.spill(1, 0, 1)
+        bs.spill(1, 1, 2)
+        bs.spill(2, 0, 3)
+        bs.drop_context(1)
+        assert len(bs) == 1
+        assert bs.contains(2, 0)
+        assert 1 not in bs.ctable
+
+    def test_address_of(self):
+        bs = BackingStore(word_bytes=8)
+        bs.ctable.set(7, 0x2000)
+        assert bs.address_of(7, 3) == 0x2000 + 24
+
+    def test_reload_missing_is_model_bug(self):
+        with pytest.raises(KeyError):
+            BackingStore().reload(9, 9)
+
+
+class TestStats:
+    def test_tick_weighting(self):
+        s = RegFileStats(capacity=10)
+        s.tick(5, active_registers=4, resident_contexts=2)
+        s.tick(5, active_registers=6, resident_contexts=4)
+        assert s.instructions == 10
+        assert s.utilization_avg == pytest.approx(0.5)
+        assert s.avg_resident_contexts == pytest.approx(3.0)
+        assert s.max_active_registers == 6
+        assert s.max_resident_contexts == 4
+
+    def test_zero_division_guards(self):
+        s = RegFileStats()
+        assert s.utilization_avg == 0.0
+        assert s.reloads_per_instruction == 0.0
+        assert s.read_miss_rate == 0.0
+        assert s.instructions_per_switch == 0.0
+
+    def test_rates(self):
+        s = RegFileStats(capacity=8)
+        s.instructions = 100
+        s.registers_reloaded = 5
+        s.live_registers_reloaded = 3
+        s.active_registers_reloaded = 2
+        s.context_switches = 4
+        assert s.reloads_per_instruction == pytest.approx(0.05)
+        assert s.live_reloads_per_instruction == pytest.approx(0.03)
+        assert s.active_reloads_per_instruction == pytest.approx(0.02)
+        assert s.instructions_per_switch == pytest.approx(25.0)
+
+    def test_snapshot_and_reset(self):
+        s = RegFileStats(capacity=4)
+        s.reads = 7
+        snap = s.snapshot()
+        assert snap["reads"] == 7 and snap["capacity"] == 4
+        s.reset()
+        assert s.reads == 0 and s.capacity == 4
+
+    def test_merge_adds_counts_and_maxes_maxima(self):
+        a = RegFileStats(capacity=8)
+        b = RegFileStats(capacity=8)
+        a.reads, b.reads = 3, 4
+        a.max_active_registers, b.max_active_registers = 5, 2
+        merged = a + b
+        assert merged.reads == 7
+        assert merged.max_active_registers == 5
+        assert merged.capacity == 8
+
+
+class TestAccessResult:
+    def test_stalled(self):
+        assert AccessResult(hit=False).stalled
+        assert AccessResult(reloaded=1).stalled
+        assert AccessResult(switch_miss=True).stalled
+        assert not AccessResult().stalled
+
+    def test_merge(self):
+        a = AccessResult(reloaded=1)
+        b = AccessResult(hit=False, spilled=2, switch_miss=True)
+        a.merge(b)
+        assert a.reloaded == 1 and a.spilled == 2
+        assert not a.hit and a.switch_miss
+
+
+class TestCostModels:
+    def _stats(self):
+        s = RegFileStats(capacity=128)
+        s.instructions = 1000
+        s.registers_reloaded = 40
+        s.registers_spilled = 40
+        s.read_misses = 10
+        s.context_switches = 20
+        s.switch_misses = 5
+        return s
+
+    def test_total_is_base_plus_traffic(self):
+        s = self._stats()
+        m = CostModel()
+        assert m.total_cycles(s) == pytest.approx(
+            m.base_cycles(s) + m.traffic_cycles(s)
+        )
+
+    def test_overhead_fraction_in_unit_interval(self):
+        s = self._stats()
+        for m in (NSF_COSTS, SEGMENT_HW_COSTS, SEGMENT_SW_COSTS):
+            frac = m.overhead_fraction(s)
+            assert 0.0 <= frac < 1.0
+
+    def test_software_costs_more_than_hardware(self):
+        s = self._stats()
+        assert (SEGMENT_SW_COSTS.traffic_cycles(s)
+                > SEGMENT_HW_COSTS.traffic_cycles(s))
+
+    def test_zero_instruction_guard(self):
+        s = RegFileStats()
+        assert CostModel().overhead_fraction(s) == 0.0
+
+    def test_speedup(self):
+        assert speedup(120, 100) == pytest.approx(20.0)
+        assert speedup(100, 100) == pytest.approx(0.0)
+        assert speedup(10, 0) == 0.0

@@ -1,0 +1,87 @@
+"""Tests for the dribble-back (background spill) NSF extension."""
+
+import pytest
+
+from repro.core import NSF_COSTS, CostModel, NamedStateRegisterFile
+from repro.workloads import get_workload
+
+
+def make(watermark, registers=8, context=8):
+    return NamedStateRegisterFile(num_registers=registers,
+                                  context_size=context,
+                                  spill_watermark=watermark)
+
+
+class TestConfiguration:
+    def test_zero_watermark_is_default(self):
+        nsf = make(0)
+        assert nsf.spill_watermark == 0
+
+    def test_watermark_bounds(self):
+        with pytest.raises(ValueError):
+            make(-1)
+        with pytest.raises(ValueError):
+            make(8)  # == num_lines
+
+
+class TestBehaviour:
+    def test_headroom_is_maintained(self):
+        nsf = make(2)
+        cid = nsf.begin_context()
+        nsf.switch_to(cid)
+        for i in range(8):
+            nsf.write(i, i)
+        # With a watermark of 2 lines, at most 6 registers stay resident.
+        assert nsf.allocated_lines() <= 6
+        assert nsf.stats.background_registers_spilled > 0
+
+    def test_values_survive_background_spills(self):
+        nsf = make(3, registers=8, context=16)
+        cid = nsf.begin_context()
+        nsf.switch_to(cid)
+        for i in range(16):
+            nsf.write(i, i * 7)
+        for i in range(16):
+            assert nsf.read(i)[0] == i * 7
+
+    def test_foreground_spills_replaced_by_background(self):
+        workload = get_workload("Gamteb")
+        plain = NamedStateRegisterFile(num_registers=128, context_size=32)
+        dribble = NamedStateRegisterFile(num_registers=128,
+                                         context_size=32,
+                                         spill_watermark=8)
+        workload.run(plain, scale=0.3, seed=3)
+        workload.run(dribble, scale=0.3, seed=3)
+        # Same program, same verified result; the dribble file moved
+        # most spill traffic off the critical path.
+        assert dribble.stats.registers_spilled < plain.stats.registers_spilled
+        assert dribble.stats.background_registers_spilled > 0
+
+    def test_total_spill_volume_not_smaller(self):
+        # Dribbling is speculative: it can only move MORE total data.
+        workload = get_workload("Gamteb")
+        plain = NamedStateRegisterFile(num_registers=128, context_size=32)
+        dribble = NamedStateRegisterFile(num_registers=128,
+                                         context_size=32,
+                                         spill_watermark=8)
+        workload.run(plain, scale=0.3, seed=3)
+        workload.run(dribble, scale=0.3, seed=3)
+        total_plain = plain.stats.registers_spilled
+        total_dribble = (dribble.stats.registers_spilled
+                         + dribble.stats.background_registers_spilled)
+        assert total_dribble >= total_plain
+
+
+class TestCosting:
+    def test_background_spills_free_by_default(self):
+        nsf = make(2)
+        cid = nsf.begin_context()
+        nsf.switch_to(cid)
+        for i in range(8):
+            nsf.write(i, i)
+        stats = nsf.stats
+        free_model = NSF_COSTS
+        charged_model = CostModel(name="charged",
+                                  background_spill_cycles=1.0)
+        assert (charged_model.traffic_cycles(stats)
+                > free_model.traffic_cycles(stats))

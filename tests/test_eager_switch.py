@@ -1,0 +1,104 @@
+"""Unit tests for eager (interleaved) thread switching and markdown
+rendering added to the tables API."""
+
+import pytest
+
+from repro.core import NamedStateRegisterFile
+from repro.evalx.tables import ExperimentTable
+from repro.runtime import ThreadMachine
+
+
+def machine(eager):
+    rf = NamedStateRegisterFile(num_registers=128, context_size=32)
+    return ThreadMachine(rf, eager_switch=eager)
+
+
+class TestEagerSwitch:
+    def _pingpong(self, eager):
+        m = machine(eager)
+        a_to_b = m.future(name="a2b")
+        b_to_a = m.future(name="b2a")
+
+        def first(act):
+            r, = act.args(1)
+            m.put_reg(act, a_to_b, r)
+            value = yield m.wait(b_to_a)
+            return value
+
+        def second(act):
+            value = yield m.wait(a_to_b)
+            r, = act.args(value + 1)
+            m.put_reg(act, b_to_a, r)
+            return value
+
+        t1 = m.spawn(first)
+        t2 = m.spawn(second)
+        m.run()
+        return m, (t1.result.value, t2.result.value)
+
+    def test_results_identical(self):
+        _, block = self._pingpong(False)
+        _, eager = self._pingpong(True)
+        assert block == eager == (2, 1)
+
+    def test_eager_switches_at_least_as_often(self):
+        block_machine, _ = self._pingpong(False)
+        eager_machine, _ = self._pingpong(True)
+        assert (eager_machine.regfile.stats.context_switches
+                >= block_machine.regfile.stats.context_switches)
+
+    def test_resolved_wait_rotates_when_eager(self):
+        m = machine(eager=True)
+        gate = m.future()
+        gate._resolve(7)
+        order = []
+
+        def reader(act, tag):
+            value = yield m.wait(gate)   # already resolved
+            order.append(tag)
+            return value
+
+        threads = [m.spawn(reader, tag) for tag in ("a", "b", "c")]
+        m.run()
+        assert [t.result.value for t in threads] == [7, 7, 7]
+        # Eager mode rotated: no thread ran to completion while others
+        # were ready, so completion order interleaves spawn order.
+        assert order == ["a", "b", "c"]
+
+    def test_block_mode_continues_on_resolved_wait(self):
+        m = machine(eager=False)
+        gate = m.future()
+        gate._resolve(3)
+
+        def reader(act):
+            first = yield m.wait(gate)
+            second = yield m.wait(gate)
+            return first + second
+
+        t = m.spawn(reader)
+        switches_before = m.regfile.stats.context_switches
+        m.run()
+        assert t.result.value == 6
+        # One switch in; resolved waits did not rotate.
+        assert m.regfile.stats.context_switches == switches_before + 1
+
+
+class TestMarkdownRendering:
+    def test_markdown_table(self):
+        t = ExperimentTable("Figure 0", "demo", headers=["k", "v"],
+                            notes="note here")
+        t.add_row("x", 1.25)
+        text = t.to_markdown()
+        assert "### Figure 0: demo" in text
+        assert "| k | v |" in text
+        assert "| x | 1.25 |" in text
+        assert "*note here*" in text
+
+    def test_markdown_cli(self, capsys):
+        from repro.evalx.report import main
+
+        assert main(["--experiment", "fig06",
+                     "--format", "markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "### Figure 6" in out
+        assert "| Organization |" in out

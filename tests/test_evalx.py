@@ -1,0 +1,278 @@
+"""Tests for the experiment harness: every table/figure regenerates with
+the paper's qualitative shape."""
+
+import io
+
+import pytest
+
+from repro.evalx import EXPERIMENTS, run_experiment
+from repro.evalx.tables import ExperimentTable
+
+SCALE = 0.4
+
+# run_experiment is expensive; compute each table once per session.
+_cache = {}
+
+
+def table(name):
+    if name not in _cache:
+        _cache[name] = run_experiment(name, scale=SCALE, seed=3)
+    return _cache[name]
+
+
+class TestExperimentTable:
+    def test_add_row_validates_width(self):
+        t = ExperimentTable("X", "t", headers=["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+        t.add_row(1, 2)
+        assert t.rows == [[1, 2]]
+
+    def test_column_and_lookup(self):
+        t = ExperimentTable("X", "t", headers=["k", "v"])
+        t.add_row("one", 1)
+        t.add_row("two", 2)
+        assert t.column("v") == [1, 2]
+        assert t.lookup("two", "v") == 2
+        with pytest.raises(KeyError):
+            t.lookup("three", "v")
+
+    def test_render_contains_everything(self):
+        t = ExperimentTable("Figure 0", "demo", headers=["k", "v"],
+                            notes="a note")
+        t.add_row("x", 1.5)
+        text = t.render()
+        assert "Figure 0" in text and "demo" in text
+        assert "x" in text and "1.5" in text and "a note" in text
+
+    def test_to_dict_roundtrip(self):
+        t = ExperimentTable("T", "t", headers=["a"], rows=[[1]])
+        d = t.to_dict()
+        assert d["headers"] == ["a"] and d["rows"] == [[1]]
+
+
+class TestRegistry:
+    def test_all_experiments_present(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "fig05", "fig06", "fig07", "fig08", "fig09",
+            "fig10", "fig11", "fig12", "fig13", "fig14", "claims",
+            "profile",
+        }
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestTable1:
+    def test_nine_benchmarks(self):
+        t = table("table1")
+        assert len(t.rows) == 9
+        assert t.column("Benchmark")[0] == "GateSim"
+
+    def test_parallel_more_switch_heavy_than_as(self):
+        t = table("table1")
+        gamteb = t.lookup("Gamteb", "Avg instr per switch")
+        as_bench = t.lookup("AS", "Avg instr per switch")
+        assert gamteb < as_bench
+
+
+class TestFig05:
+    def test_prototype_properties(self):
+        t = table("fig05")
+        assert t.lookup("Organization", "Value") == "NSF 32x32"
+        assert t.lookup("Decoder tag width (bits)", "Value") == 10
+        assert t.lookup("Ports (R/W)", "Value") == "2R1W"
+        shares = [
+            t.lookup("  decode share %", "Value"),
+            t.lookup("  valid/miss logic share %", "Value"),
+            t.lookup("  data array share %", "Value"),
+        ]
+        assert abs(sum(shares) - 100.0) < 0.5
+
+
+class TestFig06:
+    def test_nsf_within_paper_band(self):
+        t = table("fig06")
+        ratios = [float(r.rstrip("x")) for r in t.column("vs Segment")]
+        nsf_ratios = [r for r in ratios if r != 1.0]
+        assert len(nsf_ratios) == 2
+        for ratio in nsf_ratios:
+            assert 1.03 <= ratio <= 1.09  # paper: 5-6% slower
+
+
+class TestFig07And08:
+    def test_three_port_overhead(self):
+        t = table("fig07")
+        ratio_128 = int(t.rows[1][-1].rstrip("%"))
+        ratio_64 = int(t.rows[3][-1].rstrip("%"))
+        assert 140 <= ratio_128 <= 165
+        assert 120 <= ratio_64 <= 140
+
+    def test_six_port_overhead_smaller(self):
+        t7 = table("fig07")
+        t8 = table("fig08")
+        three = int(t7.rows[1][-1].rstrip("%"))
+        six = int(t8.rows[1][-1].rstrip("%"))
+        assert six < three
+
+
+class TestFig09:
+    def test_nsf_beats_segment_everywhere(self):
+        t = table("fig09")
+        for row in t.rows:
+            nsf_avg = row[t.headers.index("NSF avg %")]
+            seg_avg = row[t.headers.index("Segment avg %")]
+            assert nsf_avg >= seg_avg
+
+    def test_sequential_ratio_band(self):
+        # Paper: NSF holds 2-3x more active data for sequential code.
+        t = table("fig09")
+        ratios = [row[-1] for row in t.rows if row[1] == "Sequential"]
+        assert max(ratios) >= 1.8
+
+    def test_max_at_least_avg(self):
+        t = table("fig09")
+        for row in t.rows:
+            assert (row[t.headers.index("NSF max %")]
+                    >= row[t.headers.index("NSF avg %")])
+
+
+class TestFig10:
+    def test_segment_reloads_dominate(self):
+        t = table("fig10")
+        for row in t.rows:
+            nsf = row[t.headers.index("NSF %")]
+            seg = row[t.headers.index("Segment %")]
+            assert seg >= nsf
+
+    def test_live_subset_of_total(self):
+        t = table("fig10")
+        for row in t.rows:
+            seg = row[t.headers.index("Segment %")]
+            live = row[t.headers.index("Segment live %")]
+            assert live <= seg
+
+    def test_sequential_gap_is_huge(self):
+        # Paper: 1,000-10,000x for sequential applications.
+        t = table("fig10")
+        for row in t.rows:
+            if row[1] != "Sequential":
+                continue
+            nsf = row[t.headers.index("NSF %")]
+            seg = row[t.headers.index("Segment %")]
+            assert nsf == 0 or seg / nsf > 100
+
+
+class TestFig11:
+    def test_nsf_holds_more_contexts(self):
+        # While capacity binds (small files), the NSF packs strictly
+        # more contexts; once every activation fits, both saturate at
+        # the program's live-context profile.
+        t = table("fig11")
+        for row in t.rows:
+            frames = row[0]
+            if frames <= 6:
+                assert row[t.headers.index("Seq NSF")] >= \
+                    row[t.headers.index("Seq Segment")]
+                assert row[t.headers.index("Par NSF")] >= \
+                    row[t.headers.index("Par Segment")]
+            # Segmented can never exceed its frame count.
+            assert row[t.headers.index("Seq Segment")] <= frames
+            assert row[t.headers.index("Par Segment")] <= frames
+
+    def test_sequential_nsf_exceeds_frame_count_when_small(self):
+        # Paper: the NSF holds >2N contexts for sequential code.
+        t = table("fig11")
+        first = t.rows[0]
+        assert first[t.headers.index("Seq NSF")] > 1.5 * first[0]
+
+
+class TestFig12:
+    def test_reloads_fall_with_size(self):
+        t = table("fig12")
+        seg = t.column("Seq Segment %")
+        assert seg[0] >= seg[-1]
+
+    def test_nsf_below_segment_everywhere(self):
+        t = table("fig12")
+        for row in t.rows:
+            assert row[t.headers.index("Seq NSF %")] <= \
+                row[t.headers.index("Seq Segment %")]
+            assert row[t.headers.index("Par NSF %")] <= \
+                row[t.headers.index("Par Segment %")]
+
+    def test_sequential_nsf_collapses(self):
+        # Once the call chain fits, sequential NSF traffic vanishes.
+        t = table("fig12")
+        assert t.rows[-1][t.headers.index("Seq NSF %")] < 0.01
+
+
+class TestFig13:
+    def test_strategy_ordering(self):
+        # active <= live <= full-line reload, at every line size.
+        t = table("fig13")
+        for row in t.rows:
+            full = row[t.headers.index("Reload %")]
+            live = row[t.headers.index("Live reload %")]
+            active = row[t.headers.index("Active reload %")]
+            assert active <= live + 1e-9
+            # full counts empty slots, so it can only exceed live when
+            # lines hold more than one register.
+            if row[1] > 1:
+                assert full >= live - 1e-9
+
+    def test_single_register_lines_minimize_traffic(self):
+        t = table("fig13")
+        for kind in ("Sequential", "Parallel"):
+            rows = [r for r in t.rows if r[0] == kind]
+            reloads = [r[t.headers.index("Reload %")] for r in rows]
+            assert reloads[0] == min(reloads)
+            assert reloads[-1] >= reloads[0]
+
+
+class TestFig14:
+    def test_overhead_ordering(self):
+        t = table("fig14")
+        for row in t.rows:
+            nsf = row[t.headers.index("NSF %")]
+            hw = row[t.headers.index("Segment HW %")]
+            sw = row[t.headers.index("Segment SW %")]
+            assert nsf < hw < sw
+
+    def test_serial_nsf_overhead_vanishes(self):
+        # Paper: 0.01% for serial code.
+        t = table("fig14")
+        serial = t.lookup("Serial", "NSF %")
+        assert serial < 1.0
+
+    def test_nsf_speedups_positive(self):
+        t = table("fig14")
+        for row in t.rows:
+            assert row[t.headers.index("NSF speedup vs HW %")] > 0
+            assert row[t.headers.index("NSF speedup vs SW %")] > 0
+
+
+class TestClaims:
+    def test_every_conclusion_holds(self):
+        t = table("claims")
+        assert len(t.rows) == 6
+        for row in t.rows:
+            assert row[-1] == "yes", row
+
+
+class TestReport:
+    def test_run_all_writes_every_table(self):
+        # Use a tiny scale: this runs every experiment end to end.
+        from repro.evalx.report import run_all
+        stream = io.StringIO()
+        results = run_all(scale=0.25, seed=3, stream=stream)
+        assert set(results) == set(EXPERIMENTS)
+        text = stream.getvalue()
+        assert "Figure 14" in text and "Table 1" in text
+
+    def test_cli_single_experiment(self, capsys):
+        from repro.evalx.report import main
+        assert main(["--experiment", "fig06", "--scale", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out

@@ -1,0 +1,52 @@
+"""Every example script must run clean from the command line.
+
+Examples are executable documentation; this keeps them from rotting.
+Each runs as a subprocess with its internal assertions armed.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+EXPECTED_EXAMPLES = {
+    "quickstart.py",
+    "multithreaded_pipeline.py",
+    "compile_and_run.py",
+    "paper_benchmarks.py",
+    "hw_models.py",
+    "cluster_simulation.py",
+    "trace_sweep.py",
+    "hardware_multithreading.py",
+}
+
+#: a few (script, must-appear-in-stdout) probes
+OUTPUT_PROBES = {
+    "quickstart.py": "the segmented file reloads",
+    "compile_and_run.py": "result=9015",
+    "multithreaded_pipeline.py": "identical outputs",
+    "hardware_multithreading.py": "Same programs, same answers",
+}
+
+
+def test_expected_examples_present():
+    found = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert EXPECTED_EXAMPLES <= found
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_EXAMPLES))
+def test_example_runs_clean(script):
+    path = EXAMPLES_DIR / script
+    args = [sys.executable, str(path)]
+    if script == "paper_benchmarks.py":
+        args.append("0.3")  # keep the slowest example quick in CI
+    completed = subprocess.run(
+        args, capture_output=True, text=True, timeout=420,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    probe = OUTPUT_PROBES.get(script)
+    if probe:
+        assert probe in completed.stdout

@@ -1,0 +1,74 @@
+"""Tests for the golden-result regression harness."""
+
+import json
+
+import pytest
+
+from repro.evalx import EXPERIMENTS
+from repro.evalx.golden import (
+    DEFAULT_DIR,
+    GOLDEN_SCALE,
+    GOLDEN_SEED,
+    compare_goldens,
+    write_goldens,
+)
+
+
+class TestHarness:
+    def test_write_then_compare_clean(self, tmp_path):
+        written = write_goldens(tmp_path, scale=0.25, seed=3)
+        assert len(written) == len(EXPERIMENTS)
+        assert compare_goldens(tmp_path) == []
+
+    def test_detects_changed_value(self, tmp_path):
+        write_goldens(tmp_path, scale=0.25, seed=3)
+        path = tmp_path / "fig07.json"
+        payload = json.loads(path.read_text())
+        payload["rows"][0][1] = 999.0
+        path.write_text(json.dumps(payload))
+        deviations = compare_goldens(tmp_path)
+        assert any("fig07 row 0" in d for d in deviations)
+
+    def test_detects_missing_golden(self, tmp_path):
+        write_goldens(tmp_path, scale=0.25, seed=3)
+        (tmp_path / "fig09.json").unlink()
+        deviations = compare_goldens(tmp_path)
+        assert any("fig09" in d and "no golden" in d for d in deviations)
+
+    def test_detects_header_change(self, tmp_path):
+        write_goldens(tmp_path, scale=0.25, seed=3)
+        path = tmp_path / "fig06.json"
+        payload = json.loads(path.read_text())
+        payload["headers"][0] = "Renamed"
+        path.write_text(json.dumps(payload))
+        deviations = compare_goldens(tmp_path)
+        assert any("fig06" in d and "headers" in d for d in deviations)
+
+    def test_empty_directory_reported(self, tmp_path):
+        deviations = compare_goldens(tmp_path / "nothing")
+        assert deviations and "no goldens" in deviations[0]
+
+    def test_unknown_golden_reported(self, tmp_path):
+        write_goldens(tmp_path, scale=0.25, seed=3)
+        (tmp_path / "fig99.json").write_text("{}")
+        deviations = compare_goldens(tmp_path)
+        assert any("fig99" in d for d in deviations)
+
+
+class TestCheckedInGoldens:
+    """The repository's own goldens must match the current build."""
+
+    def test_goldens_exist(self):
+        assert DEFAULT_DIR.exists()
+        assert len(list(DEFAULT_DIR.glob("*.json"))) == len(EXPERIMENTS)
+
+    def test_build_matches_goldens(self):
+        deviations = compare_goldens()
+        assert deviations == [], "\n".join(deviations)
+
+    def test_goldens_recorded_at_expected_scale(self):
+        sample = json.loads(
+            (DEFAULT_DIR / "table1.json").read_text()
+        )
+        assert sample["scale"] == GOLDEN_SCALE
+        assert sample["seed"] == GOLDEN_SEED

@@ -1,0 +1,154 @@
+"""Tests for the chip-level timing and area models (Figs 6-8)."""
+
+import pytest
+
+from repro.hw import (
+    CMOS_1200NM,
+    CMOS_2000NM,
+    RegisterFileGeometry,
+    access_time_penalty,
+    area_ratio,
+    cell_side,
+    estimate_access_time,
+    estimate_area,
+    paper_geometries,
+    processor_area_increase,
+)
+
+
+def geom(org, rows=128, bits=32, line=1, rd=2, wr=1):
+    return RegisterFileGeometry(organization=org, rows=rows,
+                                bits_per_row=bits, line_size=line,
+                                read_ports=rd, write_ports=wr)
+
+
+class TestGeometry:
+    def test_ports_and_registers(self):
+        g = geom("nsf", rows=64, bits=64, line=2)
+        assert g.ports == 3
+        assert g.registers == 128
+        assert g.tag_bits == 10  # one offset bit selects within the line
+        assert g.address_bits == 6
+
+    def test_labels(self):
+        assert geom("nsf").label() == "NSF 32x128"
+        assert geom("segmented").label() == "Segment 32x128"
+
+    def test_invalid_organization(self):
+        with pytest.raises(ValueError):
+            geom("banked")
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            geom("nsf", rows=1)
+        with pytest.raises(ValueError):
+            geom("nsf", line=0)
+
+    def test_paper_geometries(self):
+        shapes = paper_geometries("nsf")
+        assert [(g.rows, g.bits_per_row) for g in shapes] == [
+            (128, 32), (64, 64),
+        ]
+
+
+class TestAreaModel:
+    def test_cell_area_grows_quadratically_with_ports(self):
+        # Paper §6.2: multiported cell area grows as ports².
+        a3 = cell_side(3) ** 2
+        a6 = cell_side(6) ** 2
+        assert 2.0 < a6 / a3 < 4.0
+
+    def test_darray_identical_across_organizations(self):
+        nsf = estimate_area(geom("nsf"))
+        seg = estimate_area(geom("segmented"))
+        assert nsf.darray == pytest.approx(seg.darray)
+
+    def test_nsf_decoder_is_larger(self):
+        nsf = estimate_area(geom("nsf"))
+        seg = estimate_area(geom("segmented"))
+        assert nsf.decode > seg.decode
+        assert nsf.logic > seg.logic
+
+    def test_three_port_ratios_match_paper(self):
+        # Paper: +54% for 32b×128, +30% for 64b×64 (1W2R files).
+        r128 = area_ratio(geom("nsf"), geom("segmented"))
+        r64 = area_ratio(geom("nsf", rows=64, bits=64, line=2),
+                         geom("segmented", rows=64, bits=64, line=2))
+        assert 1.40 <= r128 <= 1.65
+        assert 1.20 <= r64 <= 1.40
+        assert r128 > r64  # single-register lines cost more
+
+    def test_six_port_ratios_match_paper(self):
+        # Paper: +28% and +16% with two write and four read ports.
+        r128 = area_ratio(geom("nsf", rd=4, wr=2),
+                          geom("segmented", rd=4, wr=2))
+        r64 = area_ratio(geom("nsf", rows=64, bits=64, line=2, rd=4, wr=2),
+                         geom("segmented", rows=64, bits=64, line=2,
+                              rd=4, wr=2))
+        assert 1.18 <= r128 <= 1.40
+        assert 1.08 <= r64 <= 1.25
+
+    def test_relative_overhead_shrinks_with_ports(self):
+        r3 = area_ratio(geom("nsf"), geom("segmented"))
+        r6 = area_ratio(geom("nsf", rd=4, wr=2),
+                        geom("segmented", rd=4, wr=2))
+        assert r6 < r3
+
+    def test_processor_area_increase_about_five_percent(self):
+        # Paper: "only adds 5% to the area of a typical processor chip".
+        increase = processor_area_increase(geom("nsf"), geom("segmented"))
+        assert 0.03 <= increase <= 0.07
+
+    def test_process_scaling(self):
+        small = estimate_area(geom("nsf"), CMOS_1200NM)
+        big = estimate_area(geom("nsf"), CMOS_2000NM)
+        assert big.total > small.total
+
+    def test_breakdown_sums_to_total(self):
+        report = estimate_area(geom("nsf"))
+        b = report.breakdown()
+        assert b["total"] == pytest.approx(
+            b["decode"] + b["logic"] + b["darray"]
+        )
+
+
+class TestTimingModel:
+    def test_penalty_five_to_six_percent(self):
+        # Paper §6.1: "only 5% or 6% greater".
+        for rows, bits, line in ((128, 32, 1), (64, 64, 2)):
+            penalty = access_time_penalty(
+                geom("nsf", rows=rows, bits=bits, line=line),
+                geom("segmented", rows=rows, bits=bits, line=line),
+            )
+            assert 0.04 <= penalty <= 0.08
+
+    def test_penalty_is_all_in_decode(self):
+        nsf = estimate_access_time(geom("nsf"))
+        seg = estimate_access_time(geom("segmented"))
+        assert nsf.decode > seg.decode
+        assert nsf.word_select == pytest.approx(seg.word_select)
+        assert nsf.data_read == pytest.approx(seg.data_read)
+
+    def test_total_in_paper_band(self):
+        # Figure 6 shows ~8.5-10 ns access times in 1.2 µm.
+        for org in ("nsf", "segmented"):
+            for g in paper_geometries(org):
+                report = estimate_access_time(g)
+                assert 7.0 <= report.total <= 11.0
+
+    def test_more_rows_slower_bitlines(self):
+        small = estimate_access_time(geom("segmented", rows=32))
+        large = estimate_access_time(geom("segmented", rows=256))
+        assert large.data_read > small.data_read
+
+    def test_slower_process_slower_access(self):
+        fast = estimate_access_time(geom("nsf"), CMOS_1200NM)
+        slow = estimate_access_time(geom("nsf"), CMOS_2000NM)
+        assert slow.total > fast.total
+
+    def test_breakdown_sums_to_total(self):
+        report = estimate_access_time(geom("nsf"))
+        b = report.breakdown()
+        assert b["total"] == pytest.approx(
+            b["decode"] + b["word_select"] + b["data_read"]
+        )

@@ -1,0 +1,120 @@
+"""Structural/scaling property tests for the chip models.
+
+The constants are calibrated to the paper's anchor points, but the
+*shapes* — monotonicity, which terms grow with what — are structural
+claims; these tests pin them across the design space.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw import (
+    CMOS_1200NM,
+    RegisterFileGeometry,
+    access_time_penalty,
+    area_ratio,
+    estimate_access_time,
+    estimate_area,
+)
+
+rows_strategy = st.sampled_from([32, 64, 128, 256])
+bits_strategy = st.sampled_from([16, 32, 64])
+ports_strategy = st.tuples(st.integers(1, 4), st.integers(1, 3))
+
+
+def geom(org, rows, bits, rd, wr, line=1):
+    return RegisterFileGeometry(organization=org, rows=rows,
+                                bits_per_row=bits, line_size=line,
+                                read_ports=rd, write_ports=wr)
+
+
+class TestAreaScaling:
+    @settings(max_examples=40, deadline=None)
+    @given(rows=rows_strategy, bits=bits_strategy, ports=ports_strategy)
+    def test_nsf_always_larger_than_segmented(self, rows, bits, ports):
+        rd, wr = ports
+        ratio = area_ratio(geom("nsf", rows, bits, rd, wr),
+                           geom("segmented", rows, bits, rd, wr))
+        assert ratio > 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(rows=rows_strategy, bits=bits_strategy, ports=ports_strategy)
+    def test_premium_shrinks_with_ports(self, rows, bits, ports):
+        rd, wr = ports
+        lean = area_ratio(geom("nsf", rows, bits, rd, wr),
+                          geom("segmented", rows, bits, rd, wr))
+        fat = area_ratio(geom("nsf", rows, bits, rd + 2, wr + 1),
+                         geom("segmented", rows, bits, rd + 2, wr + 1))
+        assert fat < lean
+
+    @settings(max_examples=30, deadline=None)
+    @given(rows=rows_strategy, bits=bits_strategy, ports=ports_strategy)
+    def test_area_monotone_in_every_dimension(self, rows, bits, ports):
+        rd, wr = ports
+        base = estimate_area(geom("nsf", rows, bits, rd, wr)).total
+        assert estimate_area(
+            geom("nsf", rows * 2, bits, rd, wr)).total > base
+        assert estimate_area(
+            geom("nsf", rows, bits * 2, rd, wr)).total > base
+        assert estimate_area(
+            geom("nsf", rows, bits, rd + 1, wr)).total > base
+
+    @settings(max_examples=30, deadline=None)
+    @given(rows=rows_strategy, bits=bits_strategy)
+    def test_components_positive(self, rows, bits):
+        for org in ("nsf", "segmented"):
+            report = estimate_area(geom(org, rows, bits, 2, 1))
+            assert report.decode > 0
+            assert report.logic > 0
+            assert report.darray > 0
+
+
+class TestTimingScaling:
+    @settings(max_examples=40, deadline=None)
+    @given(rows=rows_strategy, bits=bits_strategy, ports=ports_strategy)
+    def test_nsf_always_slower_but_never_wildly(self, rows, bits, ports):
+        rd, wr = ports
+        penalty = access_time_penalty(
+            geom("nsf", rows, bits, rd, wr),
+            geom("segmented", rows, bits, rd, wr),
+        )
+        assert 0.0 < penalty < 0.25
+
+    @settings(max_examples=30, deadline=None)
+    @given(bits=bits_strategy, ports=ports_strategy)
+    def test_access_time_monotone_in_rows(self, bits, ports):
+        rd, wr = ports
+        small = estimate_access_time(geom("nsf", 32, bits, rd, wr)).total
+        large = estimate_access_time(geom("nsf", 256, bits, rd, wr)).total
+        assert large > small
+
+    @settings(max_examples=30, deadline=None)
+    @given(rows=rows_strategy, ports=ports_strategy)
+    def test_word_select_monotone_in_width(self, rows, ports):
+        rd, wr = ports
+        narrow = estimate_access_time(geom("nsf", rows, 16, rd, wr))
+        wide = estimate_access_time(geom("nsf", rows, 64, rd, wr))
+        assert wide.word_select > narrow.word_select
+
+    @settings(max_examples=30, deadline=None)
+    @given(rows=rows_strategy, bits=bits_strategy)
+    def test_penalty_lives_entirely_in_decode(self, rows, bits):
+        nsf = estimate_access_time(geom("nsf", rows, bits, 2, 1))
+        seg = estimate_access_time(geom("segmented", rows, bits, 2, 1))
+        assert nsf.decode > seg.decode
+        assert nsf.word_select == pytest.approx(seg.word_select)
+        assert nsf.data_read == pytest.approx(seg.data_read)
+
+
+class TestTagWidthStructure:
+    @settings(max_examples=30, deadline=None)
+    @given(rows=rows_strategy, line=st.sampled_from([1, 2, 4]))
+    def test_bigger_lines_mean_narrower_tags(self, rows, line):
+        wide = geom("nsf", rows, 32, 2, 1, line=1)
+        grouped = geom("nsf", rows, 32, 2, 1, line=line)
+        assert grouped.tag_bits == wide.tag_bits - {1: 0, 2: 1, 4: 2}[line]
+
+    def test_tag_width_drives_cam_cost(self):
+        narrow = estimate_area(geom("nsf", 64, 32, 2, 1, line=4))
+        wide = estimate_area(geom("nsf", 64, 32, 2, 1, line=1))
+        assert wide.decode > narrow.decode

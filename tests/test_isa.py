@@ -1,0 +1,179 @@
+"""Tests for the ISA: registers, instructions, binary encoding."""
+
+import pytest
+
+from repro.isa import (
+    EncodingError,
+    Instruction,
+    OPCODES,
+    Program,
+    SP,
+    ZR,
+    decode,
+    encode,
+    encode_program,
+    decode_words,
+    is_context_register,
+    opcode_format,
+    parse_register,
+    register_name,
+)
+
+
+class TestRegisters:
+    def test_context_register_range(self):
+        assert is_context_register(0)
+        assert is_context_register(31)
+        assert not is_context_register(32)
+        assert not is_context_register(-1)
+
+    def test_names_roundtrip(self):
+        for index in list(range(32)) + [SP, ZR]:
+            assert parse_register(register_name(index)) == index
+
+    def test_special_names(self):
+        assert register_name(SP) == "sp"
+        assert register_name(ZR) == "zr"
+
+    def test_bad_name(self):
+        for bad in ("r32", "x1", "", "r-1", "pc"):
+            with pytest.raises(ValueError):
+                parse_register(bad)
+
+    def test_bad_index(self):
+        with pytest.raises(ValueError):
+            register_name(64)
+
+
+class TestInstructionModel:
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction("frob")
+
+    def test_reads_writes_r_format(self):
+        instr = Instruction("add", rd=1, rs1=2, rs2=3)
+        assert instr.reads() == [2, 3]
+        assert instr.writes() == [1]
+
+    def test_reads_writes_memory(self):
+        load = Instruction("lw", rd=1, rs1=SP, imm=4)
+        assert load.reads() == [SP]
+        assert load.writes() == [1]
+        store = Instruction("sw", rd=1, rs1=SP, imm=4)
+        assert set(store.reads()) == {1, SP}
+        assert store.writes() == []
+
+    def test_li_reads_nothing(self):
+        assert Instruction("li", rd=1, imm=5).reads() == []
+
+    def test_branch_reads(self):
+        assert Instruction("beq", rs1=1, rs2=2, target=0).reads() == [1, 2]
+
+    def test_out_reads_rd(self):
+        assert Instruction("out", rd=3).reads() == [3]
+
+    def test_str_forms(self):
+        cases = [
+            (Instruction("add", rd=1, rs1=2, rs2=3), "add r1, r2, r3"),
+            (Instruction("addi", rd=1, rs1=SP, imm=-4), "addi r1, sp, -4"),
+            (Instruction("li", rd=2, imm=7), "li r2, 7"),
+            (Instruction("lw", rd=1, rs1=SP, imm=8), "lw r1, 8(sp)"),
+            (Instruction("beq", rs1=1, rs2=ZR, target="loop"),
+             "beq r1, zr, loop"),
+            (Instruction("call", target="fib"), "call fib"),
+            (Instruction("rfree", rd=5), "rfree r5"),
+            (Instruction("ret"), "ret"),
+        ]
+        for instr, expected in cases:
+            assert str(instr) == expected
+
+    def test_program_listing_contains_labels(self):
+        program = Program(
+            instructions=[Instruction("nop"), Instruction("halt")],
+            labels={"main": 0, "end": 1},
+        )
+        listing = program.listing()
+        assert "main:" in listing and "end:" in listing
+        assert len(program) == 2
+
+
+class TestEncoding:
+    def _roundtrip(self, instr):
+        word = encode(instr)
+        assert 0 <= word < (1 << 32)
+        back = decode(word)
+        assert back.op == instr.op
+        return back
+
+    def test_r_format_roundtrip(self):
+        back = self._roundtrip(Instruction("xor", rd=5, rs1=31, rs2=ZR))
+        assert (back.rd, back.rs1, back.rs2) == (5, 31, ZR)
+
+    def test_i_format_negative_imm(self):
+        back = self._roundtrip(Instruction("addi", rd=1, rs1=SP, imm=-8192))
+        assert back.imm == -8192
+
+    def test_m_format(self):
+        back = self._roundtrip(Instruction("sw", rd=2, rs1=SP, imm=12))
+        assert (back.rd, back.rs1, back.imm) == (2, SP, 12)
+
+    def test_branch_roundtrip(self):
+        back = self._roundtrip(Instruction("blt", rs1=1, rs2=2, target=100))
+        assert back.target == 100
+
+    def test_jump_roundtrip(self):
+        back = self._roundtrip(Instruction("call", target=12345))
+        assert back.target == 12345
+
+    def test_n_and_u_roundtrip(self):
+        assert self._roundtrip(Instruction("halt")).op == "halt"
+        assert self._roundtrip(Instruction("rfree", rd=9)).rd == 9
+
+    def test_every_opcode_roundtrips(self):
+        for op in OPCODES:
+            fmt = opcode_format(op)
+            if fmt == "R":
+                instr = Instruction(op, rd=1, rs1=2, rs2=3)
+            elif fmt in ("I", "M"):
+                instr = Instruction(op, rd=1, rs1=2, imm=-5)
+            elif fmt == "B":
+                instr = Instruction(op, rs1=1, rs2=2, target=9)
+            elif fmt == "J":
+                instr = Instruction(op, target=3)
+            elif fmt == "U":
+                instr = Instruction(op, rd=4)
+            else:
+                instr = Instruction(op)
+            word = encode(instr)
+            assert decode(word).op == op
+
+    def test_imm_overflow_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("addi", rd=1, rs1=1, imm=8192))
+        with pytest.raises(EncodingError):
+            encode(Instruction("addi", rd=1, rs1=1, imm=-8193))
+
+    def test_unresolved_target_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("j", target="loop"))
+
+    def test_bad_register_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("add", rd=64, rs1=0, rs2=0))
+
+    def test_decode_bad_word(self):
+        with pytest.raises(EncodingError):
+            decode(1 << 32)
+
+    def test_program_encode_decode(self):
+        program = Program(
+            instructions=[
+                Instruction("li", rd=1, imm=3),
+                Instruction("out", rd=1),
+                Instruction("halt"),
+            ],
+            labels={},
+        )
+        words = encode_program(program)
+        decoded = decode_words(words)
+        assert [i.op for i in decoded] == ["li", "out", "halt"]

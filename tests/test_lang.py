@@ -1,0 +1,298 @@
+"""Tests for the mini-C compiler: lexer through generated code."""
+
+import pytest
+
+from repro.core import NamedStateRegisterFile, SegmentedRegisterFile
+from repro.errors import CompileError
+from repro.lang import (
+    allocate,
+    compile_source,
+    lower_program,
+    parse,
+    run_source,
+    tokenize,
+)
+from repro.lang.liveness import analyze, basic_blocks
+from repro.lang.regalloc import build_interference
+
+
+def result_of(source, registers=80, context=20, k=20):
+    rf = NamedStateRegisterFile(num_registers=registers,
+                                context_size=context)
+    return run_source(source, rf, k=k).return_value
+
+
+class TestLexer:
+    def test_tokens(self):
+        tokens = tokenize("func f(x) { return x + 0x10; }")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["keyword", "ident", "(", "ident", ")", "{",
+                         "keyword", "ident", "+", "number", ";", "}",
+                         "eof"]
+        assert tokens[9].value == 16
+
+    def test_comments_skipped(self):
+        tokens = tokenize("x // comment\ny")
+        assert [t.text for t in tokens[:-1]] == ["x", "y"]
+        assert tokens[1].line == 2
+
+    def test_multichar_operators(self):
+        tokens = tokenize("a <= b << c != d")
+        assert [t.kind for t in tokens[:-1]] == [
+            "ident", "<=", "ident", "<<", "ident", "!=", "ident",
+        ]
+
+    def test_bad_character(self):
+        with pytest.raises(CompileError):
+            tokenize("a @ b")
+
+
+class TestParser:
+    def test_function_shape(self):
+        program = parse("func add(a, b) { return a + b; }")
+        fn = program.function("add")
+        assert fn.params == ["a", "b"]
+
+    def test_precedence(self):
+        # 2 + 3 * 4 parses as 2 + (3 * 4)
+        program = parse("func main() { return 2 + 3 * 4; }")
+        ret = program.function("main").body[0]
+        assert ret.expr.op == "+"
+        assert ret.expr.right.op == "*"
+
+    def test_else_if_chain(self):
+        source = """
+        func main() {
+            if (1) { return 1; } else if (2) { return 2; }
+            else { return 3; }
+        }
+        """
+        node = parse(source).function("main").body[0]
+        assert node.else_body[0].cond.value == 2
+
+    def test_duplicate_function(self):
+        with pytest.raises(CompileError):
+            parse("func f() {} func f() {}")
+
+    def test_duplicate_param(self):
+        with pytest.raises(CompileError):
+            parse("func f(a, a) {}")
+
+    def test_syntax_error_has_line(self):
+        with pytest.raises(CompileError) as excinfo:
+            parse("func f() {\n  var = 3;\n}")
+        assert excinfo.value.line == 2
+
+
+class TestLowering:
+    def test_requires_main(self):
+        with pytest.raises(CompileError):
+            lower_program(parse("func f() { return 0; }"))
+
+    def test_main_takes_no_args(self):
+        with pytest.raises(CompileError):
+            lower_program(parse("func main(x) { return x; }"))
+
+    def test_undefined_variable(self):
+        with pytest.raises(CompileError):
+            lower_program(parse("func main() { return y; }"))
+
+    def test_redeclared_variable(self):
+        with pytest.raises(CompileError):
+            lower_program(parse("func main() { var x; var x; return 0; }"))
+
+    def test_undefined_function_call(self):
+        with pytest.raises(CompileError):
+            lower_program(parse("func main() { return g(1); }"))
+
+    def test_arity_mismatch(self):
+        with pytest.raises(CompileError):
+            lower_program(parse(
+                "func f(a) { return a; } func main() { return f(1, 2); }"
+            ))
+
+    def test_params_get_definitions(self):
+        ir = lower_program(parse(
+            "func f(a, b) { return a + b; } func main() { return f(1, 2); }"
+        ))
+        params = [i for i in ir.functions["f"].instructions
+                  if i.op == "param"]
+        assert len(params) == 2
+
+
+class TestLivenessAndAllocation:
+    def test_basic_blocks_split_at_branches(self):
+        ir = lower_program(parse(
+            "func main() { var x = 1; if (x) { x = 2; } return x; }"
+        )).functions["main"]
+        blocks, _ = basic_blocks(ir.instructions)
+        assert len(blocks) >= 3
+
+    def test_parameters_interfere(self):
+        ir = lower_program(parse(
+            "func f(a, b) { return a - b; } func main() { return f(5, 2); }"
+        )).functions["f"]
+        live_out, _ = analyze(ir)
+        graph = build_interference(ir.instructions, live_out)
+        assert 1 in graph[0]  # param a conflicts with param b
+
+    def test_allocation_fits_small_function(self):
+        ir = lower_program(parse(
+            "func main() { var a = 1; var b = 2; return a + b; }"
+        )).functions["main"]
+        allocation = allocate(ir, k=8)
+        assert allocation.num_spill_slots == 0
+        assert max(allocation.assignment.values()) < 8
+
+    def test_allocation_spills_under_pressure(self):
+        # Ten simultaneously-live variables cannot fit in 4 registers.
+        decls = "\n".join(f"var x{i} = {i};" for i in range(10))
+        total = " + ".join(f"x{i}" for i in range(10))
+        ir = lower_program(parse(
+            f"func main() {{ {decls} return {total}; }}"
+        )).functions["main"]
+        allocation = allocate(ir, k=4)
+        assert allocation.num_spill_slots > 0
+        assert max(allocation.assignment.values()) < 4
+
+    def test_k_too_small_rejected(self):
+        ir = lower_program(parse("func main() { return 0; }"))
+        with pytest.raises(CompileError):
+            allocate(ir.functions["main"], k=1)
+
+
+class TestEndToEnd:
+    def test_constants_and_arithmetic(self):
+        assert result_of("func main() { return 2 + 3 * 4; }") == 14
+        assert result_of("func main() { return (2 + 3) * 4; }") == 20
+        assert result_of("func main() { return 17 % 5; }") == 2
+        assert result_of("func main() { return 1 << 6; }") == 64
+        assert result_of("func main() { return 64 >> 3; }") == 8
+
+    def test_large_constants(self):
+        assert result_of("func main() { return 1000000; }") == 1_000_000
+        assert result_of("func main() { return 0 - 123456; }") == -123456
+
+    def test_comparisons(self):
+        assert result_of("func main() { return 3 < 5; }") == 1
+        assert result_of("func main() { return 5 <= 4; }") == 0
+        assert result_of("func main() { return 5 > 4; }") == 1
+        assert result_of("func main() { return 4 >= 5; }") == 0
+        assert result_of("func main() { return 4 == 4; }") == 1
+        assert result_of("func main() { return 4 != 4; }") == 0
+
+    def test_logical_and_unary(self):
+        assert result_of("func main() { return 2 && 3; }") == 1
+        assert result_of("func main() { return 0 || 7; }") == 1
+        assert result_of("func main() { return !5; }") == 0
+        assert result_of("func main() { return !0; }") == 1
+        assert result_of("func main() { return -(3 + 4); }") == -7
+
+    def test_variables_and_while(self):
+        source = """
+        func main() {
+            var sum = 0;
+            var i = 1;
+            while (i <= 10) { sum = sum + i; i = i + 1; }
+            return sum;
+        }
+        """
+        assert result_of(source) == 55
+
+    def test_if_else(self):
+        source = """
+        func classify(x) {
+            if (x < 0) { return 0 - 1; }
+            else if (x == 0) { return 0; }
+            else { return 1; }
+        }
+        func main() {
+            return classify(0-5) * 100 + classify(0) * 10 + classify(9);
+        }
+        """
+        assert result_of(source) == -99  # -1*100 + 0*10 + 1
+
+    def test_memory_and_alloc(self):
+        source = """
+        func main() {
+            var a = alloc(4);
+            var b = alloc(4);
+            mem[a] = 11;
+            mem[b] = 22;
+            return mem[a] * 100 + mem[b] + (b - a);
+        }
+        """
+        assert result_of(source) == 11 * 100 + 22 + 4
+
+    def test_recursion(self):
+        source = """
+        func fact(n) {
+            if (n < 2) { return 1; }
+            return n * fact(n - 1);
+        }
+        func main() { return fact(8); }
+        """
+        assert result_of(source) == 40320
+
+    def test_mutual_recursion(self):
+        source = """
+        func is_even(n) {
+            if (n == 0) { return 1; }
+            return is_odd(n - 1);
+        }
+        func is_odd(n) {
+            if (n == 0) { return 0; }
+            return is_even(n - 1);
+        }
+        func main() { return is_even(10) * 10 + is_odd(7); }
+        """
+        assert result_of(source) == 11
+
+    def test_many_arguments(self):
+        source = """
+        func weigh(a, b, c, d, e, f) {
+            return a + b * 2 + c * 3 + d * 4 + e * 5 + f * 6;
+        }
+        func main() { return weigh(1, 2, 3, 4, 5, 6); }
+        """
+        assert result_of(source) == 1 + 4 + 9 + 16 + 25 + 36
+
+    def test_implicit_return_zero(self):
+        assert result_of("func main() { var x = 5; }") == 0
+
+    def test_register_pressure_spills_correctly(self):
+        # Force spilling with k=4; the result must still be right.
+        decls = "\n".join(f"var x{i} = {i + 1};" for i in range(12))
+        total = " + ".join(f"x{i}" for i in range(12))
+        source = f"func main() {{ {decls} return {total}; }}"
+        assert result_of(source, k=4) == sum(range(1, 13))
+
+    def test_same_answer_on_every_model(self):
+        source = """
+        func fib(n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        func main() { return fib(11); }
+        """
+        answers = set()
+        for rf in (
+            NamedStateRegisterFile(num_registers=80, context_size=20),
+            NamedStateRegisterFile(num_registers=8, context_size=20),
+            SegmentedRegisterFile(num_registers=80, context_size=20),
+            SegmentedRegisterFile(num_registers=40, context_size=20,
+                                  spill_mode="live"),
+        ):
+            answers.add(run_source(source, rf).return_value)
+        assert answers == {89}
+
+    def test_compiled_function_info(self):
+        compiled = compile_source("""
+        func helper(a, b) { return a * b; }
+        func main() { return helper(6, 7); }
+        """)
+        assert "helper" in compiled.functions
+        info = compiled.functions["helper"]
+        assert info.registers_used >= 2
+        assert info.allocator_rounds >= 1
+        assert "call helper" in compiled.assembly

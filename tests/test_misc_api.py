@@ -1,0 +1,147 @@
+"""Coverage for small public-API surfaces not exercised elsewhere."""
+
+import pytest
+
+from repro import __version__, NamedStateRegisterFile
+from repro.evalx.charts import chart_for
+from repro.evalx.tables import ExperimentTable
+from repro.workloads import get_workload
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert __version__.count(".") == 2
+
+    def test_top_level_reexports(self):
+        import repro
+
+        for name in ("NamedStateRegisterFile", "SegmentedRegisterFile",
+                     "ConventionalRegisterFile", "CostModel",
+                     "BackingStore", "Ctable", "speedup"):
+            assert hasattr(repro, name)
+
+
+class TestWorkloadResultSummary:
+    def test_summary_fields(self):
+        workload = get_workload("Quicksort")
+        model = NamedStateRegisterFile(num_registers=128,
+                                       context_size=32)
+        result = workload.run(model, scale=0.25, seed=2)
+        summary = result.summary()
+        assert summary["name"] == "Quicksort"
+        assert summary["model"] == "nsf"
+        assert summary["verified"] is True
+        assert summary["instructions"] > 0
+        assert 0 <= summary["utilization_avg"] <= 1
+
+
+class TestChartMappings:
+    def _fig9(self):
+        t = ExperimentTable("Figure 9", "t",
+                            headers=["Benchmark", "Type", "NSF max %",
+                                     "NSF avg %", "Segment avg %",
+                                     "NSF/Segment"])
+        t.add_row("GateSim", "Sequential", 80.0, 60.0, 20.0, 3.0)
+        return t
+
+    def test_fig9_bars(self):
+        chart = chart_for(self._fig9())
+        assert chart and "GateSim" in chart and "#" in chart
+
+    def test_fig11_lines(self):
+        t = ExperimentTable("Figure 11", "t",
+                            headers=["Frames", "Seq NSF", "Seq Segment",
+                                     "Par NSF", "Par Segment"])
+        t.add_row(2, 5.0, 1.8, 8.0, 1.9)
+        t.add_row(4, 9.0, 3.3, 15.0, 3.7)
+        chart = chart_for(t)
+        assert chart and "contexts" in chart
+
+    def test_fig13_parallel_lines(self):
+        t = ExperimentTable("Figure 13", "t",
+                            headers=["Type", "Regs/line", "Reload %",
+                                     "Live reload %",
+                                     "Active reload %"])
+        t.add_row("Sequential", 1, 0.0, 0.0, 0.0)
+        t.add_row("Parallel", 1, 34.0, 34.0, 34.0)
+        t.add_row("Parallel", 4, 64.0, 48.0, 36.0)
+        chart = chart_for(t)
+        assert chart and "line size" in chart
+
+
+class TestExperimentTableCSV:
+    def test_quoting(self):
+        t = ExperimentTable("T", "t", headers=["a,b", "plain"])
+        t.add_row('x "y"', 1)
+        csv = t.to_csv()
+        assert '"a,b",plain' in csv
+        assert '"x ""y""",1' in csv
+
+    def test_roundtrippable_shape(self):
+        t = ExperimentTable("T", "t", headers=["k", "v"])
+        t.add_row("a", 1.5)
+        t.add_row("b", 2)
+        lines = t.to_csv().strip().splitlines()
+        assert len(lines) == 3
+
+
+class TestActivationMisc:
+    def test_alloc_many_by_count(self):
+        from repro.activation import SequentialMachine
+
+        machine = SequentialMachine(
+            NamedStateRegisterFile(num_registers=16, context_size=8)
+        )
+
+        def body(act):
+            regs = act.alloc_many(3)
+            assert len(regs) == 3
+            for i, r in enumerate(regs):
+                act.let(r, i)
+            return act.test(regs[2])
+
+        assert machine.run(body) == 2
+
+    def test_peek_memory_resident_local(self):
+        from repro.activation import SequentialMachine
+
+        machine = SequentialMachine(
+            NamedStateRegisterFile(num_registers=16, context_size=2)
+        )
+
+        def body(act):
+            regs = act.alloc_many(4)      # two overflow to memory
+            for i, r in enumerate(regs):
+                act.let(r, i * 5)
+            assert regs[3].in_memory
+            return act.peek(regs[3])
+
+        assert machine.run(body) == 15
+
+    def test_register_arg_from_memory_local(self):
+        from repro.activation import SequentialMachine
+
+        machine = SequentialMachine(
+            NamedStateRegisterFile(num_registers=16, context_size=2)
+        )
+
+        def callee(act, v):
+            r, = act.args(v)
+            act.muli(r, r, 2)
+            return act.test(r)
+
+        def body(act):
+            regs = act.alloc_many(3)
+            act.let(regs[2], 21)          # memory-resident
+            return machine.call(callee, regs[2])
+
+        assert machine.run(body) == 42
+
+
+class TestMultithreadMisc:
+    def test_mtresult_return_values_with_empty_output(self):
+        from repro.cpu.multithread import MTResult
+
+        result = MTResult(outputs=[[1, 2], []], instructions=5,
+                          cycles=7, thread_switches=0)
+        assert result.return_values == [2, None]

@@ -1,0 +1,171 @@
+"""Tests for the multiprocessor cluster runtime."""
+
+import pytest
+
+from repro.core import NamedStateRegisterFile, SegmentedRegisterFile
+from repro.errors import DeadlockError
+from repro.runtime import Cluster
+
+
+def make_cluster(num_nodes=4, network_latency=100, registers=128):
+    return Cluster(
+        num_nodes,
+        lambda i: NamedStateRegisterFile(num_registers=registers,
+                                         context_size=32),
+        network_latency=network_latency,
+    )
+
+
+class TestConstruction:
+    def test_nodes(self):
+        cluster = make_cluster(3)
+        assert len(cluster) == 3
+        assert cluster.node(1).node_id == 1
+        assert cluster.node(0).regfile is not cluster.node(1).regfile
+
+    def test_needs_one_node(self):
+        with pytest.raises(ValueError):
+            make_cluster(0)
+
+
+class TestExecution:
+    def test_single_node_cluster_behaves_like_machine(self):
+        cluster = make_cluster(1)
+
+        def body(act, n):
+            r, = act.args(n)
+            act.muli(r, r, 2)
+            yield cluster.node(0).remote(0)
+            return act.test(r)
+
+        thread = cluster.spawn_on(0, body, 21)
+        cluster.run()
+        assert thread.result.value == 42
+
+    def test_threads_run_on_their_nodes(self):
+        cluster = make_cluster(4)
+        seen = []
+
+        def body(act, i):
+            machine = act.machine
+            seen.append((i, machine.node_id))
+            yield machine.remote(0)
+            return i
+
+        threads = cluster.spawn_round_robin(range(8), body)
+        cluster.run()
+        assert [t.result.value for t in threads] == list(range(8))
+        assert sorted(node for _, node in seen) == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_cross_node_future_carries_value(self):
+        cluster = make_cluster(2, network_latency=250)
+        node0 = cluster.node(0)
+        node1 = cluster.node(1)
+        fut = node0.future(name="cross")
+
+        def producer(act):
+            value, = act.args(7)
+            act.muli(value, value, 6)
+            yield act.machine.remote(0)
+            act.machine.put_reg(act, fut, value)
+
+        def consumer(act):
+            value = yield act.machine.wait(fut)
+            return value
+
+        consumer_thread = cluster.spawn_on(1, consumer)
+        cluster.spawn_on(0, producer)
+        cluster.run()
+        assert consumer_thread.result.value == 42
+        assert node1.messages_received >= 1
+
+    def test_network_latency_delays_wakeup(self):
+        makespans = {}
+        for latency in (10, 2000):
+            cluster = make_cluster(2, network_latency=latency)
+            fut = cluster.node(0).future()
+
+            def producer(act):
+                yield act.machine.remote(0)
+                act.machine.put(fut, 1)
+
+            def consumer(act):
+                value = yield act.machine.wait(fut)
+                return value
+
+            cluster.spawn_on(1, consumer)
+            cluster.spawn_on(0, producer)
+            cluster.run()
+            makespans[latency] = cluster.makespan()
+        assert makespans[2000] > makespans[10]
+
+    def test_cluster_deadlock_detection(self):
+        cluster = make_cluster(2)
+        never = cluster.node(0).future()
+
+        def body(act):
+            yield act.machine.wait(never)
+
+        cluster.spawn_on(1, body)
+        with pytest.raises(DeadlockError):
+            cluster.run()
+
+    def test_map_reduce_across_nodes(self):
+        cluster = make_cluster(4)
+        node0 = cluster.node(0)
+        parts = [node0.future(name=f"part{i}") for i in range(8)]
+
+        def mapper(act, spec):
+            index, lo, hi = spec
+            total, i = act.alloc_many(["total", "i"])
+            act.let(total, 0)
+            for v in range(lo, hi):
+                act.let(i, v)
+                act.add(total, total, i)
+            # Staggered completion: later parts arrive much later, so
+            # the reducer truly blocks and is woken over the network.
+            yield act.machine.remote(500 + 400 * index)
+            act.machine.put_reg(act, parts[index], total)
+
+        def reducer(act):
+            grand, part = act.alloc_many(["grand", "part"])
+            act.let(grand, 0)
+            for fut in parts:
+                value = yield act.machine.wait(fut)
+                act.let(part, value)
+                act.add(grand, grand, part)
+            return act.test(grand)
+
+        specs = [(i, i * 10, (i + 1) * 10) for i in range(8)]
+        cluster.spawn_round_robin(specs, mapper)
+        reduce_thread = cluster.spawn_on(0, reducer)
+        cluster.run()
+        assert reduce_thread.result.value == sum(range(80))
+        assert cluster.total_messages() > 0
+        assert cluster.total_instructions() > 0
+
+    def test_per_node_register_files_independent(self):
+        cluster = Cluster(
+            2,
+            lambda i: (NamedStateRegisterFile(num_registers=128,
+                                              context_size=32)
+                       if i == 0 else
+                       SegmentedRegisterFile(num_registers=128,
+                                             context_size=32)),
+        )
+
+        def busy(act, i):
+            regs = act.alloc_many(6)
+            for k, r in enumerate(regs):
+                act.let(r, i * 10 + k)
+            for _ in range(4):
+                yield act.machine.remote(20)
+                for r in regs:
+                    act.addi(r, r, 1)
+            return act.test(regs[0])
+
+        threads = [cluster.spawn_on(i % 2, busy, i) for i in range(12)]
+        cluster.run()
+        assert all(t.result.resolved for t in threads)
+        nsf_stats, seg_stats = cluster.stats_by_node()
+        assert seg_stats.registers_reloaded >= nsf_stats.registers_reloaded

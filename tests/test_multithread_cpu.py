@@ -1,0 +1,138 @@
+"""Tests for the ISA-level block-multithreaded CPU."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import NamedStateRegisterFile, SegmentedRegisterFile
+from repro.cpu.multithread import MultithreadedCPU
+from repro.errors import MachineError
+from repro.lang import compile_source
+
+FIB_TEMPLATE = """
+func fib(n) {{
+    if (n < 2) {{ return n; }}
+    return fib(n - 1) + fib(n - 2);
+}}
+func main() {{ return fib({n}); }}
+"""
+
+FIB_ANSWERS = {8: 21, 9: 34, 10: 55, 11: 89}
+
+
+def fib_programs(ns=(8, 9, 10, 11)):
+    return [compile_source(FIB_TEMPLATE.format(n=n)).program for n in ns]
+
+
+def nsf(registers=80):
+    return NamedStateRegisterFile(num_registers=registers,
+                                  context_size=20)
+
+
+class TestBasics:
+    def test_rejects_empty_program_list(self):
+        with pytest.raises(ValueError):
+            MultithreadedCPU([], nsf())
+
+    def test_single_thread_behaves_like_cpu(self):
+        cpu = MultithreadedCPU(fib_programs((10,)), nsf())
+        result = cpu.run()
+        assert result.return_values == [55]
+        assert result.thread_switches <= 1
+
+    def test_all_threads_complete_with_correct_answers(self):
+        ns = (8, 9, 10, 11)
+        cpu = MultithreadedCPU(fib_programs(ns), nsf())
+        result = cpu.run()
+        assert result.return_values == [FIB_ANSWERS[n] for n in ns]
+
+    def test_private_stacks_do_not_collide(self):
+        # Each hardware thread writes its own stack region.
+        src = """
+        main:
+            addi sp, sp, -2
+            li r1, {value}
+            sw r1, 0(sp)
+            sw r1, 1(sp)
+            lw r2, 0(sp)
+            lw r3, 1(sp)
+            add r4, r2, r3
+            out r4
+            halt
+        """
+        programs = [assemble(src.format(value=v)) for v in (10, 20, 30)]
+        cpu = MultithreadedCPU(programs, nsf(), quantum=2)
+        result = cpu.run()
+        assert result.return_values == [20, 40, 60]
+
+    def test_runaway_guard(self):
+        spin = assemble("main: j main\n")
+        cpu = MultithreadedCPU([spin], nsf(), max_steps=500)
+        with pytest.raises(MachineError):
+            cpu.run()
+
+
+class TestScheduling:
+    def test_quantum_forces_interleaving(self):
+        cpu = MultithreadedCPU(fib_programs(), nsf(), quantum=25)
+        result = cpu.run()
+        assert result.return_values == [21, 34, 55, 89]
+        assert result.thread_switches > 20
+        # Every thread got scheduled in more than one slice.
+        assert all(t.switches_in >= 1 for t in cpu.threads[1:])
+
+    def test_yield_on_nop(self):
+        src = """
+        main:
+            li r1, {value}
+            nop
+            out r1
+            halt
+        """
+        programs = [assemble(src.format(value=v)) for v in (1, 2, 3)]
+        cpu = MultithreadedCPU(programs, nsf(), yield_on_nop=True)
+        result = cpu.run()
+        assert result.return_values == [1, 2, 3]
+        assert result.thread_switches >= 3
+
+    def test_stalls_trigger_switches_on_segmented(self):
+        seg = SegmentedRegisterFile(num_registers=80, context_size=20)
+        cpu = MultithreadedCPU(fib_programs(), seg)
+        result = cpu.run()
+        assert result.return_values == [21, 34, 55, 89]
+        assert result.thread_switches > 10
+
+    def test_round_robin_order(self):
+        cpu = MultithreadedCPU(fib_programs((8, 8, 8)), nsf(), quantum=10)
+        order = []
+        original = cpu._load_thread
+
+        def spy(thread):
+            order.append(thread.slot)
+            original(thread)
+
+        cpu._load_thread = spy
+        cpu.run()
+        # Rotation visits every slot.
+        assert set(order) == {0, 1, 2}
+
+
+class TestPaperComparison:
+    def test_nsf_outperforms_segmented_under_multithreading(self):
+        ns = (8, 9, 10, 11, 8, 9)
+        nsf_cpu = MultithreadedCPU(fib_programs(ns), nsf())
+        seg = SegmentedRegisterFile(num_registers=80, context_size=20)
+        seg_cpu = MultithreadedCPU(fib_programs(ns), seg)
+        nsf_result = nsf_cpu.run()
+        seg_result = seg_cpu.run()
+        assert nsf_result.return_values == seg_result.return_values
+        assert nsf_result.cycles < seg_result.cycles
+        assert (nsf_cpu.regfile.stats.registers_reloaded
+                < seg_cpu.regfile.stats.registers_reloaded)
+
+    def test_interleaving_is_cheap_on_nsf(self):
+        # Force heavy interleaving; the NSF still moves few registers.
+        rf = nsf(registers=80)
+        cpu = MultithreadedCPU(fib_programs(), rf, quantum=10)
+        result = cpu.run()
+        assert result.thread_switches > 20
+        assert rf.stats.reloads_per_instruction < 0.10

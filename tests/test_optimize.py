@@ -1,0 +1,219 @@
+"""Tests for the IR optimization passes."""
+
+import pytest
+
+from repro.core import NamedStateRegisterFile
+from repro.lang import lower_program, parse, run_source
+from repro.lang.ir import IRInstr
+from repro.lang.optimize import (
+    copy_propagate,
+    eliminate_dead_code,
+    fold_constants,
+    optimize,
+)
+
+
+def ir_of(source, fn="main"):
+    return lower_program(parse(source)).functions[fn]
+
+
+def ops_of(ir):
+    return [i.op for i in ir.instructions]
+
+
+class TestConstantFolding:
+    def test_folds_arithmetic(self):
+        ir = ir_of("func main() { return 2 + 3 * 4; }")
+        optimize(ir)
+        bins = [i for i in ir.instructions if i.op == "bin"]
+        assert not bins  # everything folded
+        consts = [i.a for i in ir.instructions if i.op == "const"]
+        assert 14 in consts
+
+    def test_does_not_fold_division_by_zero(self):
+        ir = ir_of("func main() { return 5 / 0; }")
+        optimize(ir)
+        assert any(i.op == "bin" and i.extra == "div"
+                   for i in ir.instructions)
+
+    def test_folding_stops_at_unknown_values(self):
+        ir = ir_of("""
+        func f(x) { return x + (2 * 3); }
+        func main() { return f(1); }
+        """, fn="f")
+        optimize(ir)
+        # 2*3 folds, x+6 cannot.
+        remaining = [i for i in ir.instructions if i.op == "bin"]
+        assert len(remaining) == 1
+
+
+class TestCopyPropagation:
+    def test_propagates_through_mov(self):
+        ir = ir_of("""
+        func main() {
+            var a = 5;
+            var b = a;
+            return b + b;
+        }
+        """)
+        changed = copy_propagate(ir)
+        assert changed
+        optimize(ir)
+        consts = [i.a for i in ir.instructions if i.op == "const"]
+        assert 10 in consts  # fully folded after propagation
+
+    def test_redefinition_kills_copy(self):
+        ir = ir_of("""
+        func f(x) {
+            var a = x;
+            x = x + 1;
+            return a;     // must still be the OLD x
+        }
+        func main() { return f(7); }
+        """, fn="f")
+        optimize(ir)
+        # Correctness is checked end-to-end below; here just ensure the
+        # pass terminated and the function still returns something.
+        assert any(i.op == "ret" for i in ir.instructions)
+
+
+class TestDeadCodeElimination:
+    def test_removes_unused_defs(self):
+        ir = ir_of("""
+        func main() {
+            var unused = 3 * 7;
+            return 1;
+        }
+        """)
+        before = len(ir.instructions)
+        optimize(ir)
+        assert len(ir.instructions) < before
+        consts = [i.a for i in ir.instructions if i.op == "const"]
+        assert 21 not in consts and 3 not in consts
+
+    def test_keeps_side_effects(self):
+        ir = ir_of("""
+        func main() {
+            mem[100] = 42;
+            return 0;
+        }
+        """)
+        optimize(ir)
+        assert any(i.op == "store" for i in ir.instructions)
+
+    def test_keeps_calls(self):
+        ir = ir_of("""
+        func noisy() { mem[5] = 1; return 0; }
+        func main() { noisy(); return 0; }
+        """)
+        optimize(ir)
+        assert any(i.op == "call" for i in ir.instructions)
+
+    def test_chain_removal(self):
+        # a feeds b feeds nothing: both go.
+        ir = ir_of("""
+        func main() {
+            var a = 2;
+            var b = a + 3;
+            return 9;
+        }
+        """)
+        optimize(ir)
+        consts = [i.a for i in ir.instructions if i.op == "const"]
+        assert consts == [9]
+
+    def test_dead_param_load_removed(self):
+        ir = ir_of("""
+        func f(used, ignored) { return used; }
+        func main() { return f(1, 2); }
+        """, fn="f")
+        optimize(ir)
+        params = [i for i in ir.instructions if i.op == "param"]
+        assert len(params) == 1
+
+
+class TestEndToEndWithOptimization:
+    CASES = [
+        ("func main() { return 2 + 3 * 4; }", 14),
+        ("""
+         func main() {
+             var a = 5;
+             var b = a;
+             a = a + 1;
+             return a * 100 + b;
+         }
+         """, 605),
+        ("""
+         func fib(n) {
+             if (n < 2) { return n; }
+             return fib(n - 1) + fib(n - 2);
+         }
+         func main() { return fib(12); }
+         """, 144),
+        ("""
+         func main() {
+             var total = 0;
+             var i = 0;
+             while (i < 10) {
+                 var t = i * (2 + 3);
+                 total = total + t;
+                 i = i + 1;
+             }
+             return total;
+         }
+         """, sum(i * 5 for i in range(10))),
+    ]
+
+    @pytest.mark.parametrize("source,expected", CASES)
+    def test_optimized_matches_unoptimized(self, source, expected):
+        for level in (0, 1):
+            rf = NamedStateRegisterFile(num_registers=80, context_size=20)
+            result = run_source(source, rf, optimize_level=level)
+            assert result.return_value == expected, f"level={level}"
+
+    def test_optimization_reduces_instruction_count(self):
+        source = """
+        func main() {
+            var a = 1 + 2;
+            var b = a * 3;
+            var c = b - 4;
+            var waste1 = a * b;
+            var waste2 = waste1 + c;
+            return c;
+        }
+        """
+        counts = {}
+        for level in (0, 1):
+            rf = NamedStateRegisterFile(num_registers=80, context_size=20)
+            counts[level] = run_source(source, rf,
+                                       optimize_level=level).instructions
+        assert counts[1] < counts[0]
+
+    def test_fixed_point_terminates(self):
+        # A pathological chain of copies and constants.
+        decls = "var x0 = 1;" + "".join(
+            f"var x{i} = x{i - 1};" for i in range(1, 30)
+        )
+        ir = ir_of(f"func main() {{ {decls} return x29; }}")
+        optimize(ir)
+        consts = [i.a for i in ir.instructions if i.op == "const"]
+        assert consts == [1]
+
+
+class TestPassPrimitives:
+    def test_fold_reports_no_change(self):
+        ir = ir_of("func f(x) { return x; } func main() { return f(1); }",
+                   fn="f")
+        eliminate_dead_code(ir)
+        assert not fold_constants(ir)
+
+    def test_dce_reports_no_change_when_clean(self):
+        ir = ir_of("func main() { return 1; }")
+        optimize(ir)
+        assert not eliminate_dead_code(ir)
+
+    def test_level_zero_is_identity(self):
+        ir = ir_of("func main() { var dead = 5; return 1; }")
+        before = ops_of(ir)
+        optimize(ir, level=0)
+        assert ops_of(ir) == before

@@ -1,0 +1,141 @@
+"""Tests for the 5-stage pipeline timing model and cycle-time claim."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import NamedStateRegisterFile
+from repro.cpu import CPU, PipelinedCPU
+from repro.hw import paper_geometries
+from repro.hw.timing import cycle_time_impact
+from repro.lang import compile_source
+
+
+def nsf():
+    return NamedStateRegisterFile(num_registers=80, context_size=20)
+
+
+def run_both(src):
+    program = assemble(src)
+    plain = CPU(program, nsf()).run()
+    piped = PipelinedCPU(assemble(src), nsf())
+    piped_result = piped.run()
+    return plain, piped_result, piped
+
+
+class TestHazards:
+    def test_functional_equivalence(self):
+        src = """
+        main:
+            li r1, 0
+            li r2, 1
+            li r3, 20
+        loop:
+            beq r2, r3, done
+            add r1, r1, r2
+            addi r2, r2, 1
+            j loop
+        done:
+            out r1
+            halt
+        """
+        plain, piped, _ = run_both(src)
+        assert plain.return_value == piped.return_value == sum(range(1, 20))
+        assert plain.instructions == piped.instructions
+
+    def test_pipeline_never_faster(self):
+        src = """
+        main:
+            addi sp, sp, -1
+            li r1, 3
+            sw r1, 0(sp)
+            lw r2, 0(sp)
+            add r3, r2, r2
+            out r3
+            halt
+        """
+        plain, piped, _ = run_both(src)
+        assert piped.cycles >= plain.cycles
+
+    def test_load_use_stall_detected(self):
+        src = """
+        main:
+            addi sp, sp, -1
+            li r1, 7
+            sw r1, 0(sp)
+            lw r2, 0(sp)
+            add r3, r2, r2    ; uses r2 right after the load
+            out r3
+            halt
+        """
+        _, _, cpu = run_both(src)
+        assert cpu.load_use_stalls == 1
+
+    def test_independent_instruction_hides_load_use(self):
+        src = """
+        main:
+            addi sp, sp, -1
+            li r1, 7
+            sw r1, 0(sp)
+            lw r2, 0(sp)
+            li r4, 5          ; independent filler
+            add r3, r2, r2
+            out r3
+            halt
+        """
+        _, _, cpu = run_both(src)
+        assert cpu.load_use_stalls == 0
+
+    def test_taken_branch_penalty(self):
+        src = """
+        main:
+            li r1, 1
+            beq r1, r1, target   ; always taken
+            nop
+        target:
+            out r1
+            halt
+        """
+        _, _, cpu = run_both(src)
+        assert cpu.control_stalls >= 1
+
+    def test_untaken_branch_free(self):
+        src = """
+        main:
+            li r1, 1
+            beq r1, zr, nowhere  ; never taken
+            out r1
+            halt
+        nowhere:
+            halt
+        """
+        _, _, cpu = run_both(src)
+        assert cpu.control_stalls == 0
+
+    def test_compiled_program_on_pipeline(self):
+        compiled = compile_source("""
+        func fib(n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        func main() { return fib(10); }
+        """)
+        cpu = PipelinedCPU(compiled.program, nsf())
+        result = cpu.run()
+        assert result.return_value == 55
+        assert cpu.control_stalls > 0
+
+
+class TestCycleTimeClaim:
+    def test_nsf_does_not_stretch_cycle_time(self):
+        # §6.1: the 5-6% slower access "should have no effect on the
+        # processor's cycle time" because the cache path is longer.
+        for nsf_geom, seg_geom in zip(paper_geometries("nsf"),
+                                      paper_geometries("segmented")):
+            assert cycle_time_impact(nsf_geom, seg_geom) == 0.0
+
+    def test_impact_appears_when_regfile_is_critical(self):
+        nsf_geom = paper_geometries("nsf")[0]
+        seg_geom = paper_geometries("segmented")[0]
+        impact = cycle_time_impact(nsf_geom, seg_geom,
+                                   pipeline_critical_ns=5.0)
+        assert impact > 0.0

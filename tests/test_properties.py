@@ -1,0 +1,262 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The central property: *a register file is a key-value store*.  Whatever
+the organization, line size, capacity or victim policy, a read must
+return the value most recently written to ``(cid, offset)``.  We drive
+random operation sequences against a plain-dict oracle.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ConventionalRegisterFile,
+    NamedStateRegisterFile,
+    SegmentedRegisterFile,
+)
+from repro.core.policies import LRUPolicy
+from repro.errors import ReadBeforeWriteError
+from repro.isa import decode, encode, Instruction, OPCODES, opcode_format
+
+# -- operation-sequence strategies -----------------------------------------
+
+N_CONTEXTS = 5
+CONTEXT_SIZE = 8
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["write", "read", "switch", "free", "end"]),
+        st.integers(min_value=0, max_value=N_CONTEXTS - 1),
+        st.integers(min_value=0, max_value=CONTEXT_SIZE - 1),
+        st.integers(min_value=-1000, max_value=1000),
+    ),
+    max_size=200,
+)
+
+
+def _make_models():
+    return [
+        NamedStateRegisterFile(num_registers=8, context_size=CONTEXT_SIZE,
+                               line_size=1),
+        NamedStateRegisterFile(num_registers=8, context_size=CONTEXT_SIZE,
+                               line_size=2),
+        NamedStateRegisterFile(num_registers=8, context_size=CONTEXT_SIZE,
+                               line_size=4, reload_scope="line"),
+        NamedStateRegisterFile(num_registers=8, context_size=CONTEXT_SIZE,
+                               line_size=2, fetch_on_write=True),
+        NamedStateRegisterFile(num_registers=8, context_size=CONTEXT_SIZE,
+                               policy="fifo"),
+        NamedStateRegisterFile(num_registers=8, context_size=CONTEXT_SIZE,
+                               policy="random", policy_seed=3),
+        NamedStateRegisterFile(num_registers=8, context_size=CONTEXT_SIZE,
+                               spill_watermark=3),
+        NamedStateRegisterFile(num_registers=8, context_size=CONTEXT_SIZE,
+                               policy="nmru", policy_seed=5),
+        SegmentedRegisterFile(num_registers=16, context_size=CONTEXT_SIZE),
+        SegmentedRegisterFile(num_registers=16, context_size=CONTEXT_SIZE,
+                              spill_mode="live"),
+        ConventionalRegisterFile(context_size=CONTEXT_SIZE),
+    ]
+
+
+def _run_sequence(model, sequence):
+    """Drive one model with an op sequence, checking against an oracle."""
+    oracle = {}
+    live_cids = {}
+    for kind, cid_idx, offset, value in sequence:
+        cid = live_cids.get(cid_idx)
+        if kind == "end":
+            if cid is not None:
+                model.end_context(cid)
+                for key in [k for k in oracle if k[0] == cid]:
+                    del oracle[key]
+                del live_cids[cid_idx]
+            continue
+        if cid is None:
+            cid = model.begin_context()
+            live_cids[cid_idx] = cid
+        if kind == "switch":
+            model.switch_to(cid)
+            assert model.current_cid == cid
+        elif kind == "write":
+            model.write(offset, value, cid=cid)
+            oracle[(cid, offset)] = value
+        elif kind == "free":
+            model.free_register(offset, cid=cid)
+            oracle.pop((cid, offset), None)
+        elif kind == "read":
+            if (cid, offset) in oracle:
+                got, _ = model.read(offset, cid=cid)
+                assert got == oracle[(cid, offset)], (
+                    model.kind, cid, offset
+                )
+            else:
+                try:
+                    model.read(offset, cid=cid)
+                except ReadBeforeWriteError:
+                    pass
+                else:
+                    raise AssertionError(
+                        f"{model.kind} read of dead register succeeded"
+                    )
+    return oracle, live_cids
+
+
+class TestRegisterFilesBehaveLikeStores:
+    @settings(max_examples=60, deadline=None)
+    @given(sequence=ops)
+    def test_every_model_matches_the_oracle(self, sequence):
+        for model in _make_models():
+            _run_sequence(model, sequence)
+
+    @settings(max_examples=40, deadline=None)
+    @given(sequence=ops)
+    def test_occupancy_counter_matches_oracle(self, sequence):
+        model = NamedStateRegisterFile(num_registers=8,
+                                       context_size=CONTEXT_SIZE)
+        oracle, _ = _run_sequence(model, sequence)
+        # Live values = resident + backed; occupancy can't exceed live.
+        assert model.active_register_count() <= len(oracle)
+        resident = sum(
+            1 for (cid, off) in oracle if model.is_resident(cid, off)
+        )
+        assert model.active_register_count() == resident
+
+    @settings(max_examples=40, deadline=None)
+    @given(sequence=ops)
+    def test_capacity_never_exceeded(self, sequence):
+        model = NamedStateRegisterFile(num_registers=8,
+                                       context_size=CONTEXT_SIZE,
+                                       line_size=2)
+        _run_sequence(model, sequence)
+        assert model.active_register_count() <= model.num_registers
+        assert model.allocated_lines() <= model.num_lines
+
+    @settings(max_examples=40, deadline=None)
+    @given(sequence=ops)
+    def test_stats_identities(self, sequence):
+        model = SegmentedRegisterFile(num_registers=16,
+                                      context_size=CONTEXT_SIZE)
+        _run_sequence(model, sequence)
+        s = model.stats
+        # Reads that fault (strict-mode read-before-write) count as
+        # neither hit nor miss, so >= rather than ==.
+        assert s.reads >= s.read_hits + s.read_misses
+        assert s.writes == s.write_hits + s.write_misses
+        assert s.live_registers_reloaded <= s.registers_reloaded
+        assert s.active_registers_reloaded <= s.live_registers_reloaded
+        assert s.contexts_ended <= s.contexts_created
+        assert s.switch_misses <= s.context_switches + s.reads + s.writes
+
+    @settings(max_examples=30, deadline=None)
+    @given(sequence=ops)
+    def test_reload_traffic_bounded_by_spills(self, sequence):
+        # You can only reload what was spilled (per register).
+        model = NamedStateRegisterFile(num_registers=4,
+                                       context_size=CONTEXT_SIZE)
+        _run_sequence(model, sequence)
+        s = model.stats
+        assert s.live_registers_reloaded <= s.live_registers_spilled
+
+
+class TestLRUProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from(["insert", "touch", "remove"]),
+                              st.integers(0, 9)), max_size=120))
+    def test_lru_matches_reference(self, sequence):
+        lru = LRUPolicy()
+        reference = []  # oldest first
+        for kind, key in sequence:
+            if kind == "insert":
+                if key in reference:
+                    reference.remove(key)
+                reference.append(key)
+                lru.insert(key)
+            elif kind == "touch":
+                if key in reference:
+                    reference.remove(key)
+                    reference.append(key)
+                lru.touch(key)
+            else:
+                if key in reference:
+                    reference.remove(key)
+                lru.remove(key)
+        assert lru.keys_in_order() == reference
+        if reference:
+            assert lru.victim() == reference[0]
+
+
+class TestEncodingProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        op=st.sampled_from(sorted(OPCODES)),
+        rd=st.integers(0, 33),
+        rs1=st.integers(0, 33),
+        rs2=st.integers(0, 33),
+        imm=st.integers(-8192, 8191),
+        target=st.integers(0, 1 << 20),
+    )
+    def test_encode_decode_roundtrip(self, op, rd, rs1, rs2, imm, target):
+        fmt = opcode_format(op)
+        if fmt == "R":
+            instr = Instruction(op, rd=rd, rs1=rs1, rs2=rs2)
+            fields = ("op", "rd", "rs1", "rs2")
+        elif fmt in ("I", "M"):
+            instr = Instruction(op, rd=rd, rs1=rs1, imm=imm)
+            fields = ("op", "rd", "rs1", "imm")
+        elif fmt == "B":
+            instr = Instruction(op, rs1=rs1, rs2=rs2, target=imm & 0x1FFF)
+            fields = ("op", "rs1", "rs2", "target")
+        elif fmt == "J":
+            instr = Instruction(op, target=target)
+            fields = ("op", "target")
+        elif fmt == "U":
+            instr = Instruction(op, rd=rd)
+            fields = ("op", "rd")
+        else:
+            instr = Instruction(op)
+            fields = ("op",)
+        decoded = decode(encode(instr))
+        for field in fields:
+            assert getattr(decoded, field) == getattr(instr, field)
+
+
+class TestCompilerProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        values=st.lists(st.integers(-50, 50), min_size=1, max_size=8),
+        k=st.integers(4, 20),
+    )
+    def test_summation_programs(self, values, k):
+        from repro.lang import run_source
+
+        decls = "\n".join(
+            f"var x{i} = {v};" for i, v in enumerate(values)
+        )
+        total = " + ".join(f"x{i}" for i in range(len(values)))
+        source = f"func main() {{ {decls} return {total}; }}"
+        rf = NamedStateRegisterFile(num_registers=80, context_size=20)
+        assert run_source(source, rf, k=k).return_value == sum(values)
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.lists(st.integers(0, 999), min_size=1, max_size=12))
+    def test_compiled_max_scan(self, data):
+        from repro.lang import run_source
+
+        stores = "\n".join(
+            f"mem[a + {i}] = {v};" for i, v in enumerate(data)
+        )
+        source = f"""
+        func main() {{
+            var a = alloc({len(data)});
+            {stores}
+            var best = mem[a];
+            var i = 1;
+            while (i < {len(data)}) {{
+                if (mem[a + i] > best) {{ best = mem[a + i]; }}
+                i = i + 1;
+            }}
+            return best;
+        }}
+        """
+        rf = NamedStateRegisterFile(num_registers=16, context_size=20)
+        assert run_source(source, rf).return_value == max(data)

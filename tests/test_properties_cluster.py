@@ -1,0 +1,81 @@
+"""Property tests for the multiprocessor cluster.
+
+The core invariant: results are a pure function of the program — node
+count, thread placement and work stealing may change *when* things run
+but never *what* they compute.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import NamedStateRegisterFile
+from repro.runtime import Cluster
+
+task_sets = st.lists(st.integers(1, 30), min_size=1, max_size=12)
+
+
+def run_cluster(tasks, num_nodes, work_stealing, placement_seed):
+    cluster = Cluster(
+        num_nodes,
+        lambda i: NamedStateRegisterFile(num_registers=128,
+                                         context_size=32),
+        network_latency=60,
+        work_stealing=work_stealing,
+    )
+
+    def body(act, spec):
+        index, size = spec
+        total, i = act.alloc_many(["total", "i"])
+        act.let(total, 0)
+        for step in range(size):
+            act.let(i, index * 100 + step)
+            act.add(total, total, i)
+            if step % 7 == 6:
+                yield act.machine.remote(15)
+        return act.test(total)
+
+    threads = []
+    for index, size in enumerate(tasks):
+        node = (index * placement_seed + placement_seed) % num_nodes
+        threads.append(cluster.spawn_on(node, body, (index, size)))
+    cluster.run()
+    return [t.result.value for t in threads], cluster
+
+
+def expected(tasks):
+    return [
+        sum(index * 100 + step for step in range(size))
+        for index, size in enumerate(tasks)
+    ]
+
+
+class TestClusterProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(tasks=task_sets, num_nodes=st.integers(1, 5),
+           stealing=st.booleans(), placement=st.integers(0, 7))
+    def test_results_independent_of_topology(self, tasks, num_nodes,
+                                             stealing, placement):
+        values, _ = run_cluster(tasks, num_nodes, stealing, placement)
+        assert values == expected(tasks)
+
+    @settings(max_examples=15, deadline=None)
+    @given(tasks=task_sets)
+    def test_total_work_conserved_across_node_counts(self, tasks):
+        # Instructions executed are identical regardless of node count
+        # (modulo stealing overhead, disabled here).
+        baseline = None
+        for num_nodes in (1, 3):
+            _, cluster = run_cluster(tasks, num_nodes, False, 1)
+            total = cluster.total_instructions()
+            if baseline is None:
+                baseline = total
+            else:
+                assert total == baseline
+
+    @settings(max_examples=15, deadline=None)
+    @given(tasks=task_sets, num_nodes=st.integers(2, 4))
+    def test_makespan_bounded_by_single_node(self, tasks, num_nodes):
+        _, single = run_cluster(tasks, 1, False, 0)
+        _, multi = run_cluster(tasks, num_nodes, False, 1)
+        # Spreading work cannot be slower than one node by more than
+        # the network slack of the final joins.
+        assert multi.makespan() <= single.makespan() + 200

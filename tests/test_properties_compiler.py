@@ -1,0 +1,112 @@
+"""Property tests: randomly generated programs through the compiler.
+
+A generator builds small imperative programs (assignments, ifs, a
+bounded loop) together with a straight Python transliteration; the
+compiled program must compute exactly what Python computes, at any
+register pressure, optimization level, and with rfree on or off.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import NamedStateRegisterFile
+from repro.lang import run_source
+
+
+@st.composite
+def programs(draw):
+    """Returns (mini-C source, python-callable oracle)."""
+    num_vars = draw(st.integers(2, 5))
+    names = [f"v{i}" for i in range(num_vars)]
+    inits = [draw(st.integers(-9, 9)) for _ in names]
+
+    statements = []     # mini-C lines
+    py_lines = []       # python transliteration
+    for name, value in zip(names, inits):
+        statements.append(f"var {name} = {value};")
+        py_lines.append(f"{name} = {value}")
+
+    def expr():
+        a = draw(st.sampled_from(names))
+        b = draw(st.sampled_from(names + [str(draw(st.integers(1, 9)))]))
+        op = draw(st.sampled_from(["+", "-", "*"]))
+        return f"{a} {op} {b}"
+
+    num_statements = draw(st.integers(1, 6))
+    for _ in range(num_statements):
+        kind = draw(st.integers(0, 2))
+        target = draw(st.sampled_from(names))
+        if kind == 0:
+            e = expr()
+            statements.append(f"{target} = {e};")
+            py_lines.append(f"{target} = {e}")
+        elif kind == 1:
+            cond_a = draw(st.sampled_from(names))
+            cond_op = draw(st.sampled_from(["<", ">", "=="]))
+            cond_b = draw(st.integers(-5, 5))
+            e = expr()
+            statements.append(
+                f"if ({cond_a} {cond_op} {cond_b}) "
+                f"{{ {target} = {e}; }}"
+            )
+            py_lines.append(
+                f"if {cond_a} {cond_op} {cond_b}: {target} = {e}"
+            )
+        else:
+            # A bounded loop over a fresh counter.
+            bound = draw(st.integers(1, 6))
+            e = expr()
+            counter = f"c{len(statements)}"
+            statements.append(
+                f"var {counter} = 0; "
+                f"while ({counter} < {bound}) {{ "
+                f"{target} = {e}; "
+                f"{counter} = {counter} + 1; }}"
+            )
+            py_lines.append(
+                f"for _ in range({bound}): {target} = {e}"
+            )
+    result_expr = " + ".join(names)
+    statements.append(f"return {result_expr};")
+    source = "func main() { " + "\n".join(statements) + " }"
+
+    py_lines.append(f"__result__ = {result_expr}")
+    py_source = "\n".join(py_lines)
+
+    def oracle():
+        namespace = {}
+        exec(py_source, {}, namespace)
+        return namespace["__result__"]
+
+    return source, oracle
+
+
+class TestGeneratedPrograms:
+    @settings(max_examples=50, deadline=None)
+    @given(case=programs(), k=st.sampled_from([4, 8, 20]))
+    def test_compiled_matches_python(self, case, k):
+        source, oracle = case
+        rf = NamedStateRegisterFile(num_registers=80, context_size=20)
+        result = run_source(source, rf, k=k)
+        assert result.return_value == oracle()
+
+    @settings(max_examples=25, deadline=None)
+    @given(case=programs())
+    def test_flags_do_not_change_semantics(self, case):
+        source, oracle = case
+        expected = oracle()
+        for optimize_level in (0, 1):
+            for emit_rfree in (False, True):
+                rf = NamedStateRegisterFile(num_registers=40,
+                                            context_size=20)
+                result = run_source(source, rf,
+                                    optimize_level=optimize_level,
+                                    emit_rfree=emit_rfree)
+                assert result.return_value == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(case=programs())
+    def test_tiny_register_file_still_correct(self, case):
+        source, oracle = case
+        rf = NamedStateRegisterFile(num_registers=4, context_size=20)
+        result = run_source(source, rf, k=6)
+        assert result.return_value == oracle()

@@ -1,0 +1,152 @@
+"""More hypothesis properties: trace replay, the optimizer, workloads."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import NamedStateRegisterFile, SegmentedRegisterFile
+from repro.lang import run_source
+from repro.trace import Trace, TracingRegisterFile, replay
+
+# -- replay equivalence ----------------------------------------------------
+
+trace_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["write", "read", "switch", "end", "tick"]),
+        st.integers(0, 3),     # context slot
+        st.integers(0, 7),     # offset
+        st.integers(-99, 99),  # value
+    ),
+    max_size=120,
+)
+
+
+def _drive(model, sequence):
+    live = {}
+    written = set()
+    for kind, slot, offset, value in sequence:
+        cid = live.get(slot)
+        if kind == "end":
+            if cid is not None:
+                model.end_context(cid)
+                written.difference_update(
+                    k for k in set(written) if k[0] == cid
+                )
+                del live[slot]
+            continue
+        if kind == "tick":
+            model.tick(1 + (value % 3))
+            continue
+        if cid is None:
+            cid = model.begin_context()
+            live[slot] = cid
+        if kind == "switch":
+            model.switch_to(cid)
+        elif kind == "write":
+            model.write(offset, value, cid=cid)
+            written.add((cid, offset))
+        elif kind == "read" and (cid, offset) in written:
+            model.read(offset, cid=cid)
+
+
+class TestReplayProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(sequence=trace_ops)
+    def test_recorded_trace_replays_to_identical_stats(self, sequence):
+        inner = NamedStateRegisterFile(num_registers=8, context_size=8)
+        tracer = TracingRegisterFile(inner)
+        _drive(tracer, sequence)
+
+        fresh = NamedStateRegisterFile(num_registers=8, context_size=8)
+        replay(tracer.trace, fresh)
+        a, b = inner.stats.snapshot(), fresh.stats.snapshot()
+        assert a == b
+
+    @settings(max_examples=40, deadline=None)
+    @given(sequence=trace_ops)
+    def test_serialization_roundtrip_preserves_replay(self, sequence):
+        inner = NamedStateRegisterFile(num_registers=8, context_size=8)
+        tracer = TracingRegisterFile(inner)
+        _drive(tracer, sequence)
+        reloaded = Trace.loads(tracer.trace.dumps())
+        fresh = NamedStateRegisterFile(num_registers=8, context_size=8)
+        replay(reloaded, fresh)
+        assert fresh.stats.reads == inner.stats.reads
+        assert fresh.stats.writes == inner.stats.writes
+
+    @settings(max_examples=30, deadline=None)
+    @given(sequence=trace_ops)
+    def test_replay_on_segmented_is_clean(self, sequence):
+        inner = NamedStateRegisterFile(num_registers=16, context_size=8)
+        tracer = TracingRegisterFile(inner)
+        _drive(tracer, sequence)
+        seg = SegmentedRegisterFile(num_registers=16, context_size=8)
+        replay(tracer.trace, seg)  # verification inside replay
+        assert seg.stats.writes == inner.stats.writes
+
+
+# -- optimizer correctness over generated programs ----------------------------
+
+
+@st.composite
+def expressions(draw, depth=0):
+    """A random arithmetic expression over variables a, b, c."""
+    if depth >= 3 or draw(st.booleans()):
+        choice = draw(st.integers(0, 3))
+        if choice == 0:
+            return str(draw(st.integers(0, 50)))
+        return draw(st.sampled_from(["a", "b", "c"]))
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    left = draw(expressions(depth=depth + 1))
+    right = draw(expressions(depth=depth + 1))
+    return f"({left} {op} {right})"
+
+
+class TestOptimizerProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        expr=expressions(),
+        a=st.integers(-20, 20),
+        b=st.integers(-20, 20),
+        c=st.integers(-20, 20),
+    )
+    def test_optimized_equals_unoptimized(self, expr, a, b, c):
+        source = f"""
+        func main() {{
+            var a = {a};
+            var b = {b};
+            var c = {c};
+            var dead = a * b + c;
+            return {expr};
+        }}
+        """
+        results = set()
+        for level in (0, 1):
+            rf = NamedStateRegisterFile(num_registers=80,
+                                        context_size=20)
+            results.add(
+                run_source(source, rf, optimize_level=level).return_value
+            )
+        assert len(results) == 1
+        assert results == {eval(expr, {}, {"a": a, "b": b, "c": c})}
+
+
+# -- workload determinism under model permutation ---------------------------------
+
+
+class TestWorkloadModelIndependence:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        registers=st.sampled_from([4, 8, 16, 40, 80]),
+        line_size=st.sampled_from([1, 2, 4]),
+    )
+    def test_gatesim_output_independent_of_configuration(self, registers,
+                                                         line_size):
+        from repro.workloads import get_workload
+
+        if registers % line_size:
+            return
+        workload = get_workload("GateSim")
+        rf = NamedStateRegisterFile(num_registers=registers,
+                                    context_size=20,
+                                    line_size=line_size)
+        result = workload.run(rf, scale=0.25, seed=5)
+        assert result.verified

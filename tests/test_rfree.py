@@ -1,0 +1,116 @@
+"""Tests for compiler-inserted register deallocation (rfree)."""
+
+import pytest
+
+from repro.core import NamedStateRegisterFile, SegmentedRegisterFile
+from repro.lang import compile_source, lower_program, parse, run_source
+from repro.lang.regalloc import allocate
+from repro.lang.rfree import dead_colors_after
+
+SRC = """
+func helper(a, b) {
+  var t = a * b;
+  var u = t + a;
+  return u - b;
+}
+func main() {
+  var x = helper(3, 4);
+  var y = helper(5, 6);
+  return x * 100 + y;
+}
+"""
+EXPECTED = (3 * 4 + 3 - 4) * 100 + (5 * 6 + 5 - 6)
+
+
+class TestAnalysis:
+    def _alloc(self, source, fn="helper", k=8):
+        ir = lower_program(parse(source)).functions[fn]
+        return ir, allocate(ir, k=k)
+
+    def test_finds_dying_registers(self):
+        ir, allocation = self._alloc(SRC)
+        freeable = dead_colors_after(ir, allocation.assignment)
+        assert freeable  # something dies inside helper
+        for colors in freeable.values():
+            assert colors == sorted(set(colors))
+
+    def test_never_frees_live_colors(self):
+        from repro.lang.liveness import analyze
+
+        ir, allocation = self._alloc(SRC, fn="main", k=8)
+        freeable = dead_colors_after(ir, allocation.assignment)
+        live_out, _ = analyze(ir)
+        for index, colors in freeable.items():
+            live_colors = {
+                allocation.assignment[v]
+                for v in live_out[index]
+                if v in allocation.assignment
+            }
+            # A freed color must not be occupied by any live virtual...
+            # unless that virtual was *re-defined* by this instruction
+            # (then it was excluded).
+            for color in colors:
+                assert color not in live_colors
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("model_cls", [NamedStateRegisterFile,
+                                           SegmentedRegisterFile])
+    def test_same_answer_with_and_without(self, model_cls):
+        results = set()
+        for emit in (False, True):
+            rf = model_cls(num_registers=80, context_size=20)
+            results.add(run_source(SRC, rf, emit_rfree=emit).return_value)
+        assert results == {EXPECTED}
+
+    def test_rfree_instructions_emitted(self):
+        plain = compile_source(SRC)
+        freed = compile_source(SRC, emit_rfree=True)
+        assert "rfree" not in plain.assembly
+        assert freed.assembly.count("rfree") >= 3
+
+    def test_rfree_shrinks_footprint(self):
+        source = """
+        func work(n) {
+          var total = 0;
+          var i = 1;
+          while (i <= n) {
+            var a = i * 3;
+            var b = a + i;
+            var c = b * b;
+            total = total + c;
+            i = i + 1;
+          }
+          return total;
+        }
+        func main() { return work(25); }
+        """
+        footprints = {}
+        for emit in (False, True):
+            rf = NamedStateRegisterFile(num_registers=80, context_size=20)
+            result = run_source(source, rf, emit_rfree=emit)
+            footprints[emit] = rf.stats.max_active_registers
+            assert result.return_value == sum(
+                ((i * 3 + i) ** 2) for i in range(1, 26)
+            )
+        assert footprints[True] <= footprints[False]
+
+    def test_rfree_under_pressure_still_correct(self):
+        # Spilled allocations + rfree interact; results must hold.
+        decls = "\n".join(f"var x{i} = {i + 1};" for i in range(12))
+        total = " + ".join(f"x{i}" for i in range(12))
+        source = f"func main() {{ {decls} return {total}; }}"
+        rf = NamedStateRegisterFile(num_registers=16, context_size=20)
+        result = run_source(source, rf, k=4, emit_rfree=True)
+        assert result.return_value == sum(range(1, 13))
+
+    def test_recursion_with_rfree(self):
+        source = """
+        func fib(n) {
+          if (n < 2) { return n; }
+          return fib(n - 1) + fib(n - 2);
+        }
+        func main() { return fib(13); }
+        """
+        rf = NamedStateRegisterFile(num_registers=40, context_size=20)
+        assert run_source(source, rf, emit_rfree=True).return_value == 233

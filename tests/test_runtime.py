@@ -1,0 +1,269 @@
+"""Unit tests for the block-multithreaded runtime."""
+
+import pytest
+
+from repro.core import NamedStateRegisterFile, SegmentedRegisterFile
+from repro.errors import DeadlockError, RuntimeModelError
+from repro.runtime import Future, IStructure, ThreadMachine
+
+
+def machine(registers=128, context=32, **kw):
+    rf = NamedStateRegisterFile(num_registers=registers, context_size=context)
+    return ThreadMachine(rf, **kw)
+
+
+class TestFuture:
+    def test_resolve_once(self):
+        f = Future(name="x")
+        f._resolve(3)
+        assert f.resolved and f.value == 3
+        with pytest.raises(RuntimeModelError):
+            f._resolve(4)
+
+    def test_repr_states(self):
+        f = Future(name="y")
+        assert "pending" in repr(f)
+        f._resolve(1)
+        assert "=1" in repr(f)
+
+
+class TestIStructure:
+    def test_values_after_fill(self):
+        ist = IStructure(3, name="v")
+        for i, slot in enumerate(ist.slots):
+            slot._resolve(i * 2)
+        assert ist.values() == [0, 2, 4]
+        assert ist.is_full()
+        assert len(ist) == 3
+
+    def test_values_with_holes_fault(self):
+        ist = IStructure(2)
+        ist.slot(0)._resolve(1)
+        with pytest.raises(RuntimeModelError):
+            ist.values()
+
+
+class TestScheduling:
+    def test_single_thread_runs_to_completion(self):
+        m = machine()
+
+        def body(act):
+            a = act.alloc()
+            act.let(a, 5)
+            yield m.remote()
+            act.addi(a, a, 1)
+            return act.test(a)
+
+        t = m.spawn(body)
+        m.run()
+        assert t.result.value == 6
+
+    def test_producer_consumer(self):
+        m = machine()
+        fut = m.future()
+
+        def producer(act):
+            a, = act.args(21)
+            act.muli(a, a, 2)
+            m.put_reg(act, fut, a)
+            yield m.remote()
+
+        def consumer(act):
+            value = yield m.wait(fut)
+            r, = act.args(value)
+            return act.test(r)
+
+        c = m.spawn(consumer)
+        m.spawn(producer)
+        m.run()
+        assert c.result.value == 42
+
+    def test_wait_on_resolved_future_does_not_switch(self):
+        m = machine()
+        fut = m.future()
+        fut._resolve(9)
+
+        def body(act):
+            value = yield m.wait(fut)
+            return value
+
+        t = m.spawn(body)
+        switches_before = m.regfile.stats.context_switches
+        m.run()
+        assert t.result.value == 9
+        # Only the switch into the thread itself.
+        assert m.regfile.stats.context_switches == switches_before + 1
+
+    def test_thread_join_via_result_future(self):
+        m = machine()
+
+        def child(act, n):
+            r, = act.args(n)
+            act.muli(r, r, 10)
+            yield m.remote()
+            return act.test(r)
+
+        def parent(act):
+            kids = [m.spawn(child, i) for i in range(4)]
+            total = 0
+            for kid in kids:
+                total += yield m.wait(kid.result)
+            return total
+
+        p = m.spawn(parent)
+        m.run()
+        assert p.result.value == 60
+
+    def test_remote_latency_advances_clock(self):
+        m = machine(remote_latency=500)
+
+        def body(act):
+            yield m.remote()
+            return None
+
+        m.spawn(body)
+        start = m.cycles
+        m.run()
+        assert m.cycles - start >= 500
+        assert m.idle_cycles > 0
+
+    def test_other_threads_fill_remote_stall(self):
+        m = machine(remote_latency=200)
+        order = []
+
+        def staller(act):
+            order.append("stall-out")
+            yield m.remote()
+            order.append("stall-back")
+
+        def worker(act):
+            a = act.alloc()
+            act.let(a, 0)
+            for _ in range(3):
+                act.addi(a, a, 1)
+            order.append("worker")
+            yield m.remote(0)
+
+        m.spawn(staller)
+        m.spawn(worker)
+        m.run()
+        assert order.index("worker") < order.index("stall-back")
+
+    def test_deadlock_detection(self):
+        m = machine()
+        never = m.future()
+
+        def body(act):
+            yield m.wait(never)
+
+        m.spawn(body)
+        with pytest.raises(DeadlockError):
+            m.run()
+
+    def test_non_generator_body_rejected(self):
+        m = machine()
+
+        def not_a_thread(act):
+            return 5
+
+        m.spawn(not_a_thread)
+        with pytest.raises(RuntimeModelError):
+            m.run()
+
+    def test_bad_yield_rejected(self):
+        m = machine()
+
+        def body(act):
+            yield 42
+
+        m.spawn(body)
+        with pytest.raises(RuntimeModelError):
+            m.run()
+
+    def test_wait_requires_future(self):
+        m = machine()
+        with pytest.raises(RuntimeModelError):
+            m.wait(7)
+
+    def test_contexts_recycled_after_completion(self):
+        m = machine()
+
+        def body(act, i):
+            r, = act.args(i)
+            yield m.remote(0)
+            return act.test(r)
+
+        threads = [m.spawn(body, i) for i in range(50)]
+        m.run()
+        assert [t.result.value for t in threads] == list(range(50))
+        assert m.regfile.resident_context_count() == 0
+        assert m.regfile.stats.contexts_ended == 50
+
+
+class TestIStructureDataflow:
+    def test_wavefront_style_dependency(self):
+        # Each consumer waits on its producer's slot; the chain resolves
+        # in dependency order regardless of spawn order.
+        m = machine()
+        ist = m.istructure(6, name="chain")
+
+        def stage(act, i):
+            if i == 0:
+                prev = 1
+            else:
+                prev = yield m.wait(ist.slot(i - 1))
+            r, = act.args(prev)
+            act.muli(r, r, 2)
+            m.put_reg(act, ist.slot(i), r)
+
+        # Spawn in reverse order to force blocking.
+        for i in reversed(range(6)):
+            m.spawn(stage, i)
+        m.run()
+        assert ist.values() == [2, 4, 8, 16, 32, 64]
+
+
+class TestModelInteraction:
+    def test_many_threads_on_segmented_file_thrash(self):
+        rf_seg = SegmentedRegisterFile(num_registers=128, context_size=32)
+        rf_nsf = NamedStateRegisterFile(num_registers=128, context_size=32)
+        results = {}
+        for rf in (rf_seg, rf_nsf):
+            m = ThreadMachine(rf, remote_latency=50)
+
+            def body(act, i):
+                regs = act.alloc_many(8)
+                for k, r in enumerate(regs):
+                    act.let(r, i * 100 + k)
+                for _ in range(3):
+                    yield m.remote()
+                    for r in regs:
+                        act.addi(r, r, 1)
+                return act.test(regs[0])
+
+            threads = [m.spawn(body, i) for i in range(16)]
+            m.run()
+            assert [t.result.value for t in threads] == [
+                i * 100 + 3 for i in range(16)
+            ]
+            results[rf.kind] = rf.stats.registers_reloaded
+        # 16 interleaved threads over 4 frames thrash the segmented file;
+        # the NSF reloads only what is touched.
+        assert results["segmented"] > results["nsf"]
+
+    def test_instructions_per_switch_measured(self):
+        m = machine()
+
+        def body(act):
+            a = act.alloc()
+            act.let(a, 0)
+            for _ in range(10):
+                act.addi(a, a, 1)
+            yield m.remote(0)
+            return None
+
+        for _ in range(4):
+            m.spawn(body)
+        m.run()
+        stats = m.regfile.stats
+        assert stats.instructions_per_switch > 1

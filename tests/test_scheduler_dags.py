@@ -1,0 +1,138 @@
+"""Randomized dataflow DAGs through the thread scheduler.
+
+Generates random dependency DAGs (each thread sums constants plus the
+results of earlier threads, with random remote stalls), runs them under
+both scheduling modes and on a cluster, and checks every node against a
+direct topological evaluation.  This is the runtime's equivalent of the
+register-file oracle tests: arbitrary synchronization structure, exact
+expected values.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import NamedStateRegisterFile, SegmentedRegisterFile
+from repro.runtime import Cluster, ThreadMachine
+
+
+@st.composite
+def dags(draw):
+    """A random DAG: node i depends on a subset of nodes < i."""
+    size = draw(st.integers(2, 10))
+    nodes = []
+    for i in range(size):
+        deps = []
+        if i:
+            count = draw(st.integers(0, min(3, i)))
+            deps = sorted(draw(st.sets(
+                st.integers(0, i - 1), min_size=count, max_size=count,
+            )))
+        base = draw(st.integers(-20, 20))
+        stall = draw(st.integers(0, 2))
+        nodes.append((deps, base, stall))
+    return nodes
+
+
+def evaluate(nodes):
+    values = []
+    for deps, base, _ in nodes:
+        values.append(base + sum(values[d] for d in deps))
+    return values
+
+
+def build_threads(machine, nodes, spawner=None):
+    spawner = spawner or machine.spawn
+    futures = [machine.future(name=f"n{i}") for i in range(len(nodes))]
+
+    def node_body(act, index):
+        deps, base, stall = nodes[index]
+        total, = act.args(base)
+        for _ in range(stall):
+            yield machine.remote(20)
+        for d in deps:
+            value = yield machine.wait(futures[d])
+            incoming = act.alloc()
+            act.let(incoming, value)
+            act.add(total, total, incoming)
+        machine.put_reg(act, futures[index], total)
+        return act.test(total)
+
+    threads = [spawner(node_body, i) for i in range(len(nodes))]
+    return threads, futures
+
+
+class TestSchedulerDAGs:
+    @settings(max_examples=40, deadline=None)
+    @given(nodes=dags(), eager=st.booleans())
+    def test_dag_evaluates_correctly(self, nodes, eager):
+        rf = NamedStateRegisterFile(num_registers=128, context_size=32)
+        machine = ThreadMachine(rf, eager_switch=eager)
+        threads, futures = build_threads(machine, nodes)
+        machine.run()
+        expected = evaluate(nodes)
+        assert [f.value for f in futures] == expected
+        assert [t.result.value for t in threads] == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(nodes=dags())
+    def test_dag_on_tiny_segmented_file(self, nodes):
+        # Constant frame thrash must not corrupt the dataflow values.
+        rf = SegmentedRegisterFile(num_registers=32, context_size=32)
+        machine = ThreadMachine(rf)
+        _, futures = build_threads(machine, nodes)
+        machine.run()
+        assert [f.value for f in futures] == evaluate(nodes)
+
+    @settings(max_examples=20, deadline=None)
+    @given(nodes=dags(), num_nodes=st.integers(1, 4),
+           stealing=st.booleans())
+    def test_dag_on_cluster(self, nodes, num_nodes, stealing):
+        cluster = Cluster(
+            num_nodes,
+            lambda i: NamedStateRegisterFile(num_registers=128,
+                                             context_size=32),
+            network_latency=30,
+            work_stealing=stealing,
+        )
+        node0 = cluster.node(0)
+        futures = [node0.future(name=f"n{i}") for i in range(len(nodes))]
+
+        def node_body(act, index):
+            deps, base, stall = nodes[index]
+            total, = act.args(base)
+            for _ in range(stall):
+                yield act.machine.remote(20)
+            for d in deps:
+                value = yield act.machine.wait(futures[d])
+                incoming = act.alloc()
+                act.let(incoming, value)
+                act.add(total, total, incoming)
+            act.machine.put_reg(act, futures[index], total)
+            return act.test(total)
+
+        for i in range(len(nodes)):
+            cluster.spawn_on(i % num_nodes, node_body, i)
+        cluster.run()
+        assert [f.value for f in futures] == evaluate(nodes)
+
+    @settings(max_examples=20, deadline=None)
+    @given(nodes=dags())
+    def test_reverse_spawn_order_still_resolves(self, nodes):
+        # Spawning consumers before producers forces maximal blocking.
+        rf = NamedStateRegisterFile(num_registers=128, context_size=32)
+        machine = ThreadMachine(rf)
+        futures = [machine.future(name=f"n{i}") for i in range(len(nodes))]
+
+        def node_body(act, index):
+            deps, base, stall = nodes[index]
+            total, = act.args(base)
+            for d in deps:
+                value = yield machine.wait(futures[d])
+                incoming = act.alloc()
+                act.let(incoming, value)
+                act.add(total, total, incoming)
+            machine.put_reg(act, futures[index], total)
+
+        for i in reversed(range(len(nodes))):
+            machine.spawn(node_body, i)
+        machine.run()
+        assert [f.value for f in futures] == evaluate(nodes)

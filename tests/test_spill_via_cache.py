@@ -1,0 +1,119 @@
+"""Tests for cache-priced spill traffic (Figure 4's datapath)."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import NamedStateRegisterFile, SegmentedRegisterFile
+from repro.cpu import CPU, DirectMappedCache, PerfectCache
+from repro.lang import compile_source
+
+FIB = """
+func fib(n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+func main() { return fib(11); }
+"""
+
+
+def compiled_program():
+    return compile_source(FIB).program
+
+
+class TestMoveTracking:
+    def test_moves_recorded_when_enabled(self):
+        nsf = NamedStateRegisterFile(num_registers=2, context_size=4,
+                                     track_moves=True)
+        cid = nsf.begin_context()
+        nsf.switch_to(cid)
+        nsf.write(0, 1)
+        nsf.write(1, 2)
+        result = nsf.write(2, 3)          # evicts r0
+        assert result.moved_out == [(cid, 0)]
+        _, result = nsf.read(0)           # demand reload
+        assert result.moved_in == [(cid, 0)]
+
+    def test_moves_not_recorded_by_default(self):
+        nsf = NamedStateRegisterFile(num_registers=2, context_size=4)
+        cid = nsf.begin_context()
+        nsf.switch_to(cid)
+        nsf.write(0, 1)
+        nsf.write(1, 2)
+        result = nsf.write(2, 3)
+        assert result.moved_out is None
+
+    def test_segmented_frame_moves(self):
+        seg = SegmentedRegisterFile(num_registers=4, context_size=4,
+                                    track_moves=True)
+        a = seg.begin_context()
+        b = seg.begin_context()
+        seg.switch_to(a)
+        seg.write(0, 1)
+        seg.write(2, 3)
+        result = seg.switch_to(b)
+        assert set(result.moved_out) == {(a, 0), (a, 2)}
+        result = seg.switch_to(a)
+        assert set(result.moved_in) == {(a, 0), (a, 2)}
+
+    def test_addresses_resolve_through_ctable(self):
+        nsf = NamedStateRegisterFile(num_registers=2, context_size=4,
+                                     track_moves=True)
+        cid = nsf.begin_context(base_address=0x9000)
+        nsf.switch_to(cid)
+        nsf.write(0, 1)
+        nsf.write(1, 2)
+        result = nsf.write(2, 3)
+        moved_cid, offset = result.moved_out[0]
+        assert nsf.backing.address_of(moved_cid, offset) == 0x9000
+
+
+class TestCPUPricing:
+    def test_requires_tracking(self):
+        nsf = NamedStateRegisterFile(num_registers=80, context_size=20)
+        with pytest.raises(ValueError):
+            CPU(compiled_program(), nsf, spill_via_cache=True)
+
+    def test_functional_result_unchanged(self):
+        nsf = NamedStateRegisterFile(num_registers=8, context_size=20,
+                                     track_moves=True)
+        cpu = CPU(compiled_program(), nsf, spill_via_cache=True)
+        assert cpu.run().return_value == 89
+
+    def test_spill_traffic_hits_the_cache(self):
+        cache = DirectMappedCache()
+        nsf = NamedStateRegisterFile(num_registers=8, context_size=20,
+                                     track_moves=True)
+        cpu = CPU(compiled_program(), nsf, cache=cache,
+                  spill_via_cache=True)
+        cpu.run()
+        assert nsf.stats.registers_spilled > 0
+        # Cache sees program loads/stores AND register traffic.
+        program_only = DirectMappedCache()
+        nsf2 = NamedStateRegisterFile(num_registers=8, context_size=20)
+        cpu2 = CPU(compiled_program(), nsf2, cache=program_only)
+        cpu2.run()
+        assert cache.accesses > program_only.accesses
+
+    def test_cold_cache_makes_spills_expensive(self):
+        def run(cache):
+            nsf = NamedStateRegisterFile(num_registers=8,
+                                         context_size=20,
+                                         track_moves=True)
+            cpu = CPU(compiled_program(), nsf, cache=cache,
+                      spill_via_cache=True)
+            return cpu.run().cycles
+
+        fast = run(PerfectCache())
+        slow = run(DirectMappedCache(num_lines=4, words_per_line=1,
+                                     miss_cycles=40))
+        assert slow > fast
+
+    def test_large_nsf_pays_nothing_either_way(self):
+        cache = DirectMappedCache()
+        nsf = NamedStateRegisterFile(num_registers=80, context_size=20,
+                                     track_moves=True)
+        cpu = CPU(compiled_program(), nsf, cache=cache,
+                  spill_via_cache=True)
+        result = cpu.run()
+        assert result.return_value == 89
+        assert nsf.stats.registers_spilled == 0

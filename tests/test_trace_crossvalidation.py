@@ -1,0 +1,78 @@
+"""Cross-validation: record-once/replay-everywhere equals direct runs.
+
+The activation machine's event stream depends only on the program and
+its input — never on which register file is underneath (values are
+verified identical).  Therefore replaying a trace recorded over one
+model onto any other configuration must produce *exactly* the same
+statistics as running the workload directly on that configuration.
+
+This pins down three things at once: workload determinism, recording
+fidelity, and replay fidelity.
+"""
+
+import pytest
+
+from repro.core import NamedStateRegisterFile, SegmentedRegisterFile
+from repro.trace import TracingRegisterFile, replay
+from repro.workloads import get_workload
+
+SCALE = 0.3
+SEED = 9
+
+
+def record(workload_name, registers, context):
+    workload = get_workload(workload_name)
+    tracer = TracingRegisterFile(
+        NamedStateRegisterFile(num_registers=registers,
+                               context_size=context)
+    )
+    result = workload.run(tracer, scale=SCALE, seed=SEED)
+    assert result.verified
+    return tracer.trace
+
+
+def direct(workload_name, model):
+    workload = get_workload(workload_name)
+    workload.run(model, scale=SCALE, seed=SEED)
+    return model.stats.snapshot()
+
+
+CONFIGS = [
+    ("nsf-small", lambda ctx: NamedStateRegisterFile(
+        num_registers=2 * ctx, context_size=ctx)),
+    ("nsf-line4", lambda ctx: NamedStateRegisterFile(
+        num_registers=4 * ctx, context_size=ctx, line_size=4)),
+    ("segmented", lambda ctx: SegmentedRegisterFile(
+        num_registers=4 * ctx, context_size=ctx)),
+    ("segmented-live", lambda ctx: SegmentedRegisterFile(
+        num_registers=2 * ctx, context_size=ctx, spill_mode="live")),
+]
+
+
+@pytest.mark.parametrize("workload_name,context", [
+    ("GateSim", 20),
+    ("Quicksort", 32),
+    ("Paraffins", 32),
+])
+@pytest.mark.parametrize("config_name,make",
+                         CONFIGS, ids=[c[0] for c in CONFIGS])
+def test_replay_equals_direct(workload_name, context, config_name, make):
+    trace = record(workload_name, registers=4 * context, context=context)
+    replayed = make(context)
+    replay(trace, replayed)
+    direct_stats = direct(workload_name, make(context))
+    assert replayed.stats.snapshot() == direct_stats
+
+
+def test_trace_is_model_independent():
+    # Recording over NSF and over segmented yields the same stream.
+    workload_name = "GateSim"
+    nsf_tracer = TracingRegisterFile(
+        NamedStateRegisterFile(num_registers=80, context_size=20)
+    )
+    seg_tracer = TracingRegisterFile(
+        SegmentedRegisterFile(num_registers=80, context_size=20)
+    )
+    get_workload(workload_name).run(nsf_tracer, scale=SCALE, seed=SEED)
+    get_workload(workload_name).run(seg_tracer, scale=SCALE, seed=SEED)
+    assert nsf_tracer.trace.events == seg_tracer.trace.events

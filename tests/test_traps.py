@@ -1,0 +1,115 @@
+"""Tests for executed software window-trap handlers."""
+
+import pytest
+
+from repro.core import NamedStateRegisterFile, SegmentedRegisterFile
+from repro.cpu import CPU
+from repro.lang import compile_source
+
+FIB = """
+func fib(n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+func main() { return fib(10); }
+"""
+
+
+def program():
+    return compile_source(FIB).program
+
+
+def seg_file(registers=80):
+    return SegmentedRegisterFile(num_registers=registers,
+                                 context_size=20, track_moves=True)
+
+
+class TestConfiguration:
+    def test_requires_move_tracking(self):
+        seg = SegmentedRegisterFile(num_registers=80, context_size=20)
+        with pytest.raises(ValueError):
+            CPU(program(), seg, software_spill_traps=True)
+
+    def test_disabled_by_default(self):
+        cpu = CPU(program(), seg_file())
+        assert cpu.trap_unit is None
+
+
+class TestExecution:
+    def test_functional_result_unchanged(self):
+        cpu = CPU(program(), seg_file(), software_spill_traps=True)
+        assert cpu.run().return_value == 55
+
+    def test_traps_fire_on_window_misses(self):
+        cpu = CPU(program(), seg_file(), software_spill_traps=True)
+        cpu.run()
+        stats = cpu.trap_unit.stats
+        assert stats.traps > 0
+        assert stats.instructions > 0
+        assert stats.registers_stored > 0
+        assert stats.registers_loaded > 0
+
+    def test_handler_instructions_counted_in_total(self):
+        plain = CPU(program(), seg_file())
+        plain_result = plain.run()
+        trapped = CPU(program(), seg_file(), software_spill_traps=True)
+        trapped_result = trapped.run()
+        # Same program, same answer, more executed instructions.
+        assert trapped_result.return_value == plain_result.return_value
+        extra = (trapped_result.instructions
+                 - plain_result.instructions)
+        assert extra == trapped.trap_unit.stats.instructions
+
+    def test_handler_shape(self):
+        cpu = CPU(program(), seg_file(), software_spill_traps=True)
+        cpu.run()
+        stats = cpu.trap_unit.stats
+        unit = cpu.trap_unit
+        expected = (
+            stats.traps * (unit.ENTRY_INSTRUCTIONS
+                           + unit.EXIT_INSTRUCTIONS)
+            + (stats.registers_stored + stats.registers_loaded)
+            * unit.PER_REGISTER_INSTRUCTIONS
+        )
+        assert stats.instructions == expected
+
+    def test_nsf_takes_almost_no_traps(self):
+        # The NSF has no switch misses; with move tracking on, the trap
+        # unit fires only for its rare demand reloads.
+        nsf = NamedStateRegisterFile(num_registers=80, context_size=20,
+                                     track_moves=True)
+        cpu = CPU(program(), nsf, software_spill_traps=True)
+        result = cpu.run()
+        assert result.return_value == 55
+        seg_cpu = CPU(program(), seg_file(), software_spill_traps=True)
+        seg_cpu.run()
+        assert (cpu.trap_unit.stats.instructions
+                < seg_cpu.trap_unit.stats.instructions / 10)
+
+    def test_trap_memory_traffic_hits_cache(self):
+        cpu = CPU(program(), seg_file(), software_spill_traps=True)
+        cpu.run()
+        plain = CPU(program(), seg_file())
+        plain.run()
+        assert cpu.cache.accesses > plain.cache.accesses
+
+
+class TestCostModelValidation:
+    def test_measured_and_analytic_same_order(self):
+        # The executed-trap overhead and SEGMENT_SW_COSTS' analytic
+        # estimate must agree within a small factor.
+        from repro.core import SEGMENT_SW_COSTS
+
+        trapped = CPU(program(), seg_file(), software_spill_traps=True)
+        trapped_result = trapped.run()
+        measured = trapped.trap_unit.stats.cycles / trapped_result.cycles
+
+        analytic_file = SegmentedRegisterFile(num_registers=80,
+                                              context_size=20)
+        CPU(program(), analytic_file).run()
+        analytic = SEGMENT_SW_COSTS.overhead_fraction(analytic_file.stats)
+
+        assert measured > 0.05
+        assert analytic > 0.05
+        ratio = analytic / measured
+        assert 0.3 < ratio < 3.0

@@ -1,0 +1,77 @@
+"""The tutorial's code must actually run.
+
+Extracts every python code fence from docs/TUTORIAL.md and executes
+them in one shared namespace, in order — documentation that lies fails
+CI.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+TUTORIAL = pathlib.Path(__file__).parent.parent / "docs" / "TUTORIAL.md"
+
+_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def code_blocks():
+    text = TUTORIAL.read_text()
+    return _FENCE.findall(text)
+
+
+def test_tutorial_exists_and_has_code():
+    blocks = code_blocks()
+    assert len(blocks) >= 4
+
+
+def test_tutorial_code_runs():
+    namespace = {}
+    for block in code_blocks():
+        exec(compile(block, str(TUTORIAL), "exec"), namespace)
+
+    # The walkthrough artifacts exist and behaved.
+    assert "Histogram" in namespace
+    assert "ClockPolicy" in namespace
+    assert "results" in namespace
+    assert len(namespace["results"]) == 12
+
+
+def test_tutorial_histogram_is_a_real_workload():
+    namespace = {}
+    blocks = code_blocks()
+    exec(compile(blocks[0], str(TUTORIAL), "exec"), namespace)
+
+    from repro.core import NamedStateRegisterFile, SegmentedRegisterFile
+
+    workload = namespace["Histogram"]()
+    outs = set()
+    for model in (
+        NamedStateRegisterFile(num_registers=80, context_size=20),
+        SegmentedRegisterFile(num_registers=80, context_size=20),
+        NamedStateRegisterFile(num_registers=20, context_size=20),
+    ):
+        result = workload.run(model, scale=0.5, seed=7)
+        assert result.verified
+        outs.add(result.output)
+    assert len(outs) == 1
+
+
+def test_tutorial_clock_policy_works():
+    namespace = {}
+    blocks = code_blocks()
+    exec(compile(blocks[2], str(TUTORIAL), "exec"), namespace)
+
+    from repro.core import NamedStateRegisterFile
+    from repro.core.policies import _POLICIES
+    from repro.workloads import get_workload
+
+    try:
+        nsf = NamedStateRegisterFile(num_registers=64, context_size=32,
+                                     policy="clock")
+        result = get_workload("Quicksort").run(nsf, scale=0.5, seed=7)
+        assert result.verified
+        # The policy was exercised: victims were chosen and spilled.
+        assert nsf.stats.registers_spilled > 0
+    finally:
+        _POLICIES.pop("clock", None)

@@ -1,0 +1,100 @@
+"""Tests for cluster work stealing."""
+
+import pytest
+
+from repro.core import NamedStateRegisterFile
+from repro.runtime import Cluster
+
+
+def make_cluster(num_nodes=4, work_stealing=True, network_latency=50):
+    return Cluster(
+        num_nodes,
+        lambda i: NamedStateRegisterFile(num_registers=128,
+                                         context_size=32),
+        network_latency=network_latency,
+        work_stealing=work_stealing,
+    )
+
+
+def heavy_body(machine):
+    def body(act, i):
+        total, cursor = act.alloc_many(["total", "cursor"])
+        act.let(total, 0)
+        for step in range(60):
+            act.let(cursor, i * 60 + step)
+            act.add(total, total, cursor)
+            if step % 15 == 14:
+                yield machine.remote(10)
+        return act.test(total)
+    return body
+
+
+class TestWorkStealing:
+    def test_imbalanced_load_is_stolen(self):
+        cluster = make_cluster()
+        node0 = cluster.node(0)
+        body = heavy_body(node0)
+        # Pile every thread onto node 0.
+        threads = [cluster.spawn_on(0, body, i) for i in range(16)]
+        cluster.run()
+        assert all(t.result.resolved for t in threads)
+        assert cluster.steals > 0
+        # Work actually ran elsewhere.
+        busy_nodes = sum(
+            1 for n in cluster.nodes if n.instructions > 0
+        )
+        assert busy_nodes > 1
+
+    def test_stealing_preserves_results(self):
+        expected = [sum(range(i * 60, (i + 1) * 60)) for i in range(16)]
+        for stealing in (False, True):
+            cluster = make_cluster(work_stealing=stealing)
+            body = heavy_body(cluster.node(0))
+            threads = [cluster.spawn_on(0, body, i) for i in range(16)]
+            cluster.run()
+            assert [t.result.value for t in threads] == expected
+
+    def test_stealing_improves_makespan(self):
+        spans = {}
+        for stealing in (False, True):
+            cluster = make_cluster(work_stealing=stealing)
+            body = heavy_body(cluster.node(0))
+            for i in range(16):
+                cluster.spawn_on(0, body, i)
+            cluster.run()
+            spans[stealing] = cluster.makespan()
+        assert spans[True] < spans[False]
+
+    def test_started_threads_are_not_stolen(self):
+        cluster = make_cluster(num_nodes=2)
+        node0 = cluster.node(0)
+        seen_nodes = []
+
+        def body(act, i):
+            seen_nodes.append(act.machine.node_id)
+            yield act.machine.remote(5)
+            # After resuming, we must still be on the same node.
+            assert act.machine.node_id == seen_nodes[i]
+            return i
+
+        threads = [cluster.spawn_on(0, body, i) for i in range(6)]
+        cluster.run()
+        assert [t.result.value for t in threads] == list(range(6))
+
+    def test_balanced_load_steals_little(self):
+        cluster = make_cluster()
+        body = heavy_body(cluster.node(0))
+        cluster.spawn_round_robin(range(16), body)
+        cluster.run()
+        # Already balanced: stealing is rare.
+        assert cluster.steals <= 4
+
+    def test_no_stealing_when_disabled(self):
+        cluster = make_cluster(work_stealing=False)
+        body = heavy_body(cluster.node(0))
+        for i in range(8):
+            cluster.spawn_on(0, body, i)
+        cluster.run()
+        assert cluster.steals == 0
+        others = [n for n in cluster.nodes[1:]]
+        assert all(n.instructions == 0 for n in others)

@@ -1,0 +1,267 @@
+"""Domain-specific unit tests of each benchmark's internal logic.
+
+These check the *programs themselves* against independent small-case
+oracles — brute force, known closed forms, or hand-computed values —
+complementing the self-consistency checks in test_workloads.py.
+"""
+
+import random
+
+import pytest
+
+from repro.core import NamedStateRegisterFile
+from repro.workloads.as_search import THRESHOLD, _popcount16
+from repro.workloads.dtw import DTW
+from repro.workloads.gamteb import (
+    LCG_A,
+    LCG_C,
+    LCG_M,
+    MAX_FLIGHTS,
+    SLAB,
+    _lcg,
+    _transport,
+)
+from repro.workloads.gatesim import AND, NAND, NOT, OR, XOR, _gate_eval
+from repro.workloads.paraffins import _pairs, _triples, radical_counts
+from repro.workloads.rtlsim import (
+    MASK,
+    OP_ADD,
+    OP_INC,
+    OP_MUX,
+    OP_SHL,
+    OP_SUB,
+    _rtl_eval,
+)
+from repro.workloads.wavefront import P, Wavefront
+from repro.workloads.zipfile_bench import (
+    MAX_MATCH,
+    MIN_MATCH,
+    WINDOW,
+    _find_match,
+    _reference_tokens,
+)
+
+
+class TestGateSimLogic:
+    @pytest.mark.parametrize("a", [0, 1])
+    @pytest.mark.parametrize("b", [0, 1])
+    def test_truth_tables(self, a, b):
+        assert _gate_eval(AND, a, b) == (a and b)
+        assert _gate_eval(OR, a, b) == (a or b)
+        assert _gate_eval(XOR, a, b) == (a ^ b)
+        assert _gate_eval(NAND, a, b) == 1 - (a and b)
+        assert _gate_eval(NOT, a, b) == 1 - a
+
+    def test_outputs_are_bits(self):
+        for gtype in (AND, OR, XOR, NAND, NOT):
+            for a in (0, 1):
+                for b in (0, 1):
+                    assert _gate_eval(gtype, a, b) in (0, 1)
+
+
+class TestRTLSimLogic:
+    def test_ops_mask_to_16_bits(self):
+        assert _rtl_eval(OP_ADD, MASK, 1, 0) == 0
+        assert _rtl_eval(OP_SUB, 0, 1, 0) == MASK
+        assert _rtl_eval(OP_SHL, 0x8001, 0, 0) == 0x0002
+        assert _rtl_eval(OP_INC, MASK, 0, 0) == 0
+
+    def test_mux_selects_on_condition_lsb(self):
+        assert _rtl_eval(OP_MUX, 11, 22, 1) == 11
+        assert _rtl_eval(OP_MUX, 11, 22, 0) == 22
+        assert _rtl_eval(OP_MUX, 11, 22, 2) == 22  # even -> b
+
+    def test_two_phase_semantics(self):
+        # Two statements swapping registers must read OLD values: the
+        # classic race a two-phase simulator avoids.
+        from repro.workloads.rtlsim import RTLSim
+
+        w = RTLSim()
+        spec = {
+            "num_state": 2,
+            "stmts": [
+                (OP_ADD, 0, 1, 1, 0),  # r0' = r1 + r1
+                (OP_ADD, 1, 0, 0, 0),  # r1' = r0 + r0
+            ],
+            "init": [3, 5],
+            "cycles": 1,
+        }
+        checksum = w.reference(spec)
+        expected = 0
+        for value in (10, 6):  # r0'=5+5, r1'=3+3 — from OLD values
+            expected = (expected * 13 + value) % 65521
+        assert checksum == expected
+
+
+class TestZipFileLogic:
+    def test_match_respects_window_and_cap(self):
+        rng = random.Random(0)
+        text = [rng.randrange(4) for _ in range(300)]
+        heads = [-1] * 20
+        links = [-1] * len(text)
+        for pos in range(250):
+            links[pos] = heads[text[pos]]
+            heads[text[pos]] = pos
+        length, dist = _find_match(text, 250, heads, links)
+        assert 0 <= length <= MAX_MATCH
+        if length:
+            assert 1 <= dist <= WINDOW
+            assert text[250 - dist:250 - dist + length] == \
+                text[250:250 + length]
+
+    def test_tokens_cover_text_exactly(self):
+        rng = random.Random(7)
+        text = [rng.randrange(5) for _ in range(100)]
+        tokens = _reference_tokens(text)
+        covered = sum(
+            (a if kind else 1) for kind, a, _ in tokens
+        )
+        assert covered == len(text)
+        for kind, a, b in tokens:
+            if kind:
+                assert MIN_MATCH <= a <= MAX_MATCH
+                assert 1 <= b <= WINDOW
+
+    def test_repetitive_text_compresses(self):
+        text = [1, 2, 3, 4] * 20
+        tokens = _reference_tokens(text)
+        assert len(tokens) < len(text) // 2
+
+
+class TestASLogic:
+    @pytest.mark.parametrize("value", [0, 1, 0xFFFF, 0x5555, 0x8001,
+                                       12345])
+    def test_popcount_matches_bin(self, value):
+        assert _popcount16(value) == bin(value).count("1")
+
+    def test_threshold_is_sane(self):
+        assert 0 < THRESHOLD < 16
+
+
+class TestGamtebLogic:
+    def test_lcg_parameters(self):
+        assert _lcg(0) == LCG_C % LCG_M
+        assert _lcg(1) == (LCG_A + LCG_C) % LCG_M
+
+    def test_lcg_covers_seed_space(self):
+        seen = {_lcg(s) for s in range(0, LCG_M, 257)}
+        assert len(seen) > 200  # not collapsing
+
+    def test_transport_collision_bound(self):
+        for seed in range(0, 2000, 37):
+            outcome, collisions, _ = _transport(seed)
+            assert 0 <= collisions <= MAX_FLIGHTS
+            assert outcome in (0, 1, 2)
+
+    def test_escaped_right_requires_reaching_slab(self):
+        # Replay the reference physics and confirm the escape geometry.
+        for seed in range(300):
+            outcome, _, _ = _transport(seed)
+            if outcome == 2:
+                x = 0
+                direction = 1
+                s = seed
+                for _ in range(MAX_FLIGHTS):
+                    s = _lcg(s)
+                    x += direction * (1 + ((s >> 7) % 8))
+                    if x < 0 or x >= SLAB:
+                        break
+                    s = _lcg(s)
+                    event = (s >> 9) % 16
+                    if event < 3:
+                        break
+                    if event < 9:
+                        direction = -direction
+                assert x >= SLAB
+                return
+        pytest.skip("no right-escape in the sampled seeds")
+
+
+class TestParaffinsLogic:
+    def test_pairs_and_triples_formulas(self):
+        # C(r+1, 2) and C(r+2, 3) against brute force.
+        for r in range(6):
+            items = list(range(r))
+            pairs = {(min(a, b), max(a, b)) for a in items for b in items}
+            assert _pairs(r) == len(pairs)
+            triples = {
+                tuple(sorted((a, b, c)))
+                for a in items for b in items for c in items
+            }
+            assert _triples(r) == len(triples)
+
+    def test_small_counts_by_brute_force(self):
+        # r(n) = multisets {a<=b<=c}, a+b+c=n-1, weighted by counts.
+        reference = radical_counts(8)
+        for n in range(2, 9):
+            total = 0
+            rest = n - 1
+            for a in range(rest + 1):
+                for b in range(a, rest + 1):
+                    c = rest - a - b
+                    if c < b:
+                        continue
+                    if a == b == c:
+                        total += _triples(reference[a])
+                    elif a == b:
+                        total += _pairs(reference[a]) * reference[c]
+                    elif b == c:
+                        total += reference[a] * _pairs(reference[b])
+                    else:
+                        total += (reference[a] * reference[b]
+                                  * reference[c])
+            assert total == reference[n]
+
+    def test_monotone_growth(self):
+        counts = radical_counts(12)
+        for small, big in zip(counts[2:], counts[3:]):
+            assert big >= small
+
+
+class TestDTWLogic:
+    def test_small_case_by_hand(self):
+        w = DTW()
+        spec = {"x": [0, 3], "y": [0, 1, 3, 3, 0, 0, 0, 0]}
+        # brute force DP
+        rows, cols = 2, 8
+        import itertools
+        best = [[0] * cols for _ in range(rows)]
+        for i in range(rows):
+            for j in range(cols):
+                cost = abs(spec["x"][i] - spec["y"][j])
+                if i == 0 and j == 0:
+                    best[i][j] = cost
+                elif i == 0:
+                    best[i][j] = cost + best[i][j - 1]
+                elif j == 0:
+                    best[i][j] = cost + best[i - 1][j]
+                else:
+                    best[i][j] = cost + min(best[i - 1][j],
+                                            best[i][j - 1],
+                                            best[i - 1][j - 1])
+        assert w.reference(spec) == best[-1][-1]
+
+    def test_identical_sequences_cost_zero(self):
+        w = DTW()
+        seq = [5, 2, 7, 1, 5, 2, 7, 1]
+        assert w.reference({"x": seq, "y": seq}) == 0
+
+
+class TestWavefrontLogic:
+    def test_tiny_grid_by_hand(self):
+        w = Wavefront()
+        spec = {"rows": 1, "cols": 2, "top": [1, 2], "left": [3]}
+        # grid: row0 = [0, 1, 2]; row1 = [3, a, b]
+        a = (1 + 3 + 0) % P
+        b = (2 + a + 1) % P
+        checksum = 0
+        for value in (3, a, b):
+            checksum = (checksum * 7 + value) % 65521
+        assert w.reference(spec) == checksum
+
+    def test_guest_matches_reference_on_random_grid(self):
+        w = Wavefront()
+        spec = w.build(seed=11, scale=0.3)
+        rf = NamedStateRegisterFile(num_registers=128, context_size=32)
+        machine = w.make_machine(rf)
+        assert w.execute(machine, spec) == w.reference(spec)
