@@ -2,13 +2,18 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench eval charts goldens check-goldens examples all
+.PHONY: install test faults bench eval charts goldens check-goldens examples all
 
 install:
 	pip install -e . --no-build-isolation
 
-test:
+test: faults
 	$(PYTHON) -m pytest tests/
+
+# Fault-injection campaign: asserts zero silent corruption with
+# ECC/parity protection on (and that faults corrupt silently without it).
+faults:
+	PYTHONPATH=src $(PYTHON) -c "from repro.evalx.resilience import main; raise SystemExit(main(['--check']))"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

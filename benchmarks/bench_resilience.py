@@ -1,0 +1,72 @@
+"""Resilience: fault-injection campaign shape and ECC overhead pricing."""
+
+from conftest import run_table
+
+from repro.core import NSF_COSTS, NamedStateRegisterFile, ProtectedRegisterFile
+from repro.workloads import get_workload
+
+
+def test_resilience_campaign(benchmark, record_table):
+    table = run_table(benchmark, "resilience")
+    record_table(table, "resilience")
+    print()
+    print(table.render())
+
+    level = table.headers.index("Protection")
+    injected = table.headers.index("Injected")
+    silent = table.headers.index("Silent")
+    ecc_rows = [row for row in table.rows if row[level] == "ecc"]
+    off_rows = [row for row in table.rows if row[level] == "off"]
+
+    # The campaign injected in every cell and the table covers both
+    # protection levels symmetrically.
+    assert ecc_rows and len(ecc_rows) == len(off_rows)
+    assert all(row[injected] > 0 for row in table.rows)
+
+    # The headline contract: protection leaves nothing silent, while
+    # the same faults corrupt silently without it.
+    assert sum(row[silent] for row in ecc_rows) == 0
+    assert sum(row[silent] for row in off_rows) > 0
+
+    # Every rung of the recovery ladder fires somewhere in the sweep.
+    for rung in ("Corrected", "Reread", "Reloaded", "Trapped", "Retired"):
+        column = table.headers.index(rung)
+        assert sum(row[column] for row in ecc_rows) > 0, rung
+
+
+def _protected_run(workload_name, num_registers, context_size):
+    inner = NamedStateRegisterFile(num_registers=num_registers,
+                                   context_size=context_size, line_size=4)
+    model = ProtectedRegisterFile(inner)
+    get_workload(workload_name).run(model, scale=0.4, seed=1)
+    return inner.stats, model.rstats
+
+
+def test_ecc_overhead_pricing(benchmark):
+    """Clean-run ECC overhead on one sequential + one parallel workload."""
+
+    def run_both():
+        return {
+            "GateSim": _protected_run("GateSim", 64, 20),
+            "Quicksort": _protected_run("Quicksort", 128, 32),
+        }
+
+    runs = benchmark.pedantic(run_both, iterations=1, rounds=1)
+    # A checked-but-fault-free run prices ECC checks and nothing else,
+    # and the recovery rungs are strictly ordered trap > reload > correct.
+    assert (NSF_COSTS.machine_check_cycles
+            > NSF_COSTS.recovery_reload_cycles
+            > NSF_COSTS.correction_cycles)
+    import dataclasses
+    priced = dataclasses.replace(NSF_COSTS, ecc_check_cycles=0.25)
+    for name, (stats, rstats) in runs.items():
+        assert rstats.checks > 0, name
+        assert rstats.detected == 0, name
+        events = priced.resilience_event_costs(rstats)
+        assert events["ecc_checks"] == rstats.checks * 0.25
+        assert all(events[k] == 0 for k in events if k != "ecc_checks")
+        # Free checks add nothing; priced checks raise the Fig-14 axis.
+        assert NSF_COSTS.overhead_fraction(stats, rstats) == \
+            NSF_COSTS.overhead_fraction(stats)
+        assert priced.overhead_fraction(stats, rstats) > \
+            priced.overhead_fraction(stats)

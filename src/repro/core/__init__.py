@@ -13,6 +13,10 @@ Public API
 * :class:`CostModel` and the three calibrated pricings of Figure 14
 * :class:`BackingStore`, :class:`Ctable` — the spill target (§4.3)
 * victim policies: LRU (paper default), FIFO, random
+* :class:`ProtectedRegisterFile` — ECC/parity protection plus the
+  recovery ladder (correct, reread, demand-reload, machine check,
+  line retirement); :class:`RetryingBackingStore` — bounded retry for
+  transient backing-store faults
 """
 
 from repro.core.backing import BackingStore, Ctable
@@ -25,6 +29,14 @@ from repro.core.costs import (
     speedup,
 )
 from repro.core.nsf import NamedStateRegisterFile
+from repro.core.resilience import (
+    PROTECTION_LEVELS,
+    ProtectedRegisterFile,
+    ResilienceStats,
+    RetryingBackingStore,
+    secded_check,
+    secded_encode,
+)
 from repro.core.policies import (
     FIFOPolicy,
     LRUPolicy,
@@ -45,13 +57,19 @@ __all__ = [
     "LRUPolicy",
     "NSF_COSTS",
     "NamedStateRegisterFile",
+    "PROTECTION_LEVELS",
+    "ProtectedRegisterFile",
     "RandomPolicy",
     "RegFileStats",
     "RegisterFile",
+    "ResilienceStats",
+    "RetryingBackingStore",
     "SEGMENT_HW_COSTS",
     "SEGMENT_SW_COSTS",
     "SegmentedRegisterFile",
     "VictimPolicy",
     "make_policy",
+    "secded_check",
+    "secded_encode",
     "speedup",
 ]

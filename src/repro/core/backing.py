@@ -89,6 +89,15 @@ class BackingStore:
         self.words_loaded += 1
         return value
 
+    def peek(self, cid, offset):
+        """Inspect a saved register without counting a memory load.
+
+        Diagnostic access used by the resilience layer to judge whether
+        a memory copy is *clean* before committing to a reload; returns
+        ``None`` when the register has no memory copy.
+        """
+        return self._values.get((cid, offset))
+
     def contains(self, cid, offset):
         return (cid, offset) in self._values
 

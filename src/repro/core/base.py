@@ -217,6 +217,27 @@ class RegisterFile:
             cid += 1
         return cid
 
+    # -- container protocol ---------------------------------------------------
+    # A register file is a collection of live contexts: ``cid in model``
+    # asks whether a context exists, ``len(model)`` counts registers
+    # currently holding data, iteration yields the known cids.  Wrapper
+    # layers (faults, protection) must forward these explicitly —
+    # ``__getattr__`` delegation does not cover dunder lookup.
+
+    def __contains__(self, cid):
+        return cid in self._known_cids
+
+    def __len__(self):
+        return self.active_register_count()
+
+    def __bool__(self):
+        # An empty file is still a file: keep ``rf or default()`` idioms
+        # working despite ``__len__``.
+        return True
+
+    def __iter__(self):
+        return iter(sorted(self._known_cids))
+
     def __repr__(self):
         return (
             f"<{type(self).__name__} registers={self.num_registers} "

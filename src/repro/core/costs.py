@@ -57,6 +57,19 @@ class CostModel:
     #: hidden behind idle issue slots)
     background_spill_cycles: float = 0.0
 
+    # -- resilience pricing (the recovery ladder, cheapest rung first) ------
+    #: per-read ECC/parity check (0 = hidden in the read pipeline stage)
+    ecc_check_cycles: float = 0.0
+    #: rung 1 — SEC-DED corrects a single-bit error in place (scrub write)
+    correction_cycles: float = 1.0
+    #: rung 2 — sequencing overhead of invalidate + demand-reload of a
+    #: detected-but-uncorrectable error on a *clean* register (the reload
+    #: traffic itself is already priced through the normal counters)
+    recovery_reload_cycles: float = 6.0
+    #: rung 3 — machine-check trap for a *dirty* uncorrectable error:
+    #: pipeline flush, trap entry/exit, software recovery
+    machine_check_cycles: float = 64.0
+
     # -- pricing -------------------------------------------------------------
 
     def base_cycles(self, stats: RegFileStats) -> float:
@@ -74,15 +87,50 @@ class CostModel:
             * self.background_spill_cycles
         )
 
-    def total_cycles(self, stats: RegFileStats) -> float:
-        return self.base_cycles(stats) + self.traffic_cycles(stats)
+    def resilience_event_costs(self, rstats) -> dict:
+        """Per-event recovery accounting (Fig-14-style breakdown).
 
-    def overhead_fraction(self, stats: RegFileStats) -> float:
-        """Spill/reload overhead as a fraction of execution time (Fig 14)."""
-        total = self.total_cycles(stats)
+        ``rstats`` is a :class:`repro.core.resilience.ResilienceStats`.
+        The recovery ladder prices each rung separately, so overhead
+        reports show *where* recovery cycles went; by construction
+        ``machine_check_cycles > recovery_reload_cycles >
+        correction_cycles``.
+        """
+        return {
+            "ecc_checks": rstats.checks * self.ecc_check_cycles,
+            "corrections": rstats.corrected * self.correction_cycles,
+            "reread_recoveries": rstats.reread_recoveries
+            * self.correction_cycles,
+            "reload_recoveries": rstats.reload_recoveries
+            * self.recovery_reload_cycles,
+            "machine_checks": rstats.machine_checks
+            * self.machine_check_cycles,
+        }
+
+    def resilience_cycles(self, rstats) -> float:
+        """Total cycles spent detecting and recovering from faults."""
+        return sum(self.resilience_event_costs(rstats).values())
+
+    def total_cycles(self, stats: RegFileStats, rstats=None) -> float:
+        total = self.base_cycles(stats) + self.traffic_cycles(stats)
+        if rstats is not None:
+            total += self.resilience_cycles(rstats)
+        return total
+
+    def overhead_fraction(self, stats: RegFileStats, rstats=None) -> float:
+        """Spill/reload overhead as a fraction of execution time (Fig 14).
+
+        With ``rstats`` the fraction also includes ECC checking and
+        recovery cycles, so protected and unprotected runs compare on
+        the same axis.
+        """
+        total = self.total_cycles(stats, rstats)
         if total == 0:
             return 0.0
-        return self.traffic_cycles(stats) / total
+        overhead = self.traffic_cycles(stats)
+        if rstats is not None:
+            overhead += self.resilience_cycles(rstats)
+        return overhead / total
 
 
 #: The NSF reloads single registers from the data cache on demand; read

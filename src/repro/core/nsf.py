@@ -95,6 +95,9 @@ class NamedStateRegisterFile(RegisterFile):
         self._policy = make_policy(policy, seed=policy_seed)
         self._context_lines = {}
         self._active = 0
+        #: physical lines taken out of service after hard faults; the
+        #: fully-associative file keeps running at reduced capacity
+        self._retired = set()
 
     # -- introspection -------------------------------------------------------
 
@@ -117,6 +120,20 @@ class NamedStateRegisterFile(RegisterFile):
         """Number of lines currently bound in the decoder."""
         return len(self._cam)
 
+    def line_index_of(self, cid, offset):
+        """Physical line currently holding ``(cid, offset)``, or None."""
+        return self._cam.get((cid, offset // self.line_size))
+
+    def retired_line_count(self):
+        return len(self._retired)
+
+    def retired_register_count(self):
+        return len(self._retired) * self.line_size
+
+    def serviceable_registers(self):
+        """Registers still in service after hard-fault retirements."""
+        return self.num_registers - self.retired_register_count()
+
     # -- context lifecycle -----------------------------------------------------
 
     def _on_end_context(self, cid):
@@ -126,7 +143,7 @@ class NamedStateRegisterFile(RegisterFile):
             del self._cam[line.tag]
             self._policy.remove(index)
             line.clear()
-            self._free.append(index)
+            self._release(index)
 
     # -- operand access ----------------------------------------------------------
 
@@ -196,6 +213,77 @@ class NamedStateRegisterFile(RegisterFile):
             if not self._context_lines[cid]:
                 del self._context_lines[cid]
             line.clear()
+            self._release(index)
+
+    # -- resilience hooks ----------------------------------------------------
+
+    def invalidate(self, cid, offset):
+        """Drop a register's *resident* copy, keeping any memory copy.
+
+        Unlike :meth:`free_register` this does not discard the backing
+        store entry: the next read demand-reloads through the normal
+        miss path.  Used by the resilience layer to recover a detected
+        corruption whose memory copy is known clean.
+        """
+        tag = (cid, offset // self.line_size)
+        slot = offset % self.line_size
+        index = self._cam.get(tag)
+        if index is None:
+            return
+        line = self._lines[index]
+        if line.valid[slot]:
+            line.valid[slot] = False
+            line.pending[slot] = False
+            line.values[slot] = None
+            line.valid_count -= 1
+            self._active -= 1
+
+    def recover_register(self, cid, offset):
+        """Recover a corrupted register from its clean memory copy.
+
+        The NSF recovers for free through its existing miss machinery:
+        invalidate the slot, then demand-reload exactly one register.
+        Returns ``(value, AccessResult)``; the traffic is recorded like
+        any other miss so cost models price the recovery.
+        """
+        self.invalidate(cid, offset)
+        return self.read(offset, cid=cid)
+
+    def retire_line(self, index):
+        """Take one physical line out of service (hard-fault degradation).
+
+        The fully-associative file just loses one line of capacity; any
+        resident registers are spilled first so no data is lost.  Raises
+        :class:`CapacityError` rather than retiring the last line.
+        """
+        if not 0 <= index < self.num_lines:
+            raise ValueError(f"no line {index} in a {self.num_lines}-line file")
+        if index in self._retired:
+            return
+        if self.num_lines - len(self._retired) <= 1:
+            raise CapacityError(
+                "cannot retire the last serviceable line of the file"
+            )
+        line = self._lines[index]
+        if line.tag is not None:
+            self._evict(index, AccessResult(kind="retire"))
+        elif index in self._free:
+            self._free.remove(index)
+        self._retired.add(index)
+        self.stats.lines_retired += 1
+        self.stats.capacity = self.serviceable_registers()
+
+    def retire_containing(self, cid, offset):
+        """Retire the line currently holding ``(cid, offset)``; returns
+        the retired physical index, or ``None`` if not resident."""
+        index = self.line_index_of(cid, offset)
+        if index is not None:
+            self.retire_line(index)
+        return index
+
+    def _release(self, index):
+        """Return a line to the free pool unless it has been retired."""
+        if index not in self._retired:
             self._free.append(index)
 
     # -- allocation / spill / reload machinery ------------------------------------
@@ -233,7 +321,7 @@ class NamedStateRegisterFile(RegisterFile):
             # Reclassify the traffic as background work.
             self.stats.registers_spilled -= moved
             self.stats.background_registers_spilled += moved
-            self._free.append(index)
+            self._release(index)
 
     def _evict(self, index, result):
         """Spill a victim line's valid registers to its save area."""

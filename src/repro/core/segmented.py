@@ -23,6 +23,7 @@ series at once.
 
 from repro.core.base import RegisterFile
 from repro.core.policies import make_policy
+from repro.core.stats import AccessResult
 from repro.errors import CapacityError, ReadBeforeWriteError
 
 
@@ -74,6 +75,10 @@ class SegmentedRegisterFile(RegisterFile):
         #: reload traffic when re-installed (window-underflow semantics);
         #: a brand-new activation's frame has nothing to fetch.
         self._ever_spilled = set()
+        #: frames taken out of service after hard faults; the segmented
+        #: file loses a whole frame of capacity per fault (contrast with
+        #: the NSF, which retires a single small line)
+        self._retired = set()
 
     # -- introspection -------------------------------------------------------
 
@@ -92,6 +97,25 @@ class SegmentedRegisterFile(RegisterFile):
             return False
         return self._frames[index].valid[offset]
 
+    def line_index_of(self, cid, offset):
+        """Physical frame currently holding ``cid`` (offset-independent).
+
+        Named for API parity with the NSF: the segmented file's decoder
+        granularity *is* the frame, which is exactly why a hard fault
+        costs it a whole frame.
+        """
+        return self._resident.get(cid)
+
+    def retired_frame_count(self):
+        return len(self._retired)
+
+    def retired_register_count(self):
+        return len(self._retired) * self.frame_size
+
+    def serviceable_registers(self):
+        """Registers still in service after hard-fault retirements."""
+        return self.num_registers - self.retired_register_count()
+
     # -- context lifecycle ------------------------------------------------------
 
     def _on_end_context(self, cid):
@@ -102,7 +126,7 @@ class SegmentedRegisterFile(RegisterFile):
             self._active -= frame.valid_count
             self._policy.remove(index)
             frame.clear()
-            self._free.append(index)
+            self._release(index)
 
     def _on_switch(self, cid, result):
         if cid in self._resident:
@@ -144,6 +168,91 @@ class SegmentedRegisterFile(RegisterFile):
             frame.values[offset] = None
             frame.valid_count -= 1
             self._active -= 1
+
+    # -- resilience hooks ----------------------------------------------------
+
+    def invalidate(self, cid, offset):
+        """Drop one register's resident copy, keeping any memory copy."""
+        index = self._resident.get(cid)
+        if index is None:
+            return
+        frame = self._frames[index]
+        if frame.valid[offset]:
+            frame.valid[offset] = False
+            frame.pending[offset] = False
+            frame.values[offset] = None
+            frame.valid_count -= 1
+            self._active -= 1
+
+    def recover_register(self, cid, offset):
+        """Recover a corrupted register from its clean memory copy.
+
+        The segmented file has no per-register miss path: its transfer
+        engine moves frames.  Recovery therefore re-fetches through the
+        frame engine and is charged at frame granularity in ``"frame"``
+        spill mode — one measurable cost of coarse-grain organization.
+        Returns ``(value, AccessResult)``.
+        """
+        self.invalidate(cid, offset)
+        result = AccessResult(kind="read", hit=False)
+        self.stats.reads += 1
+        self.stats.read_misses += 1
+        value = self.backing.reload(cid, offset)
+        index = self._resident.get(cid)
+        if index is not None:
+            frame = self._frames[index]
+            frame.values[offset] = value
+            frame.valid[offset] = True
+            frame.valid_count += 1
+            self._active += 1
+        moved = self.frame_size if self.spill_mode == "frame" else 1
+        self.stats.registers_reloaded += moved
+        self.stats.live_registers_reloaded += 1
+        self.stats.lines_reloaded += 1
+        result.reloaded += moved
+        result.lines_reloaded += 1
+        self._note_moved_in(result, cid, offset)
+        return value, result
+
+    def retire_frame(self, index):
+        """Take one frame out of service (hard-fault degradation).
+
+        Where the NSF loses a single line, the segmented file must
+        retire the whole frame — its decoder cannot address around a
+        faulty cell.  Raises :class:`CapacityError` rather than retiring
+        the last frame.
+        """
+        if not 0 <= index < self.num_frames:
+            raise ValueError(
+                f"no frame {index} in a {self.num_frames}-frame file"
+            )
+        if index in self._retired:
+            return
+        if self.num_frames - len(self._retired) <= 1:
+            raise CapacityError(
+                "cannot retire the last serviceable frame of the file"
+            )
+        frame = self._frames[index]
+        if frame.cid is not None:
+            self._evict(index, AccessResult(kind="retire"))
+        elif index in self._free:
+            self._free.remove(index)
+        self._retired.add(index)
+        self.stats.lines_retired += 1
+        self.stats.capacity = self.serviceable_registers()
+
+    def retire_containing(self, cid, offset):
+        """Retire the frame currently holding ``cid``; returns the
+        retired physical index, or ``None`` if not resident."""
+        index = self._resident.get(cid)
+        if index is not None:
+            self.retire_frame(index)
+        return index
+
+    def _release(self, index):
+        """Return a frame to the free pool unless it has been retired."""
+        if index not in self._retired:
+            self._free.append(index)
 
     # -- frame machinery ----------------------------------------------------------
 

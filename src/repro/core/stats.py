@@ -48,6 +48,9 @@ class RegFileStats:
     #: registers spilled proactively by the dribble-back extension
     #: (moved in the background, off the critical path)
     background_registers_spilled: int = 0
+    #: lines (NSF) or frames (segmented) permanently retired after hard
+    #: faults — the file keeps running at reduced capacity
+    lines_retired: int = 0
 
     # -- context events -----------------------------------------------------
     contexts_created: int = 0

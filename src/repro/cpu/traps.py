@@ -79,3 +79,51 @@ class SoftwareTrapUnit:
     @property
     def overhead_instructions(self):
         return self.stats.instructions
+
+
+@dataclass
+class MachineCheckStats:
+    """What the machine-check handler executed."""
+
+    traps: int = 0
+    instructions: int = 0
+    cycles: int = 0
+
+
+class MachineCheckTrapUnit:
+    """Executes the machine-check trap for dirty uncorrectable errors.
+
+    The resilience layer's recovery ladder escalates here only when a
+    register is corrupted beyond SEC-DED *and* has no clean backing
+    copy: the handler flushes the pipeline, reads the machine-check
+    status registers, and hands the fault to software (which must
+    restart the activation — the error itself still propagates as
+    :class:`repro.errors.MachineCheckError`).
+
+    Constructed with a CPU, it issues real handler instructions on it,
+    like :class:`SoftwareTrapUnit`; without one it accounts the cycles
+    analytically, which is what the campaign harness needs.
+    """
+
+    #: pipeline flush + save PSW + read MC status/address registers
+    ENTRY_INSTRUCTIONS = 14
+    #: log the event, mark the activation for restart, restore, return
+    EXIT_INSTRUCTIONS = 10
+
+    def __init__(self, cpu=None):
+        self.cpu = cpu
+        self.stats = MachineCheckStats()
+        #: the errors handled, newest last (post-mortem inspection)
+        self.log = []
+
+    def handle(self, error):
+        """Run the handler for one machine check; charges the CPU."""
+        self.stats.traps += 1
+        self.log.append(error)
+        count = self.ENTRY_INSTRUCTIONS + self.EXIT_INSTRUCTIONS
+        self.stats.instructions += count
+        self.stats.cycles += count
+        if self.cpu is not None:
+            self.cpu.instructions += count
+            self.cpu.cycles += count
+            self.cpu.regfile.tick(count)

@@ -59,6 +59,44 @@ class CapacityError(RegisterFileError):
     """A configuration cannot hold even a single context or line."""
 
 
+class MachineCheckError(RegisterFileError):
+    """An uncorrectable register error on *dirty* data: no clean copy
+    exists anywhere, so the hardware raises a machine-check trap and
+    software must recover (restart the activation, kill the thread...).
+
+    Clean-register errors never reach this point — the resilience layer
+    recovers them by invalidating the line and demand-reloading from the
+    backing store.
+    """
+
+    def __init__(self, cid, offset, observed=None, detail=""):
+        message = (
+            f"uncorrectable error in register r{offset} of context "
+            f"{cid!r} with no clean backing copy"
+        )
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+        self.cid = cid
+        self.offset = offset
+        self.observed = observed
+        self.detail = detail
+
+
+class BackingStoreFaultError(RegisterFileError):
+    """A backing-store access kept failing after bounded retries."""
+
+    def __init__(self, op, cid, offset, attempts):
+        super().__init__(
+            f"backing-store {op} of (cid={cid!r}, r{offset}) still "
+            f"failing after {attempts} attempts"
+        )
+        self.op = op
+        self.cid = cid
+        self.offset = offset
+        self.attempts = attempts
+
+
 class AssemblerError(ReproError):
     """Raised for malformed assembly input."""
 
@@ -88,4 +126,19 @@ class RuntimeModelError(ReproError):
 
 
 class DeadlockError(RuntimeModelError):
-    """The thread scheduler found runnable work impossible to make progress."""
+    """The thread scheduler found runnable work impossible to make progress.
+
+    ``wait_graph`` maps each stuck thread's name to a description of
+    what it is blocked on, so post-mortems see the cycle, not just a
+    count.
+    """
+
+    def __init__(self, message, wait_graph=None):
+        if wait_graph:
+            lines = "; ".join(
+                f"{thread} -> {waiting_on}"
+                for thread, waiting_on in sorted(wait_graph.items())
+            )
+            message = f"{message} [wait graph: {lines}]"
+        super().__init__(message)
+        self.wait_graph = wait_graph or {}

@@ -13,6 +13,7 @@ from repro.evalx import (
     fig13,
     fig14,
     profile,
+    resilience,
     table1,
 )
 from repro.evalx.tables import ExperimentTable
@@ -32,6 +33,7 @@ EXPERIMENTS = {
     "fig14": fig14.run,
     "claims": claims.run,
     "profile": profile.run,
+    "resilience": resilience.run,
 }
 
 

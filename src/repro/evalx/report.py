@@ -1,7 +1,8 @@
 """Run every experiment and render a combined report.
 
-``python -m repro.evalx`` prints all tables; ``--experiment fig10``
-runs one; ``--scale`` trades fidelity for speed.
+``python -m repro.evalx`` prints all tables; ``python -m repro.evalx
+fig10`` (or ``--experiment fig10``) runs one; ``--scale`` trades
+fidelity for speed.
 """
 
 import argparse
@@ -27,6 +28,9 @@ def main(argv=None):
     parser = argparse.ArgumentParser(
         description="Regenerate the paper's tables and figures."
     )
+    parser.add_argument("name", nargs="?", choices=sorted(EXPERIMENTS),
+                        metavar="experiment",
+                        help="run a single experiment (positional form)")
     parser.add_argument("--experiment", choices=sorted(EXPERIMENTS),
                         help="run a single experiment")
     parser.add_argument("--scale", type=float, default=1.0,
@@ -41,6 +45,11 @@ def main(argv=None):
     parser.add_argument("--check-goldens", action="store_true",
                         help="verify results match the locked goldens")
     args = parser.parse_args(argv)
+    if args.name:
+        if args.experiment and args.experiment != args.name:
+            parser.error("give the experiment either positionally or via "
+                         "--experiment, not both")
+        args.experiment = args.name
 
     import sys
     if args.write_goldens:

@@ -32,10 +32,16 @@ class ThreadMachine(Machine):
     SYNC_COST = 1
 
     def __init__(self, regfile, context_size=None, remote_latency=100,
-                 verify_values=True, cid_bits=None, eager_switch=False):
+                 verify_values=True, cid_bits=None, eager_switch=False,
+                 watchdog_cycles=None):
         super().__init__(regfile, verify_values=verify_values)
         self.context_size = context_size or regfile.context_size
         self.remote_latency = remote_latency
+        #: robustness watchdog: when set, a run exceeding this many
+        #: cycles is aborted with a DeadlockError carrying the thread
+        #: wait-graph (livelocks and runaway guests die loudly instead
+        #: of spinning forever)
+        self.watchdog_cycles = watchdog_cycles
         #: block multithreading (False, the paper's focus) runs a thread
         #: until it really stalls; eager switching (True) rotates to the
         #: next ready thread at *every* synchronization point, modeling
@@ -49,6 +55,7 @@ class ThreadMachine(Machine):
         self._ready = deque()
         self._sleeping = []
         self._sleep_seq = itertools.count()
+        self._blocked = {}
         self._live = 0
         self.idle_cycles = 0
         self.threads_spawned = 0
@@ -104,6 +111,14 @@ class ThreadMachine(Machine):
         futures nobody will resolve.
         """
         while self._live:
+            if (self.watchdog_cycles is not None
+                    and self.cycles > self.watchdog_cycles):
+                raise DeadlockError(
+                    f"watchdog expired: {self._live} thread(s) still "
+                    f"live after {self.cycles} cycles "
+                    f"(limit {self.watchdog_cycles})",
+                    wait_graph=self.wait_graph(),
+                )
             thread = self._next_ready()
             if thread is None:
                 self._diagnose_deadlock()
@@ -160,6 +175,7 @@ class ThreadMachine(Machine):
                 self._instr(self.SYNC_COST)
                 future.waiters.append(thread)
                 thread.state = Thread.BLOCKED
+                self._blocked[thread] = future
                 return
             # Remote access: park until the reply arrives.
             wake_at = self.cycles + stall.latency
@@ -206,18 +222,47 @@ class ThreadMachine(Machine):
         if owner is not self:
             owner._receive_wake(thread, value, sender_cycles=self.cycles)
             return
+        self._blocked.pop(thread, None)
         thread.pending_value = value
         thread.state = Thread.READY
         self._ready.append(thread)
 
     def _receive_wake(self, thread, value, sender_cycles):
         """Default single-node behaviour: deliver immediately."""
+        self._blocked.pop(thread, None)
         thread.pending_value = value
         thread.state = Thread.READY
         self._ready.append(thread)
 
+    def wait_graph(self):
+        """Who is stuck on what: ``{thread: description}``.
+
+        Each blocked thread maps to the future it is waiting on plus the
+        other threads parked on the same future — the raw material of a
+        deadlock post-mortem.
+        """
+        def label(thread):
+            return f"{thread.name}#{thread.tid}"
+
+        graph = {}
+        for thread, future in self._blocked.items():
+            peers = sorted(
+                label(waiter) for waiter in future.waiters
+                if waiter is not thread
+            )
+            description = f"waiting on {future!r}"
+            if peers:
+                description += f" alongside {', '.join(peers)}"
+            graph[label(thread)] = description
+        for _wake_at, _seq, thread in self._sleeping:
+            graph[label(thread)] = (
+                f"sleeping until cycle {_wake_at} (remote access)"
+            )
+        return graph
+
     def _diagnose_deadlock(self):
         raise DeadlockError(
             f"{self._live} thread(s) blocked on futures that no runnable "
-            "thread can resolve"
+            "thread can resolve",
+            wait_graph=self.wait_graph(),
         )
