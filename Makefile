@@ -2,39 +2,44 @@
 
 PYTHON ?= python3
 
-.PHONY: install test faults bench eval charts goldens check-goldens examples all
+.PHONY: install test faults compression bench eval charts goldens check-goldens examples all
 
 install:
 	pip install -e . --no-build-isolation
 
 test: faults
-	$(PYTHON) -m pytest tests/
+	PYTHONPATH=src $(PYTHON) -m pytest tests/
 
 # Fault-injection campaign: asserts zero silent corruption with
 # ECC/parity protection on (and that faults corrupt silently without it).
 faults:
 	PYTHONPATH=src $(PYTHON) -c "from repro.evalx.resilience import main; raise SystemExit(main(['--check']))"
 
+# Spill-path compression sweep: golden check plus the traffic-reduction
+# contract (some codec beats raw on every workload x granularity).
+compression:
+	PYTHONPATH=src $(PYTHON) -c "from repro.evalx.compression import main; raise SystemExit(main(['--check']))"
+
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 eval:
-	$(PYTHON) -m repro.evalx
+	PYTHONPATH=src $(PYTHON) -m repro.evalx
 
 charts:
-	$(PYTHON) -m repro.evalx --experiment fig12 --charts
-	$(PYTHON) -m repro.evalx --experiment fig13 --charts
+	PYTHONPATH=src $(PYTHON) -m repro.evalx --experiment fig12 --charts
+	PYTHONPATH=src $(PYTHON) -m repro.evalx --experiment fig13 --charts
 
 goldens:
-	$(PYTHON) -m repro.evalx --write-goldens
+	PYTHONPATH=src $(PYTHON) -m repro.evalx --write-goldens
 
 check-goldens:
-	$(PYTHON) -m repro.evalx --check-goldens
+	PYTHONPATH=src $(PYTHON) -m repro.evalx --check-goldens
 
 examples:
 	@for f in examples/*.py; do \
 		echo "== $$f =="; \
-		$(PYTHON) $$f > /dev/null || exit 1; \
+		PYTHONPATH=src $(PYTHON) $$f > /dev/null || exit 1; \
 	done; echo "all examples ran clean"
 
 all: test bench check-goldens examples

@@ -1,0 +1,43 @@
+"""Compression: spill-path codec sweep shape and traffic reduction."""
+
+from conftest import run_table
+
+from repro.evalx.compression import assert_compression_contract
+
+
+def test_compression_sweep(benchmark, record_table):
+    table = run_table(benchmark, "compression")
+    record_table(table, "compression")
+    print()
+    print(table.render())
+
+    assert_compression_contract(table)
+
+    model = table.headers.index("Model")
+    codec = table.headers.index("Codec")
+    raw_b = table.headers.index("Raw spill B")
+    wire_b = table.headers.index("Wire spill B")
+    workload = table.headers.index("Workload")
+
+    def ratio(rows):
+        raw = sum(r[raw_b] for r in rows)
+        wire = sum(r[wire_b] for r in rows)
+        return raw / wire if wire else 1.0
+
+    for wl in {r[workload] for r in table.rows}:
+        rows = [r for r in table.rows if r[workload] == wl]
+
+        # Whole-frame spills ship dead slots, so zero-elision strips
+        # strictly more from seg-frame than from seg-live traffic.
+        zero_frame = ratio([r for r in rows if r[model] == "seg-frame"
+                            and r[codec] == "zero"])
+        zero_live = ratio([r for r in rows if r[model] == "seg-live"
+                           and r[codec] == "zero"])
+        assert zero_frame > zero_live, wl
+
+        # Narrow-value packing is the workhorse: it wins on every
+        # granularity, including one-register NSF lines.
+        for m in {r[model] for r in rows}:
+            narrow = [r for r in rows
+                      if r[model] == m and r[codec] == "narrow"]
+            assert ratio(narrow) > 1.0, (wl, m)

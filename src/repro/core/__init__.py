@@ -17,10 +17,30 @@ Public API
   recovery ladder (correct, reread, demand-reload, machine check,
   line retirement); :class:`RetryingBackingStore` — bounded retry for
   transient backing-store faults
+* :mod:`repro.core.compress` — the compressed spill path: register
+  value codecs (zero-elision, narrow, base+delta, dictionary),
+  :class:`CompressedSpillPort` and :class:`CompressingBackingStore`
+  for bytes-level spill-traffic accounting
 """
 
 from repro.core.backing import BackingStore, Ctable
 from repro.core.base import RegisterFile
+from repro.core.compress import (
+    CODEC_NAMES,
+    CODECS,
+    BaseDeltaCodec,
+    CodecStats,
+    CompressedBlock,
+    CompressedSpillPort,
+    CompressingBackingStore,
+    DictionaryCodec,
+    NarrowValueCodec,
+    RawCodec,
+    SpillCodec,
+    ZeroElisionCodec,
+    compress_spills,
+    make_codec,
+)
 from repro.core.costs import (
     NSF_COSTS,
     SEGMENT_HW_COSTS,
@@ -45,21 +65,31 @@ from repro.core.policies import (
     make_policy,
 )
 from repro.core.segmented import ConventionalRegisterFile, SegmentedRegisterFile
-from repro.core.stats import AccessResult, RegFileStats
+from repro.core.stats import AccessResult, RegFileStats, TransferRecord
 
 __all__ = [
     "AccessResult",
     "BackingStore",
+    "BaseDeltaCodec",
+    "CODECS",
+    "CODEC_NAMES",
+    "CodecStats",
+    "CompressedBlock",
+    "CompressedSpillPort",
+    "CompressingBackingStore",
     "ConventionalRegisterFile",
     "CostModel",
     "Ctable",
+    "DictionaryCodec",
     "FIFOPolicy",
     "LRUPolicy",
     "NSF_COSTS",
     "NamedStateRegisterFile",
+    "NarrowValueCodec",
     "PROTECTION_LEVELS",
     "ProtectedRegisterFile",
     "RandomPolicy",
+    "RawCodec",
     "RegFileStats",
     "RegisterFile",
     "ResilienceStats",
@@ -67,7 +97,12 @@ __all__ = [
     "SEGMENT_HW_COSTS",
     "SEGMENT_SW_COSTS",
     "SegmentedRegisterFile",
+    "SpillCodec",
+    "TransferRecord",
     "VictimPolicy",
+    "ZeroElisionCodec",
+    "compress_spills",
+    "make_codec",
     "make_policy",
     "secded_check",
     "secded_encode",

@@ -12,6 +12,7 @@ functionally incorrect spill/reload path corrupts benchmark output and
 is caught by the test suite.
 """
 
+from repro.core.stats import TransferRecord
 from repro.errors import UnknownContextError
 
 
@@ -88,6 +89,40 @@ class BackingStore:
         value = self._values[(cid, offset)]
         self.words_loaded += 1
         return value
+
+    # -- unit-granular transfers ------------------------------------------
+
+    def spill_unit(self, cid, pairs, dead_words=0):
+        """Spill one architectural transfer unit (an NSF line's live
+        registers, a segmented frame) and account its wire size.
+
+        ``pairs`` are the live ``(offset, value)`` registers to store;
+        ``dead_words`` counts the unit's invalid slots that still cross
+        the wire at frame/line granularity (don't-care words).  Returns
+        a :class:`~repro.core.stats.TransferRecord`; the plain store
+        moves every word at full width, so ``wire_bytes == raw_bytes``
+        — :class:`repro.core.compress.CompressingBackingStore` narrows
+        the wire figure.
+        """
+        for offset, value in pairs:
+            self.spill(cid, offset, value)
+        words = len(pairs) + dead_words
+        size = words * self.word_bytes
+        return TransferRecord(codec="raw", words=words, raw_bytes=size,
+                              wire_bytes=size)
+
+    def reload_unit(self, cid, offsets, dead_words=0):
+        """Reload one transfer unit; returns ``(values, record)``.
+
+        ``offsets`` are the memory-resident registers to fetch (in slot
+        order); ``dead_words`` pads the wire unit exactly as in
+        :meth:`spill_unit`.
+        """
+        values = [self.reload(cid, offset) for offset in offsets]
+        words = len(offsets) + dead_words
+        size = words * self.word_bytes
+        return values, TransferRecord(codec="raw", words=words,
+                                      raw_bytes=size, wire_bytes=size)
 
     def peek(self, cid, offset):
         """Inspect a saved register without counting a memory load.

@@ -1,0 +1,532 @@
+"""Compressed spill path: register-value codecs on the way to memory.
+
+The paper's traffic figures (Figs 10 and 12) count *registers* moved;
+every spilled word is implicitly a full-width wire transfer.  Register
+values, though, are highly compressible — most are narrow integers,
+zeros, small pointers offset from a common base, or members of a tiny
+frequent-value set (Angerd et al., *A GPU Register File using Static
+Data Compression*; Sadrosadati et al. on SW/HW-cooperative spill
+paths).  This module adds the missing axis: how many **bytes** actually
+cross the spill port, per codec, per spill granularity.
+
+The unit of compression is the architectural *transfer unit* — an NSF
+line's live registers (plus its dead slots when the line strategy ships
+them) or a segmented file's whole frame.  The two organizations feed
+very different units to the same codec: NSF lines are short and mostly
+live; segmented frames are long and padded with dead registers, which
+compress to almost nothing.  That asymmetry is exactly what the
+``compression`` experiment measures.
+
+Codecs
+------
+``raw``
+    identity: every word ships at full width (the baseline wire).
+``zero``
+    zero-elision: a one-bit-per-word mask, then only nonzero words.
+``narrow``
+    significance packing: the unit ships at the width of its widest
+    value (zigzag-coded so small negatives stay narrow).
+``basedelta``
+    intra-unit base+delta: first word at full width, the rest as
+    narrow deltas from it (pointer-heavy frames collapse well).
+``dict``
+    frequent-value dictionary: words matching a small fixed table ship
+    as 4-bit indices, everything else at full width plus a flag bit.
+
+Every non-identity codec carries a one-bit mode header and falls back
+to the raw payload when packing would expand the unit, so on-wire size
+is bounded by ``raw + 1 bit`` per unit.  Dead (``None``) slots ship for
+free under every non-identity codec: the valid mask that travels with
+a transfer in the live-tracking baselines already identifies them.
+Values outside the 32-bit word domain (floats, tuples, bools, huge
+ints — the simulation stores Python objects in registers) escape at
+full word width.
+
+The in-word integer path genuinely bit-packs and unpacks, so the
+round-trip tests exercise real encode/decode logic, not bookkeeping.
+
+Wiring
+------
+:class:`CompressedSpillPort` is the engine: it compresses each unit,
+verifies the round-trip (raising
+:class:`repro.errors.CompressionIntegrityError` on any mismatch), and
+keeps per-codec :class:`CodecStats`.  A port measures one *primary*
+codec — whose on-wire bytes feed the model's
+:class:`~repro.core.stats.RegFileStats` — plus any number of *shadow*
+codecs measured broadside on the same traffic, the same
+one-simulation-many-counts trick the repo uses for Fig 13.
+
+:class:`CompressingBackingStore` wraps any
+:class:`~repro.core.backing.BackingStore` and routes the unit-transfer
+API (``spill_unit`` / ``reload_unit``) through a port; word-granular
+access passes through untouched.  :func:`compress_spills` attaches one
+to an existing model in place.
+"""
+
+from dataclasses import dataclass, fields
+
+from repro.core.backing import BackingStore
+from repro.core.stats import TransferRecord
+from repro.errors import CompressionIntegrityError
+
+#: architectural word width on the spill wire (matches the 4-byte
+#: ``BackingStore.word_bytes`` default)
+WORD_BITS = 32
+_WORD_MIN = -(1 << 31)
+_WORD_MAX = (1 << 31) - 1
+_U32 = (1 << 32) - 1
+
+
+def _is_word(value):
+    """True when ``value`` is a plain int in the 32-bit word domain."""
+    return (isinstance(value, int) and not isinstance(value, bool)
+            and _WORD_MIN <= value <= _WORD_MAX)
+
+
+def _to_u32(value):
+    return value & _U32
+
+
+def _from_u32(u):
+    return u - (1 << 32) if u & (1 << 31) else u
+
+
+def _zigzag(value):
+    """Map signed ints to unsigned so small negatives stay narrow."""
+    return (value << 1) if value >= 0 else ((-value << 1) - 1)
+
+
+def _unzigzag(z):
+    return (z >> 1) if not (z & 1) else -((z + 1) >> 1)
+
+
+@dataclass(frozen=True)
+class CompressedBlock:
+    """One transfer unit after encoding.
+
+    ``wire_bits`` is the honest on-wire size including every header the
+    codec needs; ``state`` is the codec's decode state (bit-packed
+    integers plus any escaped literals).
+    """
+
+    codec: str
+    mode: str   # "packed" | "raw" (fallback or identity)
+    count: int  # words in the unit, dead slots included
+    raw_bits: int
+    wire_bits: int
+    state: tuple
+
+    @property
+    def raw_bytes(self):
+        return (self.raw_bits + 7) // 8
+
+    @property
+    def wire_bytes(self):
+        return (self.wire_bits + 7) // 8
+
+    @property
+    def ratio(self):
+        """Compression ratio (>1 means the codec shrank the unit)."""
+        if self.wire_bytes == 0:
+            return 1.0
+        return self.raw_bytes / self.wire_bytes
+
+
+class SpillCodec:
+    """Base codec: shared unit framing plus the raw fallback.
+
+    Subclasses implement ``_encode_words`` / ``_decode_words`` over the
+    unit's in-word integers only; the base class strips dead (``None``)
+    slots, escapes out-of-domain values at full width, and falls back to
+    the raw payload whenever packing would not win.
+    """
+
+    name = "abstract"
+
+    def compress(self, values):
+        values = list(values)
+        n = len(values)
+        raw_bits = n * WORD_BITS
+        if n == 0:
+            return CompressedBlock(self.name, "raw", 0, 0, 0, ())
+        dead = tuple(i for i, v in enumerate(values) if v is None)
+        escapes = tuple((i, v) for i, v in enumerate(values)
+                        if v is not None and not _is_word(v))
+        words = [v for v in values if _is_word(v)]
+        encoded = self._encode_words(words)
+        fallback_bits = raw_bits + 1  # mode bit + full-width unit
+        candidate = None
+        if encoded is not None:
+            payload_bits, word_state = encoded
+            live = n - len(dead)
+            # mode bit + has-escapes flag + escape mask (only when some
+            # live word escaped) + escaped literals at word width
+            candidate = (2 + (live if escapes else 0)
+                         + WORD_BITS * len(escapes) + payload_bits)
+        if candidate is None or candidate >= fallback_bits:
+            return CompressedBlock(self.name, "raw", n, raw_bits,
+                                   fallback_bits, tuple(values))
+        state = (dead, tuple(i for i, _ in escapes),
+                 tuple(v for _, v in escapes), word_state)
+        return CompressedBlock(self.name, "packed", n, raw_bits,
+                               candidate, state)
+
+    def decompress(self, block):
+        if block.mode == "raw":
+            return list(block.state)
+        dead, esc_pos, esc_vals, word_state = block.state
+        skip = set(dead) | set(esc_pos)
+        words = self._decode_words(word_state, block.count - len(skip))
+        out = [None] * block.count
+        for i, v in zip(esc_pos, esc_vals):
+            out[i] = v
+        it = iter(words)
+        for i in range(block.count):
+            if i not in skip:
+                out[i] = next(it)
+        return out
+
+    # -- to implement --------------------------------------------------------
+
+    def _encode_words(self, words):
+        """Return ``(payload_bits, state)`` or ``None`` when inapplicable."""
+        raise NotImplementedError
+
+    def _decode_words(self, state, count):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class RawCodec(SpillCodec):
+    """Identity codec: the uncompressed wire, and the fallback payload."""
+
+    name = "raw"
+
+    def compress(self, values):
+        values = tuple(values)
+        raw_bits = len(values) * WORD_BITS
+        return CompressedBlock(self.name, "raw", len(values), raw_bits,
+                               raw_bits, values)
+
+    def _encode_words(self, words):  # pragma: no cover - raw never packs
+        return None
+
+
+class ZeroElisionCodec(SpillCodec):
+    """One mask bit per word; only nonzero words ship, at full width."""
+
+    name = "zero"
+
+    def _encode_words(self, words):
+        mask = 0
+        packed = 0
+        shipped = 0
+        for i, v in enumerate(words):
+            if v != 0:
+                mask |= 1 << i
+                packed |= _to_u32(v) << (WORD_BITS * shipped)
+                shipped += 1
+        return len(words) + WORD_BITS * shipped, (mask, packed)
+
+    def _decode_words(self, state, count):
+        mask, packed = state
+        out = []
+        shipped = 0
+        for i in range(count):
+            if mask >> i & 1:
+                out.append(_from_u32(packed >> (WORD_BITS * shipped) & _U32))
+                shipped += 1
+            else:
+                out.append(0)
+        return out
+
+
+class NarrowValueCodec(SpillCodec):
+    """Significance packing: the unit ships at its widest value's width."""
+
+    name = "narrow"
+    _WIDTH_FIELD = 6  # enough for widths 0..33
+
+    def _encode_words(self, words):
+        zz = [_zigzag(v) for v in words]
+        width = max((z.bit_length() for z in zz), default=0)
+        packed = 0
+        for i, z in enumerate(zz):
+            packed |= z << (i * width)
+        return self._WIDTH_FIELD + width * len(words), (width, packed)
+
+    def _decode_words(self, state, count):
+        width, packed = state
+        if width == 0:
+            return [0] * count
+        mask = (1 << width) - 1
+        return [_unzigzag(packed >> (i * width) & mask)
+                for i in range(count)]
+
+
+class BaseDeltaCodec(SpillCodec):
+    """Intra-unit base+delta: one full-width base, narrow deltas after."""
+
+    name = "basedelta"
+    _WIDTH_FIELD = 6  # delta widths 0..33
+
+    def _encode_words(self, words):
+        if not words:
+            return None
+        base = words[0]
+        zz = [_zigzag(v - base) for v in words[1:]]
+        width = max((z.bit_length() for z in zz), default=0)
+        packed = 0
+        for i, z in enumerate(zz):
+            packed |= z << (i * width)
+        bits = WORD_BITS + self._WIDTH_FIELD + width * len(zz)
+        return bits, (base, width, packed)
+
+    def _decode_words(self, state, count):
+        base, width, packed = state
+        out = [base]
+        mask = (1 << width) - 1 if width else 0
+        for i in range(count - 1):
+            z = packed >> (i * width) & mask if width else 0
+            out.append(base + _unzigzag(z))
+        return out
+
+
+class DictionaryCodec(SpillCodec):
+    """Frequent-value dictionary: table hits ship as 4-bit indices.
+
+    The table is fixed (zeros, small counters, powers of two, common
+    sentinels) so results are deterministic and the decoder needs no
+    learned state — the static flavour of frequent-value compression.
+    """
+
+    name = "dict"
+    TABLE = (0, 1, 2, 3, 4, 5, 8, 10, 16, 32, 64, 100, 256, 1024, -1, -2)
+    _INDEX = {v: i for i, v in enumerate(TABLE)}
+    _INDEX_BITS = 4
+
+    def _encode_words(self, words):
+        flags = 0
+        packed = 0
+        shift = 0
+        bits = 0
+        for i, v in enumerate(words):
+            index = self._INDEX.get(v)
+            bits += 1
+            if index is not None:
+                flags |= 1 << i
+                packed |= index << shift
+                shift += self._INDEX_BITS
+                bits += self._INDEX_BITS
+            else:
+                packed |= _to_u32(v) << shift
+                shift += WORD_BITS
+                bits += WORD_BITS
+        return bits, (flags, packed)
+
+    def _decode_words(self, state, count):
+        flags, packed = state
+        out = []
+        shift = 0
+        for i in range(count):
+            if flags >> i & 1:
+                out.append(self.TABLE[packed >> shift & 0xF])
+                shift += self._INDEX_BITS
+            else:
+                out.append(_from_u32(packed >> shift & _U32))
+                shift += WORD_BITS
+        return out
+
+
+#: every available codec, identity first
+CODECS = (RawCodec, ZeroElisionCodec, NarrowValueCodec, BaseDeltaCodec,
+          DictionaryCodec)
+CODEC_NAMES = tuple(c.name for c in CODECS)
+_BY_NAME = {c.name: c for c in CODECS}
+
+
+def make_codec(codec):
+    """Instantiate a codec by name (codec instances pass through)."""
+    if isinstance(codec, SpillCodec):
+        return codec
+    try:
+        return _BY_NAME[codec]()
+    except KeyError:
+        raise ValueError(
+            f"unknown codec {codec!r}; expected one of {CODEC_NAMES}"
+        ) from None
+
+
+@dataclass
+class CodecStats:
+    """Byte-level traffic one codec observed on a spill port."""
+
+    spill_units: int = 0
+    reload_units: int = 0
+    words_spilled: int = 0
+    words_reloaded: int = 0
+    raw_spill_bytes: int = 0
+    wire_spill_bytes: int = 0
+    raw_reload_bytes: int = 0
+    wire_reload_bytes: int = 0
+
+    def snapshot(self):
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @property
+    def spill_ratio(self):
+        if self.wire_spill_bytes == 0:
+            return 1.0
+        return self.raw_spill_bytes / self.wire_spill_bytes
+
+    @property
+    def reload_ratio(self):
+        if self.wire_reload_bytes == 0:
+            return 1.0
+        return self.raw_reload_bytes / self.wire_reload_bytes
+
+    @property
+    def total_ratio(self):
+        wire = self.wire_spill_bytes + self.wire_reload_bytes
+        if wire == 0:
+            return 1.0
+        return (self.raw_spill_bytes + self.raw_reload_bytes) / wire
+
+    @property
+    def wire_fraction(self):
+        """On-wire bytes as a fraction of raw bytes (lower is better)."""
+        raw = self.raw_spill_bytes + self.raw_reload_bytes
+        if raw == 0:
+            return 1.0
+        return (self.wire_spill_bytes + self.wire_reload_bytes) / raw
+
+
+class CompressedSpillPort:
+    """The compression engine between a register file and its memory.
+
+    One *primary* codec determines the bytes a wrapped model records in
+    its :class:`~repro.core.stats.RegFileStats`; *shadow* codecs are
+    measured broadside over the identical traffic so one simulation
+    yields every codec's byte counts at once.  Every codec's round trip
+    is verified on every unit unless ``verify`` is off.
+    """
+
+    def __init__(self, codec="narrow", shadow_codecs=(), verify=True):
+        self.codec = make_codec(codec)
+        shadows = []
+        for shadow in shadow_codecs:
+            shadow = make_codec(shadow)
+            if shadow.name != self.codec.name:
+                shadows.append(shadow)
+        self.shadows = tuple(shadows)
+        self.verify = verify
+        self.stats = {c.name: CodecStats()
+                      for c in (self.codec,) + self.shadows}
+
+    @property
+    def codec_names(self):
+        return tuple(self.stats)
+
+    def stats_for(self, codec):
+        """The :class:`CodecStats` of one measured codec, by name."""
+        return self.stats[codec]
+
+    def transmit(self, wire_values, spill=True):
+        """Push one transfer unit through every codec; returns a record.
+
+        ``wire_values`` is the unit as it would cross the wire: live
+        values in slot order, dead slots as ``None``.
+        """
+        wire_values = list(wire_values)
+        primary_block = None
+        for codec in (self.codec,) + self.shadows:
+            block = codec.compress(wire_values)
+            if self.verify:
+                decoded = codec.decompress(block)
+                if decoded != wire_values:
+                    raise CompressionIntegrityError(
+                        codec.name, wire_values, decoded
+                    )
+            stats = self.stats[codec.name]
+            if spill:
+                stats.spill_units += 1
+                stats.words_spilled += block.count
+                stats.raw_spill_bytes += block.raw_bytes
+                stats.wire_spill_bytes += block.wire_bytes
+            else:
+                stats.reload_units += 1
+                stats.words_reloaded += block.count
+                stats.raw_reload_bytes += block.raw_bytes
+                stats.wire_reload_bytes += block.wire_bytes
+            if codec is self.codec:
+                primary_block = block
+        return TransferRecord(
+            codec=self.codec.name,
+            words=primary_block.count,
+            raw_bytes=primary_block.raw_bytes,
+            wire_bytes=primary_block.wire_bytes,
+        )
+
+    def __repr__(self):
+        return (f"<CompressedSpillPort codec={self.codec.name!r} "
+                f"shadows={[c.name for c in self.shadows]}>")
+
+
+class CompressingBackingStore:
+    """Backing-store wrapper that compresses each spill unit on the wire.
+
+    Unit-granular transfers (``spill_unit`` / ``reload_unit``) cross a
+    :class:`CompressedSpillPort`; storage itself stays word-granular —
+    compression lives on the spill *path*, not in memory — so partial
+    reloads, discards and the resilience layer's word-level diagnostics
+    all keep working unchanged.  Everything else forwards to the
+    wrapped store.
+    """
+
+    def __init__(self, inner=None, codec="narrow", shadow_codecs=(),
+                 verify=True, port=None):
+        self.inner = inner if inner is not None else BackingStore()
+        self.port = port if port is not None else CompressedSpillPort(
+            codec, shadow_codecs=shadow_codecs, verify=verify)
+
+    def spill_unit(self, cid, pairs, dead_words=0):
+        for offset, value in pairs:
+            self.inner.spill(cid, offset, value)
+        wire = [value for _, value in pairs] + [None] * dead_words
+        return self.port.transmit(wire, spill=True)
+
+    def reload_unit(self, cid, offsets, dead_words=0):
+        values = [self.inner.reload(cid, offset) for offset in offsets]
+        record = self.port.transmit(values + [None] * dead_words,
+                                    spill=False)
+        return values, record
+
+    # -- drop-in plumbing ----------------------------------------------------
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+    def __len__(self):
+        return len(self.inner)
+
+    def __repr__(self):
+        return (f"<CompressingBackingStore port={self.port!r} "
+                f"inner={self.inner!r}>")
+
+
+def compress_spills(model, codec="narrow", shadow_codecs=(), verify=True):
+    """Route ``model``'s spill path through a compressed port, in place.
+
+    Wraps the model's current backing store (existing contents and
+    Ctable entries stay live inside the wrapper) and returns the
+    :class:`CompressedSpillPort` for stats access.  The primary codec's
+    on-wire bytes flow into ``model.stats``; shadows are measured only
+    on the port.
+    """
+    store = CompressingBackingStore(model.backing, codec=codec,
+                                    shadow_codecs=shadow_codecs,
+                                    verify=verify)
+    model.backing = store
+    return store.port

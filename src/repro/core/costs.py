@@ -16,7 +16,7 @@ A :class:`CostModel` is a pure function of a :class:`RegFileStats`
 snapshot, so one simulation can be priced under several models.
 """
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.stats import RegFileStats
 
@@ -70,6 +70,16 @@ class CostModel:
     #: pipeline flush, trap entry/exit, software recovery
     machine_check_cycles: float = 64.0
 
+    # -- spill-port bandwidth / compression pricing -------------------------
+    #: bytes the spill port moves per cycle (the wire width); the
+    #: byte-level view of the same traffic ``traffic_cycles`` prices
+    #: per-register — compare, don't add, the two accountings
+    spill_port_bytes_per_cycle: float = 4.0
+    #: fixed latency of the compression engine per spilled unit
+    compress_unit_cycles: float = 0.0
+    #: fixed latency of the decompressor per reloaded unit
+    decompress_unit_cycles: float = 0.0
+
     # -- pricing -------------------------------------------------------------
 
     def base_cycles(self, stats: RegFileStats) -> float:
@@ -86,6 +96,48 @@ class CostModel:
             + stats.background_registers_spilled
             * self.background_spill_cycles
         )
+
+    def wire_cycles(self, stats: RegFileStats, compressed=True) -> float:
+        """Cycles the spill port spends moving bytes, plus codec latency.
+
+        With ``compressed=False`` the same traffic is priced at its raw
+        (uncompressed) byte count with no codec latency — the pair
+        quantifies the latency-for-bandwidth trade a spill-path codec
+        makes.
+        """
+        if self.spill_port_bytes_per_cycle <= 0:
+            return 0.0
+        if compressed:
+            moved = stats.wire_bytes_spilled + stats.wire_bytes_reloaded
+            latency = (stats.lines_spilled * self.compress_unit_cycles
+                       + stats.lines_reloaded
+                       * self.decompress_unit_cycles)
+        else:
+            moved = stats.raw_bytes_spilled + stats.raw_bytes_reloaded
+            latency = 0.0
+        return moved / self.spill_port_bytes_per_cycle + latency
+
+    def wire_cycles_saved(self, stats: RegFileStats) -> float:
+        """Net port cycles a codec saves after paying its own latency.
+
+        Negative when (de)compression latency outweighs the bandwidth
+        won — e.g. an incompressible workload or a too-narrow unit.
+        """
+        return (self.wire_cycles(stats, compressed=False)
+                - self.wire_cycles(stats, compressed=True))
+
+    def with_compression(self, compress_unit_cycles=1.0,
+                         decompress_unit_cycles=1.0,
+                         spill_port_bytes_per_cycle=None):
+        """A copy of this pricing with an active compression engine."""
+        kwargs = {
+            "compress_unit_cycles": compress_unit_cycles,
+            "decompress_unit_cycles": decompress_unit_cycles,
+        }
+        if spill_port_bytes_per_cycle is not None:
+            kwargs["spill_port_bytes_per_cycle"] = \
+                spill_port_bytes_per_cycle
+        return replace(self, **kwargs)
 
     def resilience_event_costs(self, rstats) -> dict:
         """Per-event recovery accounting (Fig-14-style breakdown).

@@ -324,18 +324,28 @@ class NamedStateRegisterFile(RegisterFile):
             self._release(index)
 
     def _evict(self, index, result):
-        """Spill a victim line's valid registers to its save area."""
+        """Spill a victim line's valid registers to its save area.
+
+        The line is one transfer unit on the spill wire: under the
+        ``"line"`` strategy its dead slots ship too (as don't-care
+        words), under ``"register"`` only live registers move — the two
+        granularities compress very differently.
+        """
         line = self._lines[index]
         victim_cid, line_no = line.tag
         base_offset = line_no * self.line_size
-        live = 0
+        pairs = []
         for slot in range(self.line_size):
             if line.valid[slot]:
-                self.backing.spill(victim_cid, base_offset + slot,
-                                   line.values[slot])
+                pairs.append((base_offset + slot, line.values[slot]))
                 self._note_moved_out(result, victim_cid,
                                      base_offset + slot)
-                live += 1
+        live = len(pairs)
+        dead = self.line_size - live if self.reload_scope == "line" else 0
+        record = self.backing.spill_unit(victim_cid, pairs,
+                                         dead_words=dead)
+        self.stats.raw_bytes_spilled += record.raw_bytes
+        self.stats.wire_bytes_spilled += record.wire_bytes
         self._active -= line.valid_count
         self.stats.lines_spilled += 1
         self.stats.live_registers_spilled += live
@@ -356,25 +366,30 @@ class NamedStateRegisterFile(RegisterFile):
         line_no = tag[1]
         base_offset = line_no * self.line_size
         if self.reload_scope == "line" or self.fetch_on_write:
-            live = 0
-            for slot in range(self.line_size):
-                offset = base_offset + slot
-                if self.backing.contains(cid, offset):
-                    line.values[slot] = self.backing.reload(cid, offset)
-                    line.valid[slot] = True
-                    line.pending[slot] = True
-                    line.valid_count += 1
-                    self._note_moved_in(result, cid, offset)
-                    live += 1
-            self._active += live
-            if live == 0:
+            offsets = [base_offset + slot
+                       for slot in range(self.line_size)
+                       if self.backing.contains(cid, base_offset + slot)]
+            if not offsets:
                 # A brand-new line (write-allocate of a fresh context):
                 # there is nothing in the save area to fetch, so no
                 # reload traffic happens.
                 return
+            live = len(offsets)
+            values, record = self.backing.reload_unit(
+                cid, offsets, dead_words=self.line_size - live)
+            for offset, value in zip(offsets, values):
+                slot = offset - base_offset
+                line.values[slot] = value
+                line.valid[slot] = True
+                line.pending[slot] = True
+                line.valid_count += 1
+                self._note_moved_in(result, cid, offset)
+            self._active += live
             self.stats.lines_reloaded += 1
             self.stats.registers_reloaded += self.line_size
             self.stats.live_registers_reloaded += live
+            self.stats.raw_bytes_reloaded += record.raw_bytes
+            self.stats.wire_bytes_reloaded += record.wire_bytes
             result.reloaded += self.line_size
             result.lines_reloaded += 1
         else:
@@ -385,7 +400,10 @@ class NamedStateRegisterFile(RegisterFile):
                 self._reload_single(line, cid, miss_offset, slot, result)
 
     def _reload_single(self, line, cid, offset, slot, result):
-        line.values[slot] = self.backing.reload(cid, offset)
+        values, record = self.backing.reload_unit(cid, [offset])
+        line.values[slot] = values[0]
+        self.stats.raw_bytes_reloaded += record.raw_bytes
+        self.stats.wire_bytes_reloaded += record.wire_bytes
         line.valid[slot] = True
         line.pending[slot] = True
         line.valid_count += 1

@@ -338,6 +338,24 @@ class RetryingBackingStore:
         return self._attempt("reload", cid, offset,
                              lambda: self.inner.reload(cid, offset))
 
+    # Unit-granular transfers retry as one port transaction — without
+    # these overrides ``__getattr__`` would hand back the inner store's
+    # bound methods and the fault injection would be bypassed entirely.
+
+    def spill_unit(self, cid, pairs, dead_words=0):
+        first = pairs[0][0] if pairs else -1
+        return self._attempt(
+            "spill", cid, first,
+            lambda: self.inner.spill_unit(cid, pairs,
+                                          dead_words=dead_words))
+
+    def reload_unit(self, cid, offsets, dead_words=0):
+        first = offsets[0] if offsets else -1
+        return self._attempt(
+            "reload", cid, first,
+            lambda: self.inner.reload_unit(cid, offsets,
+                                           dead_words=dead_words))
+
     def _attempt(self, op, cid, offset, thunk):
         for attempt in range(self.max_retries + 1):
             if self.fault_rate and self._rng.random() < self.fault_rate:

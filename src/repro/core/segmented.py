@@ -197,7 +197,12 @@ class SegmentedRegisterFile(RegisterFile):
         result = AccessResult(kind="read", hit=False)
         self.stats.reads += 1
         self.stats.read_misses += 1
-        value = self.backing.reload(cid, offset)
+        dead = self.frame_size - 1 if self.spill_mode == "frame" else 0
+        values, record = self.backing.reload_unit(cid, [offset],
+                                                  dead_words=dead)
+        value = values[0]
+        self.stats.raw_bytes_reloaded += record.raw_bytes
+        self.stats.wire_bytes_reloaded += record.wire_bytes
         index = self._resident.get(cid)
         if index is not None:
             frame = self._frames[index]
@@ -286,12 +291,19 @@ class SegmentedRegisterFile(RegisterFile):
     def _evict(self, index, result):
         frame = self._frames[index]
         victim = frame.cid
-        live = 0
+        pairs = []
         for offset in range(self.frame_size):
             if frame.valid[offset]:
-                self.backing.spill(victim, offset, frame.values[offset])
+                pairs.append((offset, frame.values[offset]))
                 self._note_moved_out(result, victim, offset)
-                live += 1
+        live = len(pairs)
+        # The frame is one transfer unit: in "frame" mode its dead
+        # slots cross the wire as don't-care words (which a spill-path
+        # codec elides almost for free).
+        dead = self.frame_size - live if self.spill_mode == "frame" else 0
+        record = self.backing.spill_unit(victim, pairs, dead_words=dead)
+        self.stats.raw_bytes_spilled += record.raw_bytes
+        self.stats.wire_bytes_spilled += record.wire_bytes
         self._active -= frame.valid_count
         moved = self.frame_size if self.spill_mode == "frame" else live
         self.stats.registers_spilled += moved
@@ -317,15 +329,20 @@ class SegmentedRegisterFile(RegisterFile):
         """
         if cid not in self._ever_spilled:
             return
-        live = 0
-        for offset in self.backing.backed_offsets(cid):
-            frame.values[offset] = self.backing.reload(cid, offset)
+        offsets = self.backing.backed_offsets(cid)
+        live = len(offsets)
+        dead = self.frame_size - live if self.spill_mode == "frame" else 0
+        values, record = self.backing.reload_unit(cid, offsets,
+                                                  dead_words=dead)
+        for offset, value in zip(offsets, values):
+            frame.values[offset] = value
             frame.valid[offset] = True
             frame.pending[offset] = True
             frame.valid_count += 1
             self._note_moved_in(result, cid, offset)
-            live += 1
         self._active += live
+        self.stats.raw_bytes_reloaded += record.raw_bytes
+        self.stats.wire_bytes_reloaded += record.wire_bytes
         moved = self.frame_size if self.spill_mode == "frame" else live
         self.stats.registers_reloaded += moved
         self.stats.live_registers_reloaded += live

@@ -14,6 +14,28 @@ paper ("average fraction of active registers").
 from dataclasses import dataclass, field, fields
 
 
+@dataclass(frozen=True)
+class TransferRecord:
+    """One spill-unit transfer as it crossed the wire (sizes in bytes).
+
+    Returned by :meth:`repro.core.backing.BackingStore.spill_unit` /
+    ``reload_unit``; an uncompressed store reports ``wire_bytes ==
+    raw_bytes``, a :class:`repro.core.compress.CompressingBackingStore`
+    reports the primary codec's on-wire size.
+    """
+
+    codec: str = "raw"
+    words: int = 0
+    raw_bytes: int = 0
+    wire_bytes: int = 0
+
+    @property
+    def ratio(self):
+        if self.wire_bytes == 0:
+            return 1.0
+        return self.raw_bytes / self.wire_bytes
+
+
 @dataclass
 class RegFileStats:
     """Raw event counts recorded by a register-file model."""
@@ -51,6 +73,16 @@ class RegFileStats:
     #: lines (NSF) or frames (segmented) permanently retired after hard
     #: faults — the file keeps running at reduced capacity
     lines_retired: int = 0
+
+    # -- wire-level (bytes) spill traffic ----------------------------------
+    #: bytes each transfer unit would occupy uncompressed (word width x
+    #: words moved, dead slots included at frame/line granularity)
+    raw_bytes_spilled: int = 0
+    raw_bytes_reloaded: int = 0
+    #: bytes actually crossing the spill port (equal to the raw figures
+    #: unless a :mod:`repro.core.compress` codec sits on the path)
+    wire_bytes_spilled: int = 0
+    wire_bytes_reloaded: int = 0
 
     # -- context events -----------------------------------------------------
     contexts_created: int = 0
@@ -131,6 +163,34 @@ class RegFileStats:
         if self.context_switches == 0:
             return float(self.instructions)
         return self.instructions / self.context_switches
+
+    @property
+    def spill_compression_ratio(self):
+        """Raw over on-wire spilled bytes (>1 means compression won)."""
+        if self.wire_bytes_spilled == 0:
+            return 1.0
+        return self.raw_bytes_spilled / self.wire_bytes_spilled
+
+    @property
+    def reload_compression_ratio(self):
+        if self.wire_bytes_reloaded == 0:
+            return 1.0
+        return self.raw_bytes_reloaded / self.wire_bytes_reloaded
+
+    @property
+    def wire_traffic_fraction(self):
+        """On-wire bytes as a fraction of raw bytes (lower is better)."""
+        raw = self.raw_bytes_spilled + self.raw_bytes_reloaded
+        if raw == 0:
+            return 1.0
+        return (self.wire_bytes_spilled + self.wire_bytes_reloaded) / raw
+
+    @property
+    def wire_bytes_per_instruction(self):
+        if self.instructions == 0:
+            return 0.0
+        return ((self.wire_bytes_spilled + self.wire_bytes_reloaded)
+                / self.instructions)
 
     @property
     def read_miss_rate(self):

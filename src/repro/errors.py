@@ -97,6 +97,19 @@ class BackingStoreFaultError(RegisterFileError):
         self.attempts = attempts
 
 
+class CompressionIntegrityError(RegisterFileError):
+    """A spill-path codec failed to round-trip a transfer unit."""
+
+    def __init__(self, codec, sent, received):
+        super().__init__(
+            f"codec {codec!r} corrupted a spill unit: sent {sent!r}, "
+            f"decoded {received!r}"
+        )
+        self.codec = codec
+        self.sent = sent
+        self.received = received
+
+
 class AssemblerError(ReproError):
     """Raised for malformed assembly input."""
 

@@ -2,6 +2,7 @@
 
 from repro.evalx import (
     claims,
+    compression,
     fig05,
     fig06,
     fig07,
@@ -32,6 +33,7 @@ EXPERIMENTS = {
     "fig13": fig13.run,
     "fig14": fig14.run,
     "claims": claims.run,
+    "compression": compression.run,
     "profile": profile.run,
     "resilience": resilience.run,
 }

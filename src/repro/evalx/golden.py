@@ -46,6 +46,37 @@ def write_goldens(directory=DEFAULT_DIR, scale=GOLDEN_SCALE,
     return written
 
 
+def compare_golden(name, directory=DEFAULT_DIR):
+    """Re-run one experiment against its golden; returns deviations.
+
+    The experiment reruns at the scale and seed *stored in the golden*,
+    so a targeted check (``python -m repro.evalx <name> --check``) is
+    exact regardless of what the defaults drift to.
+    """
+    directory = pathlib.Path(directory)
+    path = directory / f"{name}.json"
+    if not path.exists():
+        return [f"{name}: experiment has no golden in {directory} "
+                "(run --write-goldens first)"]
+    from repro.evalx import run_experiment
+
+    stored = json.loads(path.read_text())
+    table = run_experiment(name, scale=stored["scale"],
+                           seed=stored["seed"])
+    fresh = table.to_dict()
+    if fresh["headers"] != stored["headers"]:
+        return [f"{name}: headers changed"]
+    if len(fresh["rows"]) != len(stored["rows"]):
+        return [f"{name}: row count {len(stored['rows'])} -> "
+                f"{len(fresh['rows'])}"]
+    return [
+        f"{name} row {row_index}: {old} -> {new}"
+        for row_index, (old, new) in enumerate(
+            zip(stored["rows"], fresh["rows"]))
+        if old != new
+    ]
+
+
 def compare_goldens(directory=DEFAULT_DIR):
     """Re-run every experiment against its golden; returns deviations.
 
@@ -58,7 +89,7 @@ def compare_goldens(directory=DEFAULT_DIR):
     if not goldens:
         return [f"no goldens found in {directory} "
                 "(run --write-goldens first)"]
-    from repro.evalx import EXPERIMENTS, run_experiment
+    from repro.evalx import EXPERIMENTS
 
     recorded_names = {path.stem for path in goldens}
     for missing in sorted(set(EXPERIMENTS) - recorded_names):
@@ -68,23 +99,5 @@ def compare_goldens(directory=DEFAULT_DIR):
         if name not in EXPERIMENTS:
             deviations.append(f"{name}: golden for unknown experiment")
             continue
-        stored = json.loads(path.read_text())
-        table = run_experiment(name, scale=stored["scale"],
-                               seed=stored["seed"])
-        fresh = table.to_dict()
-        if fresh["headers"] != stored["headers"]:
-            deviations.append(f"{name}: headers changed")
-            continue
-        if len(fresh["rows"]) != len(stored["rows"]):
-            deviations.append(
-                f"{name}: row count {len(stored['rows'])} -> "
-                f"{len(fresh['rows'])}"
-            )
-            continue
-        for row_index, (old, new) in enumerate(
-                zip(stored["rows"], fresh["rows"])):
-            if old != new:
-                deviations.append(
-                    f"{name} row {row_index}: {old} -> {new}"
-                )
+        deviations.extend(compare_golden(name, directory))
     return deviations

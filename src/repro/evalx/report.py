@@ -44,6 +44,9 @@ def main(argv=None):
                         help="lock every experiment's current results")
     parser.add_argument("--check-goldens", action="store_true",
                         help="verify results match the locked goldens")
+    parser.add_argument("--check", action="store_true",
+                        help="verify one experiment against its golden "
+                             "(requires an experiment name)")
     args = parser.parse_args(argv)
     if args.name:
         if args.experiment and args.experiment != args.name:
@@ -52,6 +55,17 @@ def main(argv=None):
         args.experiment = args.name
 
     import sys
+    if args.check:
+        if not args.experiment:
+            parser.error("--check needs an experiment name")
+        from repro.evalx.golden import compare_golden
+        deviations = compare_golden(args.experiment)
+        if deviations:
+            for deviation in deviations:
+                print(f"DEVIATION: {deviation}")
+            return 1
+        print(f"{args.experiment} matches its golden")
+        return 0
     if args.write_goldens:
         from repro.evalx.golden import write_goldens
         for path in write_goldens():

@@ -56,7 +56,7 @@ class TestRegistry:
         assert set(EXPERIMENTS) == {
             "table1", "fig05", "fig06", "fig07", "fig08", "fig09",
             "fig10", "fig11", "fig12", "fig13", "fig14", "claims",
-            "profile", "resilience",
+            "profile", "resilience", "compression",
         }
 
     def test_unknown_experiment(self):
@@ -259,6 +259,35 @@ class TestClaims:
         assert len(t.rows) == 6
         for row in t.rows:
             assert row[-1] == "yes", row
+
+
+class TestCompression:
+    def test_contract_holds(self):
+        from repro.evalx.compression import assert_compression_contract
+        assert_compression_contract(table("compression"))
+
+    def test_full_sweep_shape(self):
+        t = table("compression")
+        # 2 workloads x 5 granularities x 5 codecs
+        assert len(t.rows) == 50
+        assert set(t.column("Codec")) == {"raw", "zero", "narrow",
+                                          "basedelta", "dict"}
+
+    def test_frame_spills_compress_best(self):
+        # Whole frames ship dead slots, which cost nothing compressed;
+        # so for every codec the seg-frame ratio beats seg-live.
+        t = table("compression")
+        model = t.headers.index("Model")
+        codec = t.headers.index("Codec")
+        ratio = t.headers.index("Ratio")
+        for wl in set(t.column("Workload")):
+            rows = [r for r in t.rows if r[0] == wl]
+            for c in ("zero", "narrow", "basedelta", "dict"):
+                frame = [r[ratio] for r in rows
+                         if r[model] == "seg-frame" and r[codec] == c]
+                live = [r[ratio] for r in rows
+                        if r[model] == "seg-live" and r[codec] == c]
+                assert frame[0] >= live[0], (wl, c)
 
 
 class TestReport:
