@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test faults compression bench eval charts goldens check-goldens examples all
+.PHONY: install test faults compression resume-smoke bench eval charts goldens check-goldens examples all
 
 install:
 	pip install -e . --no-build-isolation
@@ -19,6 +19,12 @@ faults:
 # contract (some codec beats raw on every workload x granularity).
 compression:
 	PYTHONPATH=src $(PYTHON) -c "from repro.evalx.compression import main; raise SystemExit(main(['--check']))"
+
+# Kill-and-resume chaos test: SIGKILLs a live sweep at random cell
+# boundaries, resumes from the journal, and requires the final output
+# to be byte-identical to an uninterrupted run.
+resume-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.evalx.runner smoke --experiment compression --scale 0.2 --kills 3
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only

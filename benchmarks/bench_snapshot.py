@@ -1,0 +1,61 @@
+"""Microbenchmarks of the checkpoint/restore path.
+
+Snapshots sit on the resumable-sweep critical path (every journalled
+cell can capture at its boundary), so capture, restore and the framed
+serializer are tracked like any other hot path.
+"""
+
+import pytest
+
+from repro.core import (
+    NamedStateRegisterFile,
+    SegmentedRegisterFile,
+    dumps,
+    integrity_hash,
+    loads,
+)
+
+
+def _warm_model(model, contexts=6, writes=24):
+    cids = [model.begin_context() for _ in range(contexts)]
+    for k, cid in enumerate(cids):
+        for i in range(writes):
+            model.write(i % 8, k * 1000 + i, cid=cid)
+    for cid in cids:
+        model.read(0, cid=cid)
+    return model
+
+
+@pytest.mark.parametrize("model_cls,kwargs", [
+    (NamedStateRegisterFile, {"line_size": 2}),
+    (SegmentedRegisterFile, {}),
+], ids=["nsf-line2", "segmented"])
+def test_capture_throughput(benchmark, model_cls, kwargs):
+    model = _warm_model(
+        model_cls(num_registers=64, context_size=16, **kwargs))
+    state = benchmark(model.capture)
+    assert state["kind"] in ("nsf", "segmented")
+
+
+def test_restore_throughput(benchmark):
+    model = _warm_model(
+        NamedStateRegisterFile(num_registers=64, context_size=16,
+                               line_size=2))
+    state = model.capture()
+    fresh = NamedStateRegisterFile(num_registers=64, context_size=16,
+                                   line_size=2)
+    benchmark(fresh.restore, state)
+    assert integrity_hash(fresh.capture()) == integrity_hash(state)
+
+
+def test_serializer_round_trip_throughput(benchmark):
+    model = _warm_model(
+        NamedStateRegisterFile(num_registers=64, context_size=16,
+                               line_size=2))
+    state = model.capture()
+
+    def round_trip():
+        return loads(dumps(state))
+
+    decoded = benchmark(round_trip)
+    assert decoded == state

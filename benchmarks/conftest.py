@@ -11,6 +11,8 @@ import pathlib
 
 import pytest
 
+from repro.ioutil import atomic_write_text
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 #: workload scale used by the simulation benches (1.0 = harness default)
@@ -25,7 +27,7 @@ def record_table():
     def _record(table, name):
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"{name}.txt"
-        path.write_text(table.render() + "\n")
+        atomic_write_text(path, table.render() + "\n")
         return path
 
     return _record

@@ -300,6 +300,26 @@ class Machine:
         """Allocate guest heap memory; returns the word address."""
         return self.memory.alloc(nwords)
 
+    # -- checkpointing ---------------------------------------------------------
+    # Machines checkpoint only *between* guest activations: a live guest
+    # procedure is a Python frame (or generator) no snapshot can carry.
+    # Subclasses define their own quiescence test and add their state on
+    # top of these shared helpers.
+
+    def _capture_machine(self):
+        return {
+            "memory": self.memory.capture(),
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "regfile": self.regfile.capture(),
+        }
+
+    def _restore_machine(self, state):
+        self.memory.restore(state["memory"])
+        self.instructions = state["instructions"]
+        self.cycles = state["cycles"]
+        self.regfile.restore(state["regfile"])
+
 
 class SequentialMachine(Machine):
     """Runs sequential programs: one activation per procedure call.
@@ -370,3 +390,51 @@ class SequentialMachine(Machine):
             if caller_cid is not None:
                 self._switch(caller_cid)
         return result
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def capture(self):
+        """Snapshot the machine between top-level ``run`` calls.
+
+        Raises :class:`repro.errors.SnapshotError` while a guest
+        procedure is on the call stack — its Python frame cannot be
+        serialized, so mid-call snapshots would silently lose it.
+        """
+        from repro.errors import SnapshotError
+
+        if self.call_depth != 0:
+            raise SnapshotError(
+                f"cannot snapshot a SequentialMachine mid-call "
+                f"(call_depth={self.call_depth}); capture between runs"
+            )
+        return {
+            "kind": "sequential-machine",
+            "config": {
+                "context_size": self.context_size,
+                "verify_values": self.verify_values,
+            },
+            "machine": self._capture_machine(),
+            "max_call_depth": self.max_call_depth,
+            "calls": self.calls,
+            "cid_allocator": (None if self.cid_allocator is None
+                              else self.cid_allocator.capture()),
+        }
+
+    def restore(self, state):
+        from repro.core.snapshot import expect_config, expect_kind
+        from repro.errors import SnapshotError
+
+        expect_kind(state, "sequential-machine")
+        expect_config(state, context_size=self.context_size,
+                      verify_values=self.verify_values)
+        self._restore_machine(state["machine"])
+        self.call_depth = 0
+        self.max_call_depth = state["max_call_depth"]
+        self.calls = state["calls"]
+        saved_cids = state["cid_allocator"]
+        if (saved_cids is None) != (self.cid_allocator is None):
+            raise SnapshotError(
+                "snapshot and machine disagree on CID-allocator presence"
+            )
+        if saved_cids is not None:
+            self.cid_allocator.restore(saved_cids)

@@ -52,3 +52,27 @@ class Memory:
 
     def __len__(self):
         return len(self._words)
+
+    # -- checkpointing ---------------------------------------------------
+
+    def capture(self):
+        return {
+            "kind": "memory",
+            "config": {},
+            "words": sorted(
+                [address, value]
+                for address, value in self._words.items()
+            ),
+            "brk": self._brk,
+            "loads": self.loads,
+            "stores": self.stores,
+        }
+
+    def restore(self, state):
+        from repro.core.snapshot import expect_kind
+
+        expect_kind(state, "memory")
+        self._words = {address: value for address, value in state["words"]}
+        self._brk = state["brk"]
+        self.loads = state["loads"]
+        self.stores = state["stores"]

@@ -65,6 +65,16 @@ from repro.core.policies import (
     make_policy,
 )
 from repro.core.segmented import ConventionalRegisterFile, SegmentedRegisterFile
+from repro.core.snapshot import (
+    SNAPSHOT_VERSION,
+    canonical_bytes,
+    dumps,
+    from_canonical_bytes,
+    integrity_hash,
+    load_snapshot,
+    loads,
+    save_snapshot,
+)
 from repro.core.stats import AccessResult, RegFileStats, TransferRecord
 
 __all__ = [
@@ -94,6 +104,7 @@ __all__ = [
     "RegisterFile",
     "ResilienceStats",
     "RetryingBackingStore",
+    "SNAPSHOT_VERSION",
     "SEGMENT_HW_COSTS",
     "SEGMENT_SW_COSTS",
     "SegmentedRegisterFile",
@@ -101,9 +112,16 @@ __all__ = [
     "TransferRecord",
     "VictimPolicy",
     "ZeroElisionCodec",
+    "canonical_bytes",
     "compress_spills",
+    "dumps",
+    "from_canonical_bytes",
+    "integrity_hash",
+    "load_snapshot",
+    "loads",
     "make_codec",
     "make_policy",
+    "save_snapshot",
     "secded_check",
     "secded_encode",
     "speedup",

@@ -52,6 +52,19 @@ class Ctable:
     def __len__(self):
         return len(self._entries)
 
+    # -- checkpointing -----------------------------------------------------
+
+    def capture(self):
+        # pairs, not a dict: cids may be ints or strings and canonical
+        # dict keys must stay exactly typed
+        return {"entries": sorted(
+            [[cid, base] for cid, base in self._entries.items()],
+            key=repr,
+        )}
+
+    def restore(self, state):
+        self._entries = {cid: base for cid, base in state["entries"]}
+
 
 class BackingStore:
     """Holds spilled register values per ``(cid, offset)``.
@@ -161,3 +174,36 @@ class BackingStore:
 
     def __len__(self):
         return len(self._values)
+
+    # -- checkpointing -----------------------------------------------------
+
+    def capture(self):
+        return {
+            "kind": "backing-store",
+            "config": {"word_bytes": self.word_bytes},
+            # insertion order of _values is deterministic (it follows
+            # the spill sequence) and must survive the round trip
+            "values": [
+                [[cid, offset], value]
+                for (cid, offset), value in self._values.items()
+            ],
+            "words_stored": self.words_stored,
+            "words_loaded": self.words_loaded,
+            "ctable": self.ctable.capture(),
+        }
+
+    def restore(self, state):
+        from repro.core.snapshot import expect_config, expect_kind
+
+        expect_kind(state, "backing-store")
+        expect_config(state, word_bytes=self.word_bytes)
+        self._values = {
+            (cid, offset): value
+            for (cid, offset), value in state["values"]
+        }
+        self._by_context = {}
+        for (cid, offset) in self._values:
+            self._by_context.setdefault(cid, set()).add(offset)
+        self.words_stored = state["words_stored"]
+        self.words_loaded = state["words_loaded"]
+        self.ctable.restore(state["ctable"])

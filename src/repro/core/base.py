@@ -15,8 +15,6 @@ Models store **real values**; the front-ends run real computations
 through them, so a broken spill path breaks benchmark results.
 """
 
-import itertools
-
 from repro.core.backing import BackingStore
 from repro.core.stats import AccessResult, RegFileStats
 from repro.errors import (
@@ -61,7 +59,9 @@ class RegisterFile:
         self.stats = RegFileStats(capacity=num_registers)
         self.current_cid = None
         self._known_cids = set()
-        self._base_allocator = itertools.count(0x1000_0000, 0x100)
+        # plain integer bump allocator (itertools.count cannot be
+        # captured into a snapshot)
+        self._next_base = 0x1000_0000
 
     # -- context lifecycle ---------------------------------------------------
 
@@ -78,7 +78,8 @@ class RegisterFile:
             raise DuplicateContextError(cid)
         self._known_cids.add(cid)
         if base_address is None:
-            base_address = next(self._base_allocator)
+            base_address = self._next_base
+            self._next_base += 0x100
         self.backing.ctable.set(cid, base_address)
         self.stats.contexts_created += 1
         self._on_begin_context(cid)
@@ -216,6 +217,35 @@ class RegisterFile:
         while cid in self._known_cids:
             cid += 1
         return cid
+
+    # -- checkpointing ---------------------------------------------------------
+    # Subclasses implement capture()/restore() (see repro.core.snapshot)
+    # and use these helpers for the state every model shares.
+
+    def _capture_base(self):
+        return {
+            "current_cid": self.current_cid,
+            "known_cids": sorted(self._known_cids),
+            "next_base": self._next_base,
+            "stats": self.stats.capture(),
+            "backing": self.backing.capture(),
+        }
+
+    def _restore_base(self, state):
+        self.current_cid = state["current_cid"]
+        self._known_cids = set(state["known_cids"])
+        self._next_base = state["next_base"]
+        self.stats.restore(state["stats"])
+        self.backing.restore(state["backing"])
+
+    def _base_config(self):
+        """Construction parameters every model validates on restore."""
+        return {
+            "num_registers": self.num_registers,
+            "context_size": self.context_size,
+            "strict": self.strict,
+            "track_moves": self.track_moves,
+        }
 
     # -- container protocol ---------------------------------------------------
     # A register file is a collection of live contexts: ``cid in model``

@@ -375,6 +375,21 @@ class CodecStats:
     def snapshot(self):
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
+    def capture(self):
+        return self.snapshot()
+
+    def restore(self, state):
+        from repro.errors import SnapshotError
+
+        expected = {f.name for f in fields(self)}
+        if set(state) != expected:
+            raise SnapshotError(
+                f"codec-stats snapshot fields do not match: "
+                f"got {sorted(state)}, expected {sorted(expected)}"
+            )
+        for name, value in state.items():
+            setattr(self, name, value)
+
     @property
     def spill_ratio(self):
         if self.wire_spill_bytes == 0:
@@ -469,6 +484,43 @@ class CompressedSpillPort:
             wire_bytes=primary_block.wire_bytes,
         )
 
+    # -- checkpointing -------------------------------------------------------
+    # The port's only mutable state is its per-codec shadow counters.
+    # Their order is pinned by construction (primary first, then the
+    # shadow tuple) — never by id() or set iteration — so capture emits
+    # them in that explicit order and restore validates it.
+
+    def capture(self):
+        return {
+            "kind": "spill-port",
+            "config": {
+                "codec": self.codec.name,
+                "shadows": [c.name for c in self.shadows],
+                "verify": self.verify,
+            },
+            "stats": [
+                [name, self.stats[name].capture()]
+                for name in self.codec_names
+            ],
+        }
+
+    def restore(self, state):
+        from repro.core.snapshot import expect_config, expect_kind
+
+        expect_kind(state, "spill-port")
+        expect_config(state, codec=self.codec.name,
+                      shadows=[c.name for c in self.shadows],
+                      verify=self.verify)
+        saved = dict(state["stats"])
+        if set(saved) != set(self.stats):
+            from repro.errors import SnapshotError
+            raise SnapshotError(
+                f"spill-port snapshot measures codecs {sorted(saved)}, "
+                f"this port measures {sorted(self.stats)}"
+            )
+        for name, stats in self.stats.items():
+            stats.restore(saved[name])
+
     def __repr__(self):
         return (f"<CompressedSpillPort codec={self.codec.name!r} "
                 f"shadows={[c.name for c in self.shadows]}>")
@@ -502,6 +554,23 @@ class CompressingBackingStore:
         record = self.port.transmit(values + [None] * dead_words,
                                     spill=False)
         return values, record
+
+    # -- checkpointing -------------------------------------------------------
+
+    def capture(self):
+        return {
+            "kind": "compressing-backing",
+            "config": {},
+            "port": self.port.capture(),
+            "inner": self.inner.capture(),
+        }
+
+    def restore(self, state):
+        from repro.core.snapshot import expect_kind
+
+        expect_kind(state, "compressing-backing")
+        self.port.restore(state["port"])
+        self.inner.restore(state["inner"])
 
     # -- drop-in plumbing ----------------------------------------------------
 

@@ -70,6 +70,12 @@ class CostModel:
     #: pipeline flush, trap entry/exit, software recovery
     machine_check_cycles: float = 64.0
 
+    #: weight on the deterministic exponential-backoff cycles the
+    #: RetryingBackingStore charges between retry attempts (1.0 = each
+    #: simulated backoff cycle is one pipeline cycle; 0 = backoff fully
+    #: hidden behind other memory traffic)
+    backing_backoff_weight: float = 1.0
+
     # -- spill-port bandwidth / compression pricing -------------------------
     #: bytes the spill port moves per cycle (the wire width); the
     #: byte-level view of the same traffic ``traffic_cycles`` prices
@@ -95,6 +101,7 @@ class CostModel:
             + stats.switch_misses * self.switch_miss_cycles
             + stats.background_registers_spilled
             * self.background_spill_cycles
+            + stats.backing_backoff_cycles * self.backing_backoff_weight
         )
 
     def wire_cycles(self, stats: RegFileStats, compressed=True) -> float:

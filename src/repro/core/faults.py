@@ -198,6 +198,48 @@ class FaultyRegisterFile:
             return value | 1  # bit 0 stuck at 1
         return value
 
+    # -- checkpointing -------------------------------------------------------
+
+    def capture(self):
+        # "fault_kind" inside config, not "kind": the snapshot protocol
+        # reserves the top-level "kind" tag for the wrapper class itself
+        return {
+            "kind": "faulty",
+            "config": {
+                "fault_kind": self.kind,
+                "trigger_at": self.trigger_at,
+            },
+            "operations": self.operations,
+            "injected": self.injected,
+            "stuck_index": self.stuck_index,
+            "current_values": [
+                [key, value]
+                for key, value in self._current_values.items()
+            ],
+            "previous_values": [
+                [key, value]
+                for key, value in self._previous_values.items()
+            ],
+            "inner": self.inner.capture(),
+        }
+
+    def restore(self, state):
+        from repro.core.snapshot import expect_config, expect_kind
+
+        expect_kind(state, "faulty")
+        expect_config(state, fault_kind=self.kind,
+                      trigger_at=self.trigger_at)
+        self.operations = state["operations"]
+        self.injected = state["injected"]
+        self.stuck_index = state["stuck_index"]
+        self._current_values = {
+            tuple(key): value for key, value in state["current_values"]
+        }
+        self._previous_values = {
+            tuple(key): value for key, value in state["previous_values"]
+        }
+        self.inner.restore(state["inner"])
+
     def __getattr__(self, name):
         return getattr(self.inner, name)
 

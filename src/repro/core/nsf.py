@@ -137,7 +137,10 @@ class NamedStateRegisterFile(RegisterFile):
     # -- context lifecycle -----------------------------------------------------
 
     def _on_end_context(self, cid):
-        for index in self._context_lines.pop(cid, set()):
+        # sorted: the owned-line set is rebuilt on snapshot restore, and
+        # raw set iteration order need not survive that rebuild — the
+        # release order decides future free-list pops, so pin it
+        for index in sorted(self._context_lines.pop(cid, ())):
             line = self._lines[index]
             self._active -= line.valid_count
             del self._cam[line.tag]
@@ -423,3 +426,68 @@ class NamedStateRegisterFile(RegisterFile):
         if self.strict:
             raise ReadBeforeWriteError(cid, offset)
         return 0
+
+    # -- checkpointing -------------------------------------------------------
+
+    def capture(self):
+        """Complete mutable state as a plain dict (snapshot protocol)."""
+        return {
+            "kind": self.kind,
+            "config": dict(
+                self._base_config(),
+                line_size=self.line_size,
+                policy=self._policy.name,
+                reload_scope=self.reload_scope,
+                fetch_on_write=self.fetch_on_write,
+                spill_watermark=self.spill_watermark,
+            ),
+            "base": self._capture_base(),
+            "lines": [
+                {
+                    "tag": line.tag,
+                    "values": list(line.values),
+                    "valid": list(line.valid),
+                    "pending": list(line.pending),
+                    "valid_count": line.valid_count,
+                }
+                for line in self._lines
+            ],
+            "free": list(self._free),
+            "retired": sorted(self._retired),
+            "active": self._active,
+            "policy": self._policy.capture(),
+        }
+
+    def restore(self, state):
+        """Overwrite all mutable state from a ``capture()`` dict."""
+        from repro.core.snapshot import expect_config, expect_kind
+
+        expect_kind(state, self.kind)
+        expect_config(
+            state,
+            line_size=self.line_size,
+            policy=self._policy.name,
+            reload_scope=self.reload_scope,
+            fetch_on_write=self.fetch_on_write,
+            spill_watermark=self.spill_watermark,
+            **self._base_config(),
+        )
+        self._restore_base(state["base"])
+        self._cam = {}
+        self._context_lines = {}
+        for index, saved in enumerate(state["lines"]):
+            line = self._lines[index]
+            tag = saved["tag"]
+            line.tag = None if tag is None else tuple(tag)
+            line.values = list(saved["values"])
+            line.valid = list(saved["valid"])
+            line.pending = list(saved["pending"])
+            line.valid_count = saved["valid_count"]
+            if line.tag is not None:
+                self._cam[line.tag] = index
+                self._context_lines.setdefault(
+                    line.tag[0], set()).add(index)
+        self._free = list(state["free"])
+        self._retired = set(state["retired"])
+        self._active = state["active"]
+        self._policy.restore(state["policy"])

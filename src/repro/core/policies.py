@@ -8,7 +8,7 @@ seeded random policy so the ablation benchmarks can quantify the choice.
 
 import random
 
-from repro.errors import CapacityError
+from repro.errors import CapacityError, SnapshotError
 
 
 class VictimPolicy:
@@ -39,6 +39,26 @@ class VictimPolicy:
 
     def __contains__(self, key):
         raise NotImplementedError
+
+    # -- checkpointing -----------------------------------------------------
+    # Victim state is *ordered* hidden state: restoring it from a sorted
+    # or set-ordered form would silently change future victim choices.
+    # Captures therefore record keys in the policy's own significant
+    # order (recency, insertion, or slot order) as explicit lists.
+
+    def capture(self):
+        raise NotImplementedError
+
+    def restore(self, state):
+        raise NotImplementedError
+
+    def _check_policy(self, state):
+        found = state.get("policy")
+        if found != self.name:
+            raise SnapshotError(
+                f"victim-policy snapshot is for {found!r}, cannot "
+                f"restore into {self.name!r}"
+            )
 
 
 class LRUPolicy(VictimPolicy):
@@ -79,6 +99,13 @@ class LRUPolicy(VictimPolicy):
     def keys_in_order(self):
         """Oldest-first iteration (exposed for tests)."""
         return list(self._order)
+
+    def capture(self):
+        return {"policy": self.name, "order": list(self._order)}
+
+    def restore(self, state):
+        self._check_policy(state)
+        self._order = {key: True for key in state["order"]}
 
 
 class FIFOPolicy(LRUPolicy):
@@ -127,6 +154,21 @@ class RandomPolicy(VictimPolicy):
 
     def __contains__(self, key):
         return key in self._members
+
+    def capture(self):
+        # _keys is in swap-delete slot order, which feeds _rng.choice:
+        # preserve it exactly (sorting here would change future victims)
+        return {
+            "policy": self.name,
+            "keys": list(self._keys),
+            "rng": self._rng.getstate(),
+        }
+
+    def restore(self, state):
+        self._check_policy(state)
+        self._keys = list(state["keys"])
+        self._members = {key: i for i, key in enumerate(self._keys)}
+        self._rng.setstate(state["rng"])
 
 
 class NMRUPolicy(VictimPolicy):
@@ -183,6 +225,21 @@ class NMRUPolicy(VictimPolicy):
 
     def __contains__(self, key):
         return key in self._members
+
+    def capture(self):
+        return {
+            "policy": self.name,
+            "keys": list(self._keys),
+            "mru": self._mru,
+            "rng": self._rng.getstate(),
+        }
+
+    def restore(self, state):
+        self._check_policy(state)
+        self._keys = list(state["keys"])
+        self._members = {key: i for i, key in enumerate(self._keys)}
+        self._mru = state["mru"]
+        self._rng.setstate(state["rng"])
 
 
 _POLICIES = {

@@ -133,6 +133,21 @@ class ResilienceStats:
     def snapshot(self):
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
+    def capture(self):
+        return self.snapshot()
+
+    def restore(self, state):
+        from repro.errors import SnapshotError
+
+        expected = {f.name for f in fields(self)}
+        if set(state) != expected:
+            raise SnapshotError(
+                f"resilience-stats snapshot fields do not match: "
+                f"got {sorted(state)}, expected {sorted(expected)}"
+            )
+        for name, value in state.items():
+            setattr(self, name, value)
+
     @property
     def recovered(self):
         """Detected errors the layer recovered without a trap."""
@@ -281,6 +296,50 @@ class ProtectedRegisterFile:
             self.rstats.lines_retired += 1
             self._line_errors.pop(line, None)
 
+    # -- checkpointing -------------------------------------------------------
+
+    def capture(self):
+        """Wrapper state plus the wrapped model's capture.
+
+        Explicit (not left to ``__getattr__`` forwarding): the check
+        words, per-line error counts, and resilience counters live in
+        the wrapper and would silently vanish from a forwarded capture.
+        """
+        return {
+            "kind": "protected",
+            "config": {
+                "level": self.level,
+                "hard_fault_threshold": self.hard_fault_threshold,
+            },
+            # insertion order of _codes follows the write sequence;
+            # keys and code words are tuples, which the canonical
+            # encoding preserves exactly
+            "codes": [
+                [key, code] for key, code in self._codes.items()
+            ],
+            "line_errors": sorted(
+                [index, count]
+                for index, count in self._line_errors.items()
+            ),
+            "rstats": self.rstats.capture(),
+            "inner": self.inner.capture(),
+        }
+
+    def restore(self, state):
+        from repro.core.snapshot import expect_config, expect_kind
+
+        expect_kind(state, "protected")
+        expect_config(state, level=self.level,
+                      hard_fault_threshold=self.hard_fault_threshold)
+        self._codes = {
+            tuple(key): tuple(code) for key, code in state["codes"]
+        }
+        self._line_errors = {
+            index: count for index, count in state["line_errors"]
+        }
+        self.rstats.restore(state["rstats"])
+        self.inner.restore(state["inner"])
+
     # -- drop-in plumbing ----------------------------------------------------
 
     def __getattr__(self, name):
@@ -308,7 +367,7 @@ class ProtectedRegisterFile:
 
 
 class RetryingBackingStore:
-    """Bounded retry over a flaky backing store.
+    """Bounded retry with deterministic exponential backoff.
 
     Real memory ports drop requests transiently (arbitration conflicts,
     ECC scrub collisions).  This wrapper retries ``spill``/``reload``
@@ -316,19 +375,40 @@ class RetryingBackingStore:
     :class:`BackingStoreFaultError` only when the fault is persistent.
     Transient faults are injected deterministically from ``fault_rate``
     and ``seed`` so campaigns are reproducible.
+
+    Each retry waits out an exponential backoff window — **in simulated
+    cycles, never wall-clock sleeps**: the k-th retry of an access is
+    charged ``backoff_base * 2**k`` cycles, accumulated into the
+    attached :class:`~repro.core.stats.RegFileStats` as
+    ``backing_backoff_cycles`` (priced by
+    ``CostModel.backing_backoff_weight``).  Attach a model's stats with
+    :meth:`attach_stats` so retries, exhaustions, and backoff show up in
+    reports instead of only surfacing as raised errors.
     """
 
-    def __init__(self, inner, max_retries=3, fault_rate=0.0, seed=0):
+    def __init__(self, inner, max_retries=3, fault_rate=0.0, seed=0,
+                 backoff_base=2, stats=None):
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         if not 0.0 <= fault_rate < 1.0:
             raise ValueError("fault_rate must be in [0, 1)")
+        if backoff_base < 0:
+            raise ValueError("backoff_base must be >= 0")
         self.inner = inner
         self.max_retries = max_retries
         self.fault_rate = fault_rate
+        self.backoff_base = backoff_base
         self._rng = random.Random(seed)
         self.transient_faults = 0
         self.retries = 0
+        self.exhaustions = 0
+        self.backoff_cycles = 0
+        self._stats = stats
+
+    def attach_stats(self, stats):
+        """Mirror retry counters into a model's :class:`RegFileStats`."""
+        self._stats = stats
+        return self
 
     def spill(self, cid, offset, value):
         return self._attempt("spill", cid, offset,
@@ -360,12 +440,64 @@ class RetryingBackingStore:
         for attempt in range(self.max_retries + 1):
             if self.fault_rate and self._rng.random() < self.fault_rate:
                 self.transient_faults += 1
+                if self._stats is not None:
+                    self._stats.backing_transient_faults += 1
                 if attempt < self.max_retries:
                     self.retries += 1
+                    self._backoff(attempt)
                     continue
+                self.exhaustions += 1
+                if self._stats is not None:
+                    self._stats.backing_exhaustions += 1
                 raise BackingStoreFaultError(op, cid, offset, attempt + 1)
             return thunk()
         raise BackingStoreFaultError(op, cid, offset, self.max_retries + 1)
+
+    def _backoff(self, attempt):
+        """Charge the k-th retry's deterministic backoff window."""
+        penalty = self.backoff_base << attempt
+        self.backoff_cycles += penalty
+        if self._stats is not None:
+            self._stats.backing_retries += 1
+            self._stats.backing_backoff_cycles += penalty
+
+    # -- checkpointing -------------------------------------------------------
+
+    def capture(self):
+        """Retry counters, injection RNG, and the inner store's capture.
+
+        The attached :class:`RegFileStats` (if any) is deliberately NOT
+        part of this capture — it belongs to the owning model, whose own
+        capture carries it; capturing it twice would double-restore.
+        """
+        return {
+            "kind": "retrying-backing",
+            "config": {
+                "max_retries": self.max_retries,
+                "fault_rate": self.fault_rate,
+                "backoff_base": self.backoff_base,
+            },
+            "transient_faults": self.transient_faults,
+            "retries": self.retries,
+            "exhaustions": self.exhaustions,
+            "backoff_cycles": self.backoff_cycles,
+            "rng": self._rng.getstate(),
+            "inner": self.inner.capture(),
+        }
+
+    def restore(self, state):
+        from repro.core.snapshot import expect_config, expect_kind
+
+        expect_kind(state, "retrying-backing")
+        expect_config(state, max_retries=self.max_retries,
+                      fault_rate=self.fault_rate,
+                      backoff_base=self.backoff_base)
+        self.transient_faults = state["transient_faults"]
+        self.retries = state["retries"]
+        self.exhaustions = state["exhaustions"]
+        self.backoff_cycles = state["backoff_cycles"]
+        self._rng.setstate(state["rng"])
+        self.inner.restore(state["inner"])
 
     def __getattr__(self, name):
         return getattr(self.inner, name)

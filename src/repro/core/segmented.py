@@ -355,6 +355,68 @@ class SegmentedRegisterFile(RegisterFile):
             frame.pending[offset] = False
             self.stats.active_registers_reloaded += 1
 
+    # -- checkpointing -------------------------------------------------------
+
+    def capture(self):
+        """Complete mutable state as a plain dict (snapshot protocol).
+
+        ``kind`` follows the class (``segmented`` or ``conventional``),
+        so a conventional file's snapshot cannot be restored into a
+        multi-frame segmented file by accident.
+        """
+        return {
+            "kind": self.kind,
+            "config": dict(
+                self._base_config(),
+                spill_mode=self.spill_mode,
+                policy=self._policy.name,
+            ),
+            "base": self._capture_base(),
+            "frames": [
+                {
+                    "cid": frame.cid,
+                    "values": list(frame.values),
+                    "valid": list(frame.valid),
+                    "pending": list(frame.pending),
+                    "valid_count": frame.valid_count,
+                }
+                for frame in self._frames
+            ],
+            "free": list(self._free),
+            "retired": sorted(self._retired),
+            "ever_spilled": sorted(self._ever_spilled, key=repr),
+            "active": self._active,
+            "policy": self._policy.capture(),
+        }
+
+    def restore(self, state):
+        """Overwrite all mutable state from a ``capture()`` dict."""
+        from repro.core.snapshot import expect_config, expect_kind
+
+        expect_kind(state, self.kind)
+        expect_config(
+            state,
+            spill_mode=self.spill_mode,
+            policy=self._policy.name,
+            **self._base_config(),
+        )
+        self._restore_base(state["base"])
+        self._resident = {}
+        for index, saved in enumerate(state["frames"]):
+            frame = self._frames[index]
+            frame.cid = saved["cid"]
+            frame.values = list(saved["values"])
+            frame.valid = list(saved["valid"])
+            frame.pending = list(saved["pending"])
+            frame.valid_count = saved["valid_count"]
+            if frame.cid is not None:
+                self._resident[frame.cid] = index
+        self._free = list(state["free"])
+        self._retired = set(state["retired"])
+        self._ever_spilled = set(state["ever_spilled"])
+        self._active = state["active"]
+        self._policy.restore(state["policy"])
+
 
 class ConventionalRegisterFile(SegmentedRegisterFile):
     """A single-context register file (the degenerate one-frame case).

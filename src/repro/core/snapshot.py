@@ -1,0 +1,290 @@
+"""Versioned, deterministic snapshot protocol.
+
+Every stateful layer of the simulator — register-file models, their
+wrapper stacks, the backing store, caches, and the threaded runtime —
+implements two methods:
+
+``capture() -> dict``
+    Return the object's complete mutable state as a plain dict of
+    JSON-ish values (ints, floats, strings, bytes, bools, ``None``,
+    lists, tuples, and dicts).  The dict carries a ``"kind"`` tag and a
+    ``"config"`` sub-dict describing the *immutable* construction
+    parameters, so ``restore`` can refuse to load state into an
+    incompatibly-configured object.
+
+``restore(state) -> None``
+    Overwrite the object's mutable state from a ``capture()`` dict,
+    validating kind and config first.  After ``restore``, continued
+    execution is bit-identical to the original object's — same hits,
+    misses, spills, victim choices, and RNG draws.
+
+On top of the dict layer, this module defines a *canonical* binary
+serialization: the same state dict always encodes to the same bytes, in
+any process, on any platform.  That property is what makes the
+``integrity_hash`` meaningful — two snapshots are equal iff their
+hashes are equal — and is what the kill-and-resume chaos test leans on
+to prove bit-identical recovery.
+
+Encoding (one tag byte per value, length-prefixed, no ambiguity):
+
+========  =======================================================
+value     encoding
+========  =======================================================
+None      ``z``
+True      ``t``
+False     ``f``
+int       ``i<decimal>;``
+float     ``d<float.hex()>;``  (exact round-trip, locale-free)
+str       ``s<byte-length>:<utf-8 bytes>``
+bytes     ``b<length>:<bytes>``
+list      ``l<item>...;``
+tuple     ``u<item>...;``  (distinct from list — RNG state needs it)
+dict      ``m<key><value>...;``  keys sorted by encoded bytes
+========  =======================================================
+
+Sets are rejected: their iteration order is id()-dependent across
+processes, which is exactly the nondeterminism snapshots must exclude.
+Callers capture sets as ``sorted(...)`` lists.
+
+The framed on-disk form is ``MAGIC + version + sha256(payload) +
+payload``; :func:`loads` verifies all three before decoding.
+"""
+
+import hashlib
+import io
+import os
+
+from repro.errors import (
+    SnapshotError,
+    SnapshotIntegrityError,
+    SnapshotVersionError,
+)
+from repro.ioutil import atomic_write_bytes
+
+#: bump when the canonical encoding or the dict schemas change shape
+SNAPSHOT_VERSION = 1
+
+MAGIC = b"NSFSNAP"
+
+_HASH_BYTES = hashlib.sha256().digest_size
+
+
+# -- canonical encoding ------------------------------------------------------
+
+def canonical_bytes(value) -> bytes:
+    """Encode ``value`` to its unique canonical byte string."""
+    out = io.BytesIO()
+    _encode(value, out)
+    return out.getvalue()
+
+
+def _encode(value, out):
+    # bool must be tested before int (bool is an int subclass)
+    if value is None:
+        out.write(b"z")
+    elif value is True:
+        out.write(b"t")
+    elif value is False:
+        out.write(b"f")
+    elif isinstance(value, int):
+        out.write(b"i%d;" % value)
+    elif isinstance(value, float):
+        out.write(b"d")
+        out.write(value.hex().encode("ascii"))
+        out.write(b";")
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        out.write(b"s%d:" % len(data))
+        out.write(data)
+    elif isinstance(value, (bytes, bytearray)):
+        out.write(b"b%d:" % len(value))
+        out.write(bytes(value))
+    elif isinstance(value, list):
+        out.write(b"l")
+        for item in value:
+            _encode(item, out)
+        out.write(b";")
+    elif isinstance(value, tuple):
+        out.write(b"u")
+        for item in value:
+            _encode(item, out)
+        out.write(b";")
+    elif isinstance(value, dict):
+        out.write(b"m")
+        for _, key, encoded_value in sorted(
+            (canonical_bytes(k), k, canonical_bytes(v))
+            for k, v in value.items()
+        ):
+            out.write(_)
+            out.write(encoded_value)
+        out.write(b";")
+    elif isinstance(value, (set, frozenset)):
+        raise SnapshotError(
+            "sets have process-dependent iteration order and cannot be "
+            "snapshotted; capture sorted(...) lists instead"
+        )
+    else:
+        raise SnapshotError(
+            f"value of type {type(value).__name__} is outside the "
+            f"canonical snapshot encoding"
+        )
+
+
+class _Decoder:
+    def __init__(self, data):
+        self.data = data
+        self.pos = 0
+
+    def decode(self):
+        tag = self._take(1)
+        if tag == b"z":
+            return None
+        if tag == b"t":
+            return True
+        if tag == b"f":
+            return False
+        if tag == b"i":
+            return int(self._until(b";"))
+        if tag == b"d":
+            return float.fromhex(self._until(b";").decode("ascii"))
+        if tag == b"s":
+            return self._sized().decode("utf-8")
+        if tag == b"b":
+            return self._sized()
+        if tag == b"l":
+            return self._sequence()
+        if tag == b"u":
+            return tuple(self._sequence())
+        if tag == b"m":
+            items = self._sequence()
+            if len(items) % 2:
+                raise SnapshotIntegrityError(
+                    "canonical dict has an odd number of elements"
+                )
+            return dict(zip(items[0::2], items[1::2]))
+        raise SnapshotIntegrityError(
+            f"unknown canonical tag byte {tag!r} at offset {self.pos - 1}"
+        )
+
+    def _sequence(self):
+        items = []
+        while True:
+            if self.pos >= len(self.data):
+                raise SnapshotIntegrityError(
+                    "canonical container not terminated"
+                )
+            if self.data[self.pos:self.pos + 1] == b";":
+                self.pos += 1
+                return items
+            items.append(self.decode())
+
+    def _take(self, count):
+        if self.pos + count > len(self.data):
+            raise SnapshotIntegrityError("canonical payload truncated")
+        chunk = self.data[self.pos:self.pos + count]
+        self.pos += count
+        return chunk
+
+    def _until(self, terminator):
+        end = self.data.find(terminator, self.pos)
+        if end < 0:
+            raise SnapshotIntegrityError("canonical payload truncated")
+        chunk = self.data[self.pos:end]
+        self.pos = end + 1
+        return chunk
+
+    def _sized(self):
+        length = int(self._until(b":"))
+        return self._take(length)
+
+
+def from_canonical_bytes(data):
+    """Decode a :func:`canonical_bytes` payload back to its value."""
+    decoder = _Decoder(data)
+    value = decoder.decode()
+    if decoder.pos != len(data):
+        raise SnapshotIntegrityError(
+            f"{len(data) - decoder.pos} trailing bytes after canonical value"
+        )
+    return value
+
+
+def integrity_hash(state) -> str:
+    """Hex sha256 of the canonical encoding — equal iff states equal."""
+    return hashlib.sha256(canonical_bytes(state)).hexdigest()
+
+
+# -- framed serialization ----------------------------------------------------
+
+def dumps(state) -> bytes:
+    """Frame a state dict for storage: magic, version, digest, payload."""
+    payload = canonical_bytes(state)
+    digest = hashlib.sha256(payload).digest()
+    return MAGIC + bytes([SNAPSHOT_VERSION]) + digest + payload
+
+
+def loads(data: bytes):
+    """Decode :func:`dumps` output, verifying magic, version, and hash."""
+    header = len(MAGIC) + 1 + _HASH_BYTES
+    if len(data) < header:
+        raise SnapshotIntegrityError(
+            f"snapshot is {len(data)} bytes, shorter than the "
+            f"{header}-byte frame header"
+        )
+    if not data.startswith(MAGIC):
+        raise SnapshotIntegrityError("snapshot magic bytes missing")
+    version = data[len(MAGIC)]
+    if version != SNAPSHOT_VERSION:
+        raise SnapshotVersionError(version, SNAPSHOT_VERSION)
+    digest = data[len(MAGIC) + 1:header]
+    payload = data[header:]
+    if hashlib.sha256(payload).digest() != digest:
+        raise SnapshotIntegrityError(
+            "snapshot payload does not match its integrity hash"
+        )
+    return from_canonical_bytes(payload)
+
+
+def save_snapshot(path, state):
+    """Atomically write a framed snapshot; returns ``path``."""
+    return atomic_write_bytes(os.fspath(path), dumps(state))
+
+
+def load_snapshot(path):
+    """Read and verify a framed snapshot written by :func:`save_snapshot`."""
+    with open(os.fspath(path), "rb") as handle:
+        return loads(handle.read())
+
+
+# -- restore-side validation helpers -----------------------------------------
+
+def expect_kind(state, kind):
+    """Require ``state`` to be a capture of a ``kind`` object."""
+    if not isinstance(state, dict):
+        raise SnapshotError(
+            f"snapshot state must be a dict, got {type(state).__name__}"
+        )
+    found = state.get("kind")
+    if found != kind:
+        raise SnapshotError(
+            f"snapshot is of kind {found!r}, cannot restore into {kind!r}"
+        )
+    return state
+
+
+def expect_config(state, **expected):
+    """Require the snapshot's construction config to match ``expected``.
+
+    Restoring state into a differently-shaped object (other line size,
+    other register count, other codec) would not crash immediately — it
+    would silently diverge.  Refuse up front instead.
+    """
+    config = state.get("config", {})
+    for key, want in expected.items():
+        have = config.get(key)
+        if have != want:
+            raise SnapshotError(
+                f"snapshot config mismatch on {key!r}: snapshot has "
+                f"{have!r}, this object has {want!r}"
+            )
+    return config

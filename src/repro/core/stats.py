@@ -84,6 +84,18 @@ class RegFileStats:
     wire_bytes_spilled: int = 0
     wire_bytes_reloaded: int = 0
 
+    # -- backing-store retry traffic ---------------------------------------
+    #: transient backing-store faults absorbed by the retry layer
+    backing_transient_faults: int = 0
+    #: retry attempts issued after a transient fault
+    backing_retries: int = 0
+    #: accesses that failed every attempt (surfaced as
+    #: BackingStoreFaultError after the budget ran out)
+    backing_exhaustions: int = 0
+    #: simulated cycles of deterministic exponential backoff between
+    #: retry attempts (priced by CostModel.backing_backoff_weight)
+    backing_backoff_cycles: int = 0
+
     # -- context events -----------------------------------------------------
     contexts_created: int = 0
     contexts_ended: int = 0
@@ -209,6 +221,31 @@ class RegFileStats:
     def snapshot(self):
         """Return a plain dict of every raw counter (for reports/tests)."""
         return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    # -- checkpointing ---------------------------------------------------
+
+    def capture(self):
+        """Snapshot-protocol state dict (same payload as ``snapshot``)."""
+        return self.snapshot()
+
+    def restore(self, state):
+        """Overwrite every counter from a ``capture()`` dict.
+
+        The field sets must match exactly: silently dropping a counter
+        (or zero-filling a missing one) would corrupt resumed stats.
+        """
+        from repro.errors import SnapshotError
+
+        expected = {f.name for f in fields(self)}
+        if set(state) != expected:
+            missing = expected - set(state)
+            extra = set(state) - expected
+            raise SnapshotError(
+                f"stats snapshot fields do not match: "
+                f"missing={sorted(missing)} extra={sorted(extra)}"
+            )
+        for name, value in state.items():
+            setattr(self, name, value)
 
     def reset(self):
         """Zero every counter except the capacity."""

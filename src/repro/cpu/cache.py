@@ -51,6 +51,37 @@ class DirectMappedCache:
         self.hits = 0
         self.misses = 0
 
+    # -- checkpointing ---------------------------------------------------
+
+    def capture(self):
+        return {
+            "kind": "cache",
+            "config": {
+                "num_lines": self.num_lines,
+                "words_per_line": self.words_per_line,
+                "hit_cycles": self.hit_cycles,
+                "miss_cycles": self.miss_cycles,
+            },
+            "hits": self.hits,
+            "misses": self.misses,
+            "tags": sorted(
+                [index, line_address]
+                for index, line_address in self._tags.items()
+            ),
+        }
+
+    def restore(self, state):
+        from repro.core.snapshot import expect_config, expect_kind
+
+        expect_kind(state, "cache")
+        expect_config(state, num_lines=self.num_lines,
+                      words_per_line=self.words_per_line,
+                      hit_cycles=self.hit_cycles,
+                      miss_cycles=self.miss_cycles)
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+        self._tags = {index: line for index, line in state["tags"]}
+
 
 class PerfectCache(DirectMappedCache):
     """Always hits — isolates register-file effects in experiments."""

@@ -110,6 +110,38 @@ class CompressionIntegrityError(RegisterFileError):
         self.received = received
 
 
+class SnapshotError(ReproError):
+    """A checkpoint could not be captured or restored.
+
+    Raised for structural problems: capturing a non-quiescent machine,
+    restoring a snapshot into an incompatibly-configured object, or
+    serializing a value outside the canonical-encoding domain.
+    """
+
+
+class SnapshotIntegrityError(SnapshotError):
+    """A serialized snapshot failed its integrity hash (corrupt or
+    truncated bytes)."""
+
+
+class SnapshotVersionError(SnapshotError):
+    """A serialized snapshot was written by an incompatible protocol
+    version."""
+
+    def __init__(self, found, expected):
+        super().__init__(
+            f"snapshot protocol version {found} is not supported "
+            f"(this build reads version {expected})"
+        )
+        self.found = found
+        self.expected = expected
+
+
+class JournalError(ReproError):
+    """A sweep journal is unusable for the requested resume (wrong
+    experiment, scale, or seed — resuming would silently mix results)."""
+
+
 class AssemblerError(ReproError):
     """Raised for malformed assembly input."""
 

@@ -76,8 +76,9 @@ def run_cell(workload_name, config, scale=1.0, seed=1):
     return model, port
 
 
-def run(scale=1.0, seed=1):
-    table = ExperimentTable(
+def table_skeleton(scale=1.0, seed=1):
+    """The sweep's empty table (headers/notes only)."""
+    return ExperimentTable(
         experiment="Compression",
         title="Spill-path compression: on-wire bytes by codec, "
               "granularity, workload",
@@ -88,19 +89,38 @@ def run(scale=1.0, seed=1):
               "on identical traffic; raw = 4 B/word uncompressed wire; "
               "Ratio = raw/wire bytes, Wire % = on-wire share of raw",
     )
-    for workload_name in SWEEP_WORKLOADS:
-        for config_name, config in MODEL_CONFIGS:
-            _, port = run_cell(workload_name, config, scale=scale,
-                               seed=seed)
-            for codec in CODEC_SWEEP:
-                cs = port.stats_for(codec)
-                table.add_row(
-                    workload_name, config_name, codec,
-                    cs.raw_spill_bytes, cs.wire_spill_bytes,
-                    cs.raw_reload_bytes, cs.wire_reload_bytes,
-                    round(cs.total_ratio, 3),
-                    round(100.0 * cs.wire_fraction, 2),
-                )
+
+
+def cell_keys():
+    """Independent sweep cells, in table order (``workload/config``)."""
+    return [f"{workload}/{config}"
+            for workload in SWEEP_WORKLOADS
+            for config, _ in MODEL_CONFIGS]
+
+
+def run_cell_rows(key, scale=1.0, seed=1):
+    """Run one sweep cell; returns its table rows (one per codec)."""
+    workload_name, config_name = key.split("/", 1)
+    config = dict(MODEL_CONFIGS)[config_name]
+    _, port = run_cell(workload_name, config, scale=scale, seed=seed)
+    rows = []
+    for codec in CODEC_SWEEP:
+        cs = port.stats_for(codec)
+        rows.append([
+            workload_name, config_name, codec,
+            cs.raw_spill_bytes, cs.wire_spill_bytes,
+            cs.raw_reload_bytes, cs.wire_reload_bytes,
+            round(cs.total_ratio, 3),
+            round(100.0 * cs.wire_fraction, 2),
+        ])
+    return rows
+
+
+def run(scale=1.0, seed=1):
+    table = table_skeleton(scale=scale, seed=seed)
+    for key in cell_keys():
+        for row in run_cell_rows(key, scale=scale, seed=seed):
+            table.add_row(*row)
     return table
 
 

@@ -17,6 +17,8 @@ Goldens are recorded at a fixed reduced scale so the check stays fast.
 import json
 import pathlib
 
+from repro.ioutil import atomic_write_text
+
 GOLDEN_SCALE = 0.35
 GOLDEN_SEED = 11
 
@@ -41,9 +43,49 @@ def write_goldens(directory=DEFAULT_DIR, scale=GOLDEN_SCALE,
     for name, table in _tables(scale, seed):
         payload = {"scale": scale, "seed": seed, **table.to_dict()}
         path = directory / f"{name}.json"
-        path.write_text(json.dumps(payload, indent=1, sort_keys=True))
+        atomic_write_text(path, json.dumps(payload, indent=1,
+                                           sort_keys=True))
         written.append(path)
     return written
+
+
+def _diff_tables(name, stored, fresh):
+    """Row-level diff of two ``to_dict()`` payloads; returns deviations."""
+    if fresh["headers"] != stored["headers"]:
+        return [f"{name}: headers changed"]
+    if len(fresh["rows"]) != len(stored["rows"]):
+        return [f"{name}: row count {len(stored['rows'])} -> "
+                f"{len(fresh['rows'])}"]
+    return [
+        f"{name} row {row_index}: {old} -> {new}"
+        for row_index, (old, new) in enumerate(
+            zip(stored["rows"], fresh["rows"]))
+        if old != new
+    ]
+
+
+def compare_table(name, table, directory=DEFAULT_DIR, scale=None,
+                  seed=None):
+    """Diff an already-assembled table against its golden.
+
+    Used by the resumable sweep runner, whose rows may come from a
+    journal rather than a fresh run.  When ``scale``/``seed`` are given
+    they must match the golden's recorded values — comparing rows
+    produced at a different operating point is meaningless.
+    """
+    directory = pathlib.Path(directory)
+    path = directory / f"{name}.json"
+    if not path.exists():
+        return [f"{name}: experiment has no golden in {directory} "
+                "(run --write-goldens first)"]
+    stored = json.loads(path.read_text())
+    if scale is not None and scale != stored["scale"]:
+        return [f"{name}: table ran at scale {scale}, golden recorded "
+                f"at {stored['scale']}"]
+    if seed is not None and seed != stored["seed"]:
+        return [f"{name}: table ran at seed {seed}, golden recorded "
+                f"at {stored['seed']}"]
+    return _diff_tables(name, stored, table.to_dict())
 
 
 def compare_golden(name, directory=DEFAULT_DIR):
@@ -63,18 +105,7 @@ def compare_golden(name, directory=DEFAULT_DIR):
     stored = json.loads(path.read_text())
     table = run_experiment(name, scale=stored["scale"],
                            seed=stored["seed"])
-    fresh = table.to_dict()
-    if fresh["headers"] != stored["headers"]:
-        return [f"{name}: headers changed"]
-    if len(fresh["rows"]) != len(stored["rows"]):
-        return [f"{name}: row count {len(stored['rows'])} -> "
-                f"{len(fresh['rows'])}"]
-    return [
-        f"{name} row {row_index}: {old} -> {new}"
-        for row_index, (old, new) in enumerate(
-            zip(stored["rows"], fresh["rows"]))
-        if old != new
-    ]
+    return _diff_tables(name, stored, table.to_dict())
 
 
 def compare_goldens(directory=DEFAULT_DIR):

@@ -1,0 +1,150 @@
+"""Write-ahead journal for resumable experiment sweeps.
+
+One JSON record per line, appended with flush+fsync *before* the sweep
+moves on — so a crash (or SIGKILL) can lose at most the record being
+written, never a completed one.  Every record carries a sha256 over its
+own canonical JSON; :meth:`Journal.load` silently drops truncated or
+corrupted lines (a half-written tail is the expected crash artefact)
+and reports how many it dropped, so a resume re-runs exactly the cells
+whose results did not land intact.
+
+The first record is a *header* naming the experiment and its operating
+point (scale, seed).  Resuming against a journal whose header disagrees
+raises :class:`~repro.errors.JournalError` — mixing cells from two
+operating points would silently corrupt the assembled table.
+"""
+
+import hashlib
+import json
+import os
+import pathlib
+
+from repro.errors import JournalError
+
+JOURNAL_VERSION = 1
+
+
+def _record_sha(record):
+    """Integrity hash over the record's canonical JSON (minus ``sha``)."""
+    payload = {key: value for key, value in record.items()
+               if key != "sha"}
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class Journal:
+    """Append-only JSONL journal with per-record integrity hashes."""
+
+    def __init__(self, path):
+        self.path = pathlib.Path(path)
+
+    def exists(self):
+        return self.path.exists()
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, record):
+        """Stamp, write and fsync one record; returns the stamped dict."""
+        record = dict(record)
+        record["sha"] = _record_sha(record)
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        return record
+
+    def write_header(self, experiment, scale, seed):
+        return self.append({
+            "record": "header",
+            "version": JOURNAL_VERSION,
+            "experiment": experiment,
+            "scale": scale,
+            "seed": seed,
+        })
+
+    def append_cell(self, key, status, payload=None, attempts=1,
+                    error=None):
+        return self.append({
+            "record": "cell",
+            "key": key,
+            "status": status,
+            "payload": payload,
+            "attempts": attempts,
+            "error": error,
+        })
+
+    # -- reading -----------------------------------------------------------
+
+    def load(self):
+        """Parse the journal; returns ``(header, cells, dropped)``.
+
+        * ``header`` — the header record, or None if absent/corrupt;
+        * ``cells`` — ``{key: record}``, last intact record wins;
+        * ``dropped`` — count of unparsable/corrupt/unknown lines.
+        """
+        header = None
+        cells = {}
+        dropped = 0
+        if not self.path.exists():
+            return header, cells, dropped
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        for raw in lines:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                record = json.loads(raw)
+            except json.JSONDecodeError:
+                dropped += 1
+                continue
+            if not isinstance(record, dict) or "sha" not in record:
+                dropped += 1
+                continue
+            if record["sha"] != _record_sha(record):
+                dropped += 1
+                continue
+            kind = record.get("record")
+            if kind == "header":
+                if record.get("version") != JOURNAL_VERSION:
+                    raise JournalError(
+                        f"{self.path}: journal version "
+                        f"{record.get('version')!r}, this build reads "
+                        f"{JOURNAL_VERSION}"
+                    )
+                if header is None:
+                    header = record
+                elif record != header:
+                    raise JournalError(
+                        f"{self.path}: conflicting header records — "
+                        "two different sweeps wrote to one journal"
+                    )
+            elif kind == "cell" and "key" in record:
+                cells[record["key"]] = record
+            else:
+                dropped += 1
+        return header, cells, dropped
+
+    def check_header(self, experiment, scale, seed):
+        """Validate this journal belongs to the requested sweep.
+
+        Returns ``(cells, dropped)`` on success; raises
+        :class:`~repro.errors.JournalError` on any mismatch.
+        """
+        header, cells, dropped = self.load()
+        if header is None:
+            raise JournalError(
+                f"{self.path}: no intact header record — the journal is "
+                "corrupt from the start; delete it to run fresh"
+            )
+        for field, wanted in (("experiment", experiment),
+                              ("scale", scale), ("seed", seed)):
+            if header[field] != wanted:
+                raise JournalError(
+                    f"{self.path}: journal {field} is "
+                    f"{header[field]!r}, sweep requested {wanted!r} — "
+                    "refusing to mix operating points"
+                )
+        return cells, dropped

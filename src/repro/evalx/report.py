@@ -47,6 +47,18 @@ def main(argv=None):
     parser.add_argument("--check", action="store_true",
                         help="verify one experiment against its golden "
                              "(requires an experiment name)")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="run as a crash-safe journalled sweep, "
+                             "writing cell results to PATH")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume a journalled sweep, skipping "
+                             "completed cells")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="wall-clock watchdog per sweep cell "
+                             "(seconds; implies the journalled runner)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="where the journalled sweep writes its "
+                             "final table (JSON)")
     args = parser.parse_args(argv)
     if args.name:
         if args.experiment and args.experiment != args.name:
@@ -55,6 +67,22 @@ def main(argv=None):
         args.experiment = args.name
 
     import sys
+    if (args.journal is not None or args.resume
+            or args.timeout is not None or args.out is not None):
+        if not args.experiment:
+            parser.error("--journal/--resume/--timeout/--out need an "
+                         "experiment name")
+        from repro.evalx.runner import run_sweep
+
+        result = run_sweep(
+            args.experiment, scale=args.scale, seed=args.seed,
+            journal_path=args.journal, out_path=args.out,
+            resume=args.resume, timeout=args.timeout,
+            check=args.check, stream=sys.stdout,
+        )
+        if result.table is not None:
+            print(result.table.render())
+        return 0 if result.ok else 1
     if args.check:
         if not args.experiment:
             parser.error("--check needs an experiment name")

@@ -121,39 +121,52 @@ def campaign_triggers(seed, count=TRIGGERS_PER_CELL):
     return sorted(rng.randrange(150, 2600) for _ in range(count))
 
 
+def run_campaign_cell(kind, model_kind, level, scale=1.0, seed=1):
+    """One campaign cell: every trigger of one kind/model/protection."""
+    triggers = campaign_triggers(seed)
+    workload_scale = max(0.12, 0.25 * scale)
+    counts = {outcome: 0 for outcome in OUTCOMES}
+    injected = 0
+    retired = 0
+    for trigger in triggers:
+        record = run_single(kind, model_kind, level, trigger,
+                            scale=workload_scale, seed=seed)
+        counts[record["outcome"]] += 1
+        injected += int(record["injected"])
+        retired += record["retired"]
+    return {
+        "kind": kind,
+        "model": model_kind,
+        "protection": level,
+        "runs": len(triggers),
+        "injected": injected,
+        "retired": retired,
+        **counts,
+    }
+
+
 def run_campaign(scale=1.0, seed=1, kinds=FAULT_KINDS,
                  models=CAMPAIGN_MODELS, protection=CAMPAIGN_PROTECTION):
     """Full sweep; returns one aggregate record per campaign cell."""
-    triggers = campaign_triggers(seed)
-    workload_scale = max(0.12, 0.25 * scale)
-    cells = []
-    for kind in kinds:
-        for model_kind in models:
-            for level in protection:
-                counts = {outcome: 0 for outcome in OUTCOMES}
-                injected = 0
-                retired = 0
-                for trigger in triggers:
-                    record = run_single(kind, model_kind, level, trigger,
-                                        scale=workload_scale, seed=seed)
-                    counts[record["outcome"]] += 1
-                    injected += int(record["injected"])
-                    retired += record["retired"]
-                cells.append({
-                    "kind": kind,
-                    "model": model_kind,
-                    "protection": level,
-                    "runs": len(triggers),
-                    "injected": injected,
-                    "retired": retired,
-                    **counts,
-                })
-    return cells
+    return [
+        run_campaign_cell(kind, model_kind, level, scale=scale, seed=seed)
+        for kind in kinds
+        for model_kind in models
+        for level in protection
+    ]
 
 
-def run(scale=1.0, seed=1):
-    """The campaign as an experiment table (golden-locked)."""
-    table = ExperimentTable(
+def _cell_row(cell):
+    return [
+        cell["kind"], cell["model"], cell["protection"], cell["runs"],
+        cell["injected"], cell["corrected"], cell["reread"],
+        cell["reloaded"], cell["trapped"], cell["retired"],
+        cell["detected"], cell["harmless"], cell["silent"],
+    ]
+
+
+def table_skeleton(scale=1.0, seed=1):
+    return ExperimentTable(
         experiment="Resilience",
         title="Fault-injection campaign: outcomes by kind, model, "
               "protection",
@@ -164,13 +177,28 @@ def run(scale=1.0, seed=1):
               "only with protection off (shadow checking disabled "
               "throughout)",
     )
+
+
+def cell_keys():
+    """Independent campaign cells (``kind/model/protection``)."""
+    return [f"{kind}/{model_kind}/{level}"
+            for kind in FAULT_KINDS
+            for model_kind in CAMPAIGN_MODELS
+            for level in CAMPAIGN_PROTECTION]
+
+
+def run_cell_rows(key, scale=1.0, seed=1):
+    kind, model_kind, level = key.split("/")
+    cell = run_campaign_cell(kind, model_kind, level, scale=scale,
+                             seed=seed)
+    return [_cell_row(cell)]
+
+
+def run(scale=1.0, seed=1):
+    """The campaign as an experiment table (golden-locked)."""
+    table = table_skeleton(scale=scale, seed=seed)
     for cell in run_campaign(scale=scale, seed=seed):
-        table.add_row(
-            cell["kind"], cell["model"], cell["protection"], cell["runs"],
-            cell["injected"], cell["corrected"], cell["reread"],
-            cell["reloaded"], cell["trapped"], cell["retired"],
-            cell["detected"], cell["harmless"], cell["silent"],
-        )
+        table.add_row(*_cell_row(cell))
     return table
 
 

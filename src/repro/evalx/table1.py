@@ -9,11 +9,11 @@ static-metric substitution).
 
 from repro.evalx.common import make_nsf
 from repro.evalx.tables import ExperimentTable
-from repro.workloads import ALL_WORKLOADS
+from repro.workloads import ALL_WORKLOADS, get_workload
 
 
-def run(scale=1.0, seed=1):
-    table = ExperimentTable(
+def table_skeleton(scale=1.0, seed=1):
+    return ExperimentTable(
         experiment="Table 1",
         title="Characteristics of benchmark programs",
         headers=["Benchmark", "Type", "Source lines", "Static instr",
@@ -22,18 +22,32 @@ def run(scale=1.0, seed=1):
               "executed instr at harness scale "
               f"{scale} (the paper ran full-size inputs)",
     )
-    for workload_cls in ALL_WORKLOADS:
-        workload = workload_cls()
-        static = workload.static_metrics()
-        nsf = make_nsf(workload)
-        workload.run(nsf, scale=scale, seed=seed)
-        stats = nsf.stats
-        table.add_row(
-            workload.name,
-            workload.kind.capitalize(),
-            static["source_lines"],
-            static["static_instructions"],
-            stats.instructions,
-            round(stats.instructions_per_switch, 1),
-        )
+
+
+def cell_keys():
+    """One independent cell per benchmark, in table order."""
+    return [workload_cls.name for workload_cls in ALL_WORKLOADS]
+
+
+def run_cell_rows(key, scale=1.0, seed=1):
+    workload = get_workload(key)
+    static = workload.static_metrics()
+    nsf = make_nsf(workload)
+    workload.run(nsf, scale=scale, seed=seed)
+    stats = nsf.stats
+    return [[
+        workload.name,
+        workload.kind.capitalize(),
+        static["source_lines"],
+        static["static_instructions"],
+        stats.instructions,
+        round(stats.instructions_per_switch, 1),
+    ]]
+
+
+def run(scale=1.0, seed=1):
+    table = table_skeleton(scale=scale, seed=seed)
+    for key in cell_keys():
+        for row in run_cell_rows(key, scale=scale, seed=seed):
+            table.add_row(*row)
     return table

@@ -1,0 +1,63 @@
+"""Crash-safe file I/O: atomic write-then-rename.
+
+Experiment CLIs used to write results with a plain ``open()``/
+``write()`` — an interrupt (SIGKILL, OOM, power loss) mid-write left a
+half-written file that a later run would happily parse.  Every durable
+artifact of the repo (golden tables, ``benchmarks/results/`` reports,
+sweep journals, snapshots) now goes through :func:`atomic_write_bytes`:
+the payload lands in a temporary file in the *same directory* (same
+filesystem, so the rename is atomic), is flushed and fsynced, and only
+then renamed over the destination — the ``O_TMPFILE``-and-link
+discipline, portably.  Readers therefore observe either the old
+complete file or the new complete file, never a torn mixture.
+"""
+
+import os
+import tempfile
+
+
+def atomic_write_bytes(path, data):
+    """Atomically replace ``path`` with ``data``; returns ``path``.
+
+    The temporary file is created next to the destination so
+    ``os.replace`` stays within one filesystem.  On any failure the
+    temporary is removed and the destination is left untouched.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".atomic-",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(directory)
+    return path
+
+
+def atomic_write_text(path, text, encoding="utf-8"):
+    """Atomically replace ``path`` with ``text``; returns ``path``."""
+    return atomic_write_bytes(path, text.encode(encoding))
+
+
+def _fsync_directory(directory):
+    """Persist the rename itself (best effort — not all platforms
+    allow opening a directory)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)

@@ -60,6 +60,28 @@ class CIDAllocator:
     def live_count(self):
         return len(self._live)
 
+    # -- checkpointing ---------------------------------------------------
+
+    def capture(self):
+        # _free order is the LIFO reuse order and must survive exactly;
+        # _live is only membership-tested, so sorted capture is safe
+        return {
+            "kind": "cid-allocator",
+            "config": {"bits": self.bits},
+            "free": list(self._free),
+            "live": sorted(self._live),
+            "high_watermark": self.high_watermark,
+        }
+
+    def restore(self, state):
+        from repro.core.snapshot import expect_config, expect_kind
+
+        expect_kind(state, "cid-allocator")
+        expect_config(state, bits=self.bits)
+        self._free = list(state["free"])
+        self._live = set(state["live"])
+        self.high_watermark = state["high_watermark"]
+
     def is_live(self, cid):
         return cid in self._live
 

@@ -42,7 +42,8 @@ class NodeMachine(ThreadMachine):
         else:
             thread.state = Thread.SLEEPING
             heapq.heappush(self._sleeping,
-                           (arrival, next(self._sleep_seq), thread))
+                           (arrival, self._sleep_seq, thread))
+            self._sleep_seq += 1
 
     def __repr__(self):
         return (f"<Node {self.node_id} cycles={self.cycles} "

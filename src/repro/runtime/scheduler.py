@@ -15,7 +15,6 @@ meant to avoid).
 """
 
 import heapq
-import itertools
 from collections import deque
 
 from repro.activation.machine import Activation, Machine
@@ -54,7 +53,9 @@ class ThreadMachine(Machine):
             self.cid_allocator = CIDAllocator(cid_bits)
         self._ready = deque()
         self._sleeping = []
-        self._sleep_seq = itertools.count()
+        # plain int FIFO tie-breaker for the sleep heap (itertools.count
+        # cannot be captured into a snapshot)
+        self._sleep_seq = 0
         self._blocked = {}
         self._live = 0
         self.idle_cycles = 0
@@ -180,7 +181,8 @@ class ThreadMachine(Machine):
             # Remote access: park until the reply arrives.
             wake_at = self.cycles + stall.latency
             heapq.heappush(self._sleeping,
-                           (wake_at, next(self._sleep_seq), thread))
+                           (wake_at, self._sleep_seq, thread))
+            self._sleep_seq += 1
             thread.state = Thread.SLEEPING
             return
 
@@ -266,3 +268,66 @@ class ThreadMachine(Machine):
             "thread can resolve",
             wait_graph=self.wait_graph(),
         )
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def is_quiescent(self):
+        """True when no thread is live in any state.
+
+        Live threads are paused Python generators; no snapshot can carry
+        them, so the machine checkpoints only between complete ``run``
+        batches (exactly where the sweep runner cuts its cells).
+        """
+        return not (self._live or self._ready or self._sleeping
+                    or self._blocked)
+
+    def capture(self):
+        from repro.errors import SnapshotError
+
+        if not self.is_quiescent():
+            raise SnapshotError(
+                f"cannot snapshot a ThreadMachine with live threads "
+                f"({self._live} live, {len(self._ready)} ready, "
+                f"{len(self._sleeping)} sleeping, "
+                f"{len(self._blocked)} blocked); run() to completion first"
+            )
+        return {
+            "kind": "thread-machine",
+            "config": {
+                "context_size": self.context_size,
+                "remote_latency": self.remote_latency,
+                "verify_values": self.verify_values,
+                "eager_switch": self.eager_switch,
+            },
+            "machine": self._capture_machine(),
+            "idle_cycles": self.idle_cycles,
+            "threads_spawned": self.threads_spawned,
+            "sleep_seq": self._sleep_seq,
+            "cid_allocator": (None if self.cid_allocator is None
+                              else self.cid_allocator.capture()),
+        }
+
+    def restore(self, state):
+        from repro.core.snapshot import expect_config, expect_kind
+        from repro.errors import SnapshotError
+
+        expect_kind(state, "thread-machine")
+        expect_config(state, context_size=self.context_size,
+                      remote_latency=self.remote_latency,
+                      verify_values=self.verify_values,
+                      eager_switch=self.eager_switch)
+        if not self.is_quiescent():
+            raise SnapshotError(
+                "cannot restore into a ThreadMachine with live threads"
+            )
+        self._restore_machine(state["machine"])
+        self.idle_cycles = state["idle_cycles"]
+        self.threads_spawned = state["threads_spawned"]
+        self._sleep_seq = state["sleep_seq"]
+        saved_cids = state["cid_allocator"]
+        if (saved_cids is None) != (self.cid_allocator is None):
+            raise SnapshotError(
+                "snapshot and machine disagree on CID-allocator presence"
+            )
+        if saved_cids is not None:
+            self.cid_allocator.restore(saved_cids)

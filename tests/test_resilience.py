@@ -409,6 +409,64 @@ class TestRetryingBackingStore:
         assert result.verified
         assert inner.backing.transient_faults > 0
 
+    def test_backoff_is_simulated_cycles_and_deterministic(self):
+        # The k-th retry of one operation costs base << k simulated
+        # cycles — no wall-clock sleeps anywhere on this path.
+        def run_store():
+            store = RetryingBackingStore(BackingStore(), max_retries=10,
+                                         fault_rate=0.5, seed=4,
+                                         backoff_base=2)
+            for offset in range(50):
+                store.spill(1, offset, offset)
+            for offset in range(50):
+                store.reload(1, offset)
+            return store
+
+        first, second = run_store(), run_store()
+        assert first.retries > 0
+        assert first.backoff_cycles > 0
+        assert first.retries == second.retries
+        assert first.backoff_cycles == second.backoff_cycles
+        # Every retry pays at least the base penalty (attempt 0 pays
+        # exactly base, later attempts double it).
+        assert first.backoff_cycles >= first.backoff_base * first.retries
+
+    def test_retry_counters_flow_into_regfile_stats(self):
+        from repro.core import RegFileStats
+
+        stats = RegFileStats()
+        store = RetryingBackingStore(BackingStore(), max_retries=10,
+                                     fault_rate=0.5, seed=4,
+                                     backoff_base=2).attach_stats(stats)
+        for offset in range(50):
+            store.spill(1, offset, offset)
+        assert stats.backing_transient_faults == store.transient_faults
+        assert stats.backing_retries == store.retries
+        assert stats.backing_backoff_cycles == store.backoff_cycles
+        assert stats.backing_exhaustions == 0
+
+    def test_exhaustion_counted_in_stats(self):
+        from repro.core import RegFileStats
+
+        stats = RegFileStats()
+        store = RetryingBackingStore(BackingStore(), max_retries=2,
+                                     fault_rate=0.999999,
+                                     seed=1).attach_stats(stats)
+        with pytest.raises(BackingStoreFaultError):
+            store.spill(1, 0, 42)
+        assert store.exhaustions == 1
+        assert stats.backing_exhaustions == 1
+
+    def test_cost_model_prices_backoff_cycles(self):
+        from repro.core import CostModel, RegFileStats
+
+        stats = RegFileStats()
+        stats.backing_backoff_cycles = 10
+        base = CostModel(name="t", backing_backoff_weight=0.0)
+        priced = CostModel(name="t", backing_backoff_weight=1.5)
+        assert (priced.traffic_cycles(stats)
+                - base.traffic_cycles(stats)) == 15.0
+
 
 # -- the campaign contract ---------------------------------------------------
 

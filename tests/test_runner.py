@@ -1,0 +1,231 @@
+"""The crash-safe sweep runner and its write-ahead journal.
+
+Covers the journal's corruption handling, resume-from-journal
+semantics, the loud-drop contract for failing cells, the wall-clock
+watchdog, and — the headline — kill-and-resume producing output
+byte-identical to an uninterrupted sweep.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import JournalError
+from repro.evalx import run_experiment
+from repro.evalx import runner as runner_mod
+from repro.evalx.journal import Journal
+from repro.evalx.runner import run_sweep, smoke, sweep_cells
+
+SCALE = 0.1
+SEED = 5
+
+
+# -- the journal -------------------------------------------------------------
+
+
+class TestJournal:
+    def test_append_and_load(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.write_header("table1", 0.5, 7)
+        journal.append_cell("a", "ok", payload={"rows": [[1, 2]]},
+                            attempts=2)
+        header, cells, dropped = journal.load()
+        assert header["experiment"] == "table1"
+        assert header["scale"] == 0.5 and header["seed"] == 7
+        assert cells["a"]["payload"] == {"rows": [[1, 2]]}
+        assert cells["a"]["attempts"] == 2
+        assert dropped == 0
+
+    def test_last_intact_record_wins(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.write_header("table1", 0.5, 7)
+        journal.append_cell("a", "failed", error="boom")
+        journal.append_cell("a", "ok", payload={"rows": []})
+        _, cells, _ = journal.load()
+        assert cells["a"]["status"] == "ok"
+
+    def test_corrupt_and_truncated_lines_are_dropped(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.write_header("table1", 0.5, 7)
+        journal.append_cell("a", "ok", payload={"rows": [[1]]})
+        journal.append_cell("b", "ok", payload={"rows": [[2]]})
+        lines = journal.path.read_text().splitlines()
+        # b's record half-written (the SIGKILL artefact), plus garbage
+        lines = lines[:2] + [lines[2][:len(lines[2]) // 2], "{nope"]
+        journal.path.write_text("\n".join(lines) + "\n")
+        header, cells, dropped = journal.load()
+        assert header is not None
+        assert set(cells) == {"a"}
+        assert dropped == 2
+
+    def test_tampered_record_is_dropped(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.write_header("table1", 0.5, 7)
+        record = journal.append_cell("a", "ok",
+                                     payload={"rows": [[41]]})
+        lines = journal.path.read_text().splitlines()
+        tampered = dict(record)
+        tampered["payload"] = {"rows": [[42]]}  # sha now stale
+        lines[1] = json.dumps(tampered, sort_keys=True,
+                              separators=(",", ":"))
+        journal.path.write_text("\n".join(lines) + "\n")
+        _, cells, dropped = journal.load()
+        assert cells == {}
+        assert dropped == 1
+
+    def test_header_mismatch_refuses_resume(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.write_header("table1", 0.5, 7)
+        journal.check_header("table1", 0.5, 7)
+        with pytest.raises(JournalError):
+            journal.check_header("table1", 0.35, 7)
+        with pytest.raises(JournalError):
+            journal.check_header("compression", 0.5, 7)
+        with pytest.raises(JournalError):
+            journal.check_header("table1", 0.5, 8)
+
+    def test_missing_header_refuses_resume(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.append_cell("a", "ok", payload={"rows": []})
+        with pytest.raises(JournalError):
+            journal.check_header("table1", 0.5, 7)
+
+    def test_conflicting_headers_raise(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.write_header("table1", 0.5, 7)
+        journal.write_header("table1", 0.5, 8)
+        with pytest.raises(JournalError):
+            journal.load()
+
+
+# -- the sweep runner --------------------------------------------------------
+
+
+def _sweep(tmp_path, **kwargs):
+    kwargs.setdefault("scale", SCALE)
+    kwargs.setdefault("seed", SEED)
+    kwargs.setdefault("journal_path", tmp_path / "sweep.jsonl")
+    kwargs.setdefault("out_path", tmp_path / "sweep.json")
+    return run_sweep(kwargs.pop("experiment", "table1"), **kwargs)
+
+
+class TestRunSweep:
+    def test_sweep_resume_and_partial_journal(self, tmp_path):
+        direct = run_experiment("table1", scale=SCALE,
+                                seed=SEED).to_dict()
+        result = _sweep(tmp_path)
+        assert result.ok
+        assert result.ran == len(result.keys) and result.skipped == 0
+        assert result.table.to_dict() == direct
+        out = json.loads((tmp_path / "sweep.json").read_text())
+        assert out["rows"] == direct["rows"]
+        assert out["scale"] == SCALE and out["seed"] == SEED
+
+        # An existing journal without --resume is an error, never an
+        # overwrite.
+        with pytest.raises(JournalError):
+            _sweep(tmp_path)
+
+        # Resume over a complete journal runs nothing.
+        again = _sweep(tmp_path, resume=True)
+        assert again.ran == 0
+        assert again.skipped == len(result.keys)
+        assert again.table.to_dict() == direct
+
+        # Truncate to header + 3 cells: resume re-runs exactly the rest
+        # and reassembles the identical table.
+        journal_path = tmp_path / "sweep.jsonl"
+        lines = journal_path.read_text().splitlines()
+        journal_path.write_text("\n".join(lines[:4]) + "\n")
+        partial = _sweep(tmp_path, resume=True)
+        assert partial.skipped == 3
+        assert partial.ran == len(result.keys) - 3
+        assert partial.table.to_dict() == direct
+
+    def test_failed_cell_is_dropped_loudly(self, tmp_path,
+                                           monkeypatch):
+        keys = sweep_cells("table1")[:2]
+        monkeypatch.setattr(runner_mod, "sweep_cells",
+                            lambda experiment: list(keys))
+        monkeypatch.setenv(runner_mod.FAIL_CELLS_ENV, f"{keys[0]}:99")
+        stream = io.StringIO()
+        result = _sweep(tmp_path, retries=0, stream=stream)
+        assert not result.ok
+        assert result.dropped_keys == [keys[0]]
+        assert "1 of 2 cell(s) dropped" in stream.getvalue()
+        assert "PARTIAL" in result.table.notes
+        assert len(result.table.rows) == 1
+
+    def test_transient_failure_is_retried(self, tmp_path, monkeypatch):
+        keys = sweep_cells("table1")[:2]
+        monkeypatch.setattr(runner_mod, "sweep_cells",
+                            lambda experiment: list(keys))
+        monkeypatch.setenv(runner_mod.FAIL_CELLS_ENV, f"{keys[0]}:1")
+        result = _sweep(tmp_path, retries=1)
+        assert result.ok
+        _, cells, _ = Journal(tmp_path / "sweep.jsonl").load()
+        assert cells[keys[0]]["attempts"] == 2
+        assert cells[keys[1]]["attempts"] == 1
+
+    def test_watchdog_kills_hung_cell(self, tmp_path, monkeypatch):
+        keys = sweep_cells("table1")[:2]
+        monkeypatch.setattr(runner_mod, "sweep_cells",
+                            lambda experiment: list(keys))
+        monkeypatch.setenv(runner_mod.HANG_CELLS_ENV, keys[0])
+        result = _sweep(tmp_path, retries=0, timeout=1.0)
+        assert result.dropped_keys == [keys[0]]
+        _, cells, _ = Journal(tmp_path / "sweep.jsonl").load()
+        assert "watchdog" in cells[keys[0]]["error"]
+
+    def test_resume_refuses_operating_point_mismatch(self, tmp_path):
+        journal = Journal(tmp_path / "sweep.jsonl")
+        journal.write_header("table1", 0.3, SEED)
+        with pytest.raises(JournalError):
+            _sweep(tmp_path, scale=0.4, resume=True)
+
+    def test_generic_experiment_sweeps_as_single_cell(self, tmp_path):
+        result = _sweep(tmp_path, experiment="fig05", scale=0.15,
+                        seed=2)
+        assert result.keys == [runner_mod.GENERIC_CELL]
+        direct = run_experiment("fig05", scale=0.15, seed=2)
+        assert result.table.to_dict() == direct.to_dict()
+
+
+# -- golden comparison of assembled tables ----------------------------------
+
+
+class TestCompareTable:
+    def test_assembled_table_matches_golden(self):
+        from repro.evalx.golden import (GOLDEN_SCALE, GOLDEN_SEED,
+                                        compare_table)
+
+        table = run_experiment("table1", scale=GOLDEN_SCALE,
+                               seed=GOLDEN_SEED)
+        assert compare_table("table1", table, scale=GOLDEN_SCALE,
+                             seed=GOLDEN_SEED) == []
+        table.rows[0] = list(table.rows[0])
+        table.rows[0][2] += 1
+        deviations = compare_table("table1", table)
+        assert deviations and "row 0" in deviations[0]
+
+    def test_operating_point_mismatch_is_a_deviation(self):
+        from repro.evalx.golden import (GOLDEN_SCALE, GOLDEN_SEED,
+                                        compare_table)
+
+        table = run_experiment("table1", scale=GOLDEN_SCALE,
+                               seed=GOLDEN_SEED)
+        deviations = compare_table("table1", table, scale=0.123,
+                                   seed=GOLDEN_SEED)
+        assert deviations and "scale" in deviations[0]
+
+
+# -- the headline: kill-and-resume is exact ---------------------------------
+
+
+def test_kill_and_resume_is_bit_identical(tmp_path):
+    # SIGKILLs a live sweep subprocess at seeded journal boundaries,
+    # resumes each time, and byte-compares against an uninterrupted
+    # run (see runner.smoke for the full protocol).
+    assert smoke(experiment="table1", scale=0.12, seed=3, kills=2,
+                 workdir=tmp_path, stream=io.StringIO()) == 0

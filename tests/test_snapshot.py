@@ -1,0 +1,547 @@
+"""Checkpoint/restore: round trips, adversarial states, rejection paths.
+
+The snapshot contract under test: ``restore(capture())`` into a fresh
+instance is *bit-exact* — the restored object's own capture hashes
+identically, and any subsequent operation tail produces identical
+state on both sides.  The framed serializer must reject every corrupt,
+truncated or version-skewed blob loudly.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.activation import Memory, SequentialMachine
+from repro.core import (
+    BackingStore,
+    ConventionalRegisterFile,
+    NamedStateRegisterFile,
+    ProtectedRegisterFile,
+    RegFileStats,
+    RetryingBackingStore,
+    SegmentedRegisterFile,
+    canonical_bytes,
+    compress_spills,
+    dumps,
+    from_canonical_bytes,
+    integrity_hash,
+    loads,
+)
+from repro.core.faults import FaultyRegisterFile
+from repro.cpu.cache import DirectMappedCache
+from repro.errors import (
+    ReproError,
+    SnapshotError,
+    SnapshotIntegrityError,
+    SnapshotVersionError,
+)
+from repro.runtime.cid import CIDAllocator
+from repro.runtime.scheduler import ThreadMachine
+
+# -- the canonical serializer ------------------------------------------------
+
+
+class TestCanonicalBytes:
+    def test_deterministic_across_dict_insertion_order(self):
+        assert (canonical_bytes({"a": 1, "b": [2, 3]})
+                == canonical_bytes({"b": [2, 3], "a": 1}))
+
+    def test_tuple_and_list_are_distinct(self):
+        assert canonical_bytes((1, 2)) != canonical_bytes([1, 2])
+        assert from_canonical_bytes(canonical_bytes((1, 2))) == (1, 2)
+        assert from_canonical_bytes(canonical_bytes([1, 2])) == [1, 2]
+
+    def test_bool_and_int_are_distinct(self):
+        assert canonical_bytes(True) != canonical_bytes(1)
+        assert canonical_bytes(False) != canonical_bytes(0)
+        assert from_canonical_bytes(canonical_bytes(True)) is True
+
+    def test_sets_are_rejected(self):
+        # Iteration order of a set is process-dependent; snapshots must
+        # carry sorted lists instead.
+        with pytest.raises(SnapshotError):
+            canonical_bytes({1, 2, 3})
+        with pytest.raises(SnapshotError):
+            canonical_bytes(frozenset([1]))
+
+    def test_unknown_types_are_rejected(self):
+        with pytest.raises(SnapshotError):
+            canonical_bytes(object())
+
+    def test_trailing_bytes_are_rejected(self):
+        blob = canonical_bytes([1, 2])
+        with pytest.raises(SnapshotIntegrityError):
+            from_canonical_bytes(blob + b"x")
+
+    def test_representative_round_trip(self):
+        value = {
+            "kind": "nsf",
+            "rng": (3, tuple(range(5)), None),
+            "values": [[[1, 0], 42], [[1, 1], -7]],
+            "f": 0.1,
+            "raw": b"\x00\xff",
+            "flag": True,
+            "none": None,
+        }
+        assert from_canonical_bytes(canonical_bytes(value)) == value
+
+
+CANONICAL_LEAVES = (st.none() | st.booleans()
+                    | st.integers(-2**70, 2**70)
+                    | st.floats(allow_nan=False)
+                    | st.text(max_size=20) | st.binary(max_size=20))
+
+CANONICAL_VALUES = st.recursive(
+    CANONICAL_LEAVES,
+    lambda children: (st.lists(children, max_size=5)
+                      | st.tuples(children, children)
+                      | st.dictionaries(st.text(max_size=8), children,
+                                        max_size=5)),
+    max_leaves=20,
+)
+
+
+class TestFramedSnapshot:
+    STATE = {"kind": "t", "values": [[0, 1], [1, 2]], "rng": (1, 2)}
+
+    def test_round_trip(self):
+        assert loads(dumps(self.STATE)) == self.STATE
+
+    def test_truncation_is_rejected(self):
+        blob = dumps(self.STATE)
+        for cut in (3, 8, 30, len(blob) - 1):
+            with pytest.raises(SnapshotIntegrityError):
+                loads(blob[:cut])
+
+    def test_bad_magic_is_rejected(self):
+        blob = dumps(self.STATE)
+        with pytest.raises(SnapshotIntegrityError):
+            loads(b"X" + blob[1:])
+
+    def test_version_skew_is_rejected(self):
+        blob = bytearray(dumps(self.STATE))
+        blob[7] = 99  # version byte follows the 7-byte magic
+        with pytest.raises(SnapshotVersionError) as excinfo:
+            loads(bytes(blob))
+        assert excinfo.value.found == 99
+
+    def test_payload_corruption_is_rejected(self):
+        blob = bytearray(dumps(self.STATE))
+        blob[-2] ^= 0x40
+        with pytest.raises(SnapshotIntegrityError):
+            loads(bytes(blob))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 10**6), st.integers(1, 255))
+    def test_any_single_byte_flip_is_detected(self, position, mask):
+        blob = bytearray(dumps(self.STATE))
+        blob[position % len(blob)] ^= mask
+        with pytest.raises(SnapshotError):
+            loads(bytes(blob))
+
+    @settings(max_examples=40, deadline=None)
+    @given(CANONICAL_VALUES)
+    def test_canonical_values_round_trip(self, value):
+        assert from_canonical_bytes(canonical_bytes(value)) == value
+        assert loads(dumps(value)) == value
+
+
+# -- register-file models ----------------------------------------------------
+
+MODEL_FACTORIES = {
+    "nsf-lru-line1": lambda: NamedStateRegisterFile(
+        num_registers=16, context_size=8, line_size=1),
+    "nsf-fifo-line2": lambda: NamedStateRegisterFile(
+        num_registers=16, context_size=8, line_size=2, policy="fifo"),
+    "nsf-random-line4": lambda: NamedStateRegisterFile(
+        num_registers=16, context_size=8, line_size=4, policy="random",
+        reload_scope="line"),
+    "nsf-dribble-fetchw": lambda: NamedStateRegisterFile(
+        num_registers=16, context_size=8, line_size=2,
+        fetch_on_write=True, spill_watermark=2),
+    "seg-frame": lambda: SegmentedRegisterFile(
+        num_registers=32, context_size=8),
+    "seg-live": lambda: SegmentedRegisterFile(
+        num_registers=32, context_size=8, spill_mode="live",
+        policy="random"),
+    "conventional": lambda: ConventionalRegisterFile(
+        num_registers=8, context_size=8),
+}
+
+
+def warm(model, contexts=5, writes=24):
+    """Drive a model into an adversarial mid-flight state.
+
+    More live registers than the file holds, so lines have been
+    evicted and reloaded; one context is dead; reads in reverse order
+    shuffle the victim policy; ticks let any dribble-back drain partly.
+    """
+    cids = [model.begin_context() for _ in range(contexts)]
+    for k, cid in enumerate(cids):
+        model.switch_to(cid)
+        for i in range(writes):
+            model.write(i % 8, k * 1000 + i, cid=cid)
+        if hasattr(model, "tick"):
+            model.tick()
+    for cid in reversed(cids):
+        model.read(0, cid=cid)
+    model.end_context(cids[1])
+    del cids[1]
+    return cids
+
+
+def tail(model, cids, salt=0):
+    """A deterministic post-restore operation tail."""
+    for k, cid in enumerate(cids):
+        model.switch_to(cid)
+        for i in range(10):
+            model.write((i + salt) % 8, salt + k * 37 + i, cid=cid)
+            model.read((i + salt) % 8, cid=cid)
+    if hasattr(model, "tick"):
+        model.tick()
+
+
+def assert_bit_exact_round_trip(make_model):
+    model = make_model()
+    cids = warm(model)
+    state = model.capture()
+    assert loads(dumps(state)) == state
+
+    fresh = make_model()
+    fresh.restore(state)
+    assert integrity_hash(fresh.capture()) == integrity_hash(state)
+
+    # The restored file must evolve identically to the original —
+    # victim choices, spills and stats included.
+    tail(model, cids, salt=3)
+    tail(fresh, cids, salt=3)
+    assert integrity_hash(fresh.capture()) == integrity_hash(
+        model.capture())
+    assert fresh.stats.snapshot() == model.stats.snapshot()
+
+
+@pytest.mark.parametrize("name", sorted(MODEL_FACTORIES))
+def test_model_round_trip_is_bit_exact(name):
+    assert_bit_exact_round_trip(MODEL_FACTORIES[name])
+
+
+def test_full_file_round_trip(self=None):
+    # Every line occupied, every access a fight: capture at maximum
+    # pressure.
+    def make():
+        return NamedStateRegisterFile(num_registers=4, context_size=8,
+                                      line_size=1)
+
+    model = make()
+    a, b = model.begin_context(), model.begin_context()
+    for i in range(8):
+        model.write(i, i, cid=a)
+        model.write(i, i + 100, cid=b)
+    state = model.capture()
+    fresh = make()
+    fresh.restore(state)
+    for i in range(8):
+        assert fresh.read(i, cid=a)[0] == model.read(i, cid=a)[0]
+    assert integrity_hash(fresh.capture()) == integrity_hash(
+        model.capture())
+
+
+def test_restore_rejects_wrong_kind():
+    nsf_state = NamedStateRegisterFile(num_registers=8,
+                                       context_size=8).capture()
+    with pytest.raises(SnapshotError):
+        SegmentedRegisterFile(num_registers=8,
+                              context_size=8).restore(nsf_state)
+
+
+def test_restore_rejects_config_mismatch():
+    state = NamedStateRegisterFile(num_registers=8, context_size=8,
+                                   line_size=2).capture()
+    with pytest.raises(SnapshotError):
+        NamedStateRegisterFile(num_registers=8, context_size=8,
+                               line_size=4).restore(state)
+    with pytest.raises(SnapshotError):
+        NamedStateRegisterFile(num_registers=16, context_size=8,
+                               line_size=2).restore(state)
+
+
+def test_stats_restore_is_strict():
+    stats = RegFileStats()
+    state = stats.capture()
+    missing = dict(state)
+    missing.pop("reads")
+    with pytest.raises(SnapshotError):
+        RegFileStats().restore(missing)
+    extra = dict(state)
+    extra["bogus_counter"] = 1
+    with pytest.raises(SnapshotError):
+        RegFileStats().restore(extra)
+
+
+# -- wrapper stacks ----------------------------------------------------------
+
+
+def make_protected_stack():
+    inner = NamedStateRegisterFile(num_registers=16, context_size=8,
+                                   line_size=2)
+    inner.backing = RetryingBackingStore(
+        inner.backing, max_retries=8, fault_rate=0.2, seed=3,
+    ).attach_stats(inner.stats)
+    port = compress_spills(inner, codec="raw", shadow_codecs=["zero"])
+    faulty = FaultyRegisterFile(inner, "flip_read_bit",
+                                trigger_at=10**9)
+    return ProtectedRegisterFile(faulty, level="ecc"), port
+
+
+def test_wrapper_stack_round_trip_is_bit_exact():
+    model, _ = make_protected_stack()
+    cids = warm(model)
+    state = model.capture()
+    assert loads(dumps(state)) == state
+
+    fresh, _ = make_protected_stack()
+    fresh.restore(state)
+    assert integrity_hash(fresh.capture()) == integrity_hash(state)
+
+    tail(model, cids, salt=5)
+    tail(fresh, cids, salt=5)
+    assert integrity_hash(fresh.capture()) == integrity_hash(
+        model.capture())
+
+
+def test_wrapper_stack_restore_rejects_codec_mismatch():
+    model, _ = make_protected_stack()
+    warm(model)
+    state = model.capture()
+
+    inner = NamedStateRegisterFile(num_registers=16, context_size=8,
+                                   line_size=2)
+    inner.backing = RetryingBackingStore(
+        inner.backing, max_retries=8, fault_rate=0.2, seed=3,
+    ).attach_stats(inner.stats)
+    compress_spills(inner, codec="raw", shadow_codecs=["narrow"])
+    faulty = FaultyRegisterFile(inner, "flip_read_bit",
+                                trigger_at=10**9)
+    other = ProtectedRegisterFile(faulty, level="ecc")
+    with pytest.raises(SnapshotError):
+        other.restore(state)
+
+
+# -- machines, caches, allocators -------------------------------------------
+
+
+def _seq_machine():
+    regfile = NamedStateRegisterFile(num_registers=16, context_size=8)
+    return SequentialMachine(regfile, cid_bits=6)
+
+
+def _fib_body(machine):
+    def body(act):
+        a, b, t = act.alloc_many(3)
+        act.let(a, 0)
+        act.let(b, 1)
+        for _ in range(8):
+            act.add(t, a, b)
+            act.mov(a, b)
+            act.mov(b, t)
+        return act.test(b)
+
+    return body
+
+
+def test_sequential_machine_round_trip():
+    machine = _seq_machine()
+    assert machine.run(_fib_body(machine)) == 34
+    state = machine.capture()
+    assert loads(dumps(state)) == state
+
+    fresh = _seq_machine()
+    fresh.restore(state)
+    assert integrity_hash(fresh.capture()) == integrity_hash(state)
+    assert fresh.run(_fib_body(fresh)) == machine.run(
+        _fib_body(machine))
+    assert integrity_hash(fresh.capture()) == integrity_hash(
+        machine.capture())
+
+
+def test_sequential_machine_refuses_mid_call_capture():
+    machine = _seq_machine()
+
+    def body(act):
+        a = act.alloc()
+        act.let(a, 1)
+        with pytest.raises(SnapshotError):
+            machine.capture()
+        return act.test(a)
+
+    assert machine.run(body) == 1
+
+
+def _thread_machine():
+    regfile = NamedStateRegisterFile(num_registers=32, context_size=8)
+    return ThreadMachine(regfile, cid_bits=6)
+
+
+def test_thread_machine_round_trip_when_quiescent():
+    machine = _thread_machine()
+
+    def worker(act):
+        a = act.alloc()
+        act.let(a, 5)
+        yield machine.remote()
+        act.addi(a, a, 1)
+        return act.test(a)
+
+    thread = machine.spawn(worker)
+    machine.run()
+    assert thread.result.value == 6
+    state = machine.capture()
+
+    fresh = _thread_machine()
+    fresh.restore(loads(dumps(state)))
+    assert integrity_hash(fresh.capture()) == integrity_hash(state)
+
+    # Identical follow-on work on both machines stays identical.
+    for m in (machine, fresh):
+        t = m.spawn(worker)
+        m.run()
+        assert t.result.value == 6
+    assert integrity_hash(fresh.capture()) == integrity_hash(
+        machine.capture())
+
+
+def test_thread_machine_refuses_live_thread_capture():
+    machine = _thread_machine()
+
+    def worker(act):
+        a = act.alloc()
+        act.let(a, 1)
+        yield machine.remote()
+        return act.test(a)
+
+    machine.spawn(worker)
+    with pytest.raises(SnapshotError):
+        machine.capture()
+
+
+def test_cache_round_trip():
+    cache = DirectMappedCache(num_lines=4, words_per_line=2)
+    for address in (0, 8, 16, 0, 8, 1024, 0):
+        cache.access(address)
+    state = cache.capture()
+    fresh = DirectMappedCache(num_lines=4, words_per_line=2)
+    fresh.restore(loads(dumps(state)))
+    assert integrity_hash(fresh.capture()) == integrity_hash(state)
+    assert fresh.access(0) == cache.access(0)
+    assert fresh.access(2048) == cache.access(2048)
+
+
+def test_cid_allocator_round_trip():
+    allocator = CIDAllocator(bits=4)
+    cids = [allocator.alloc() for _ in range(6)]
+    allocator.free(cids[2])
+    allocator.free(cids[4])
+    state = allocator.capture()
+    fresh = CIDAllocator(bits=4)
+    fresh.restore(loads(dumps(state)))
+    assert integrity_hash(fresh.capture()) == integrity_hash(state)
+    # The free list is LIFO; allocation order must survive the trip.
+    assert fresh.alloc() == allocator.alloc()
+    assert fresh.alloc() == allocator.alloc()
+
+
+def test_memory_round_trip():
+    memory = Memory()
+    base = memory.alloc(8)
+    for i in range(8):
+        memory.store(base + i, i * 3)
+    state = memory.capture()
+    fresh = Memory()
+    fresh.restore(loads(dumps(state)))
+    assert integrity_hash(fresh.capture()) == integrity_hash(state)
+    assert fresh.alloc(4) == memory.alloc(4)
+
+
+def test_backing_store_round_trip_preserves_insertion_order():
+    store = BackingStore()
+    for cid, offset in ((3, 1), (1, 9), (2, 0), (1, 2)):
+        store.spill(cid, offset, cid * 100 + offset)
+    state = store.capture()
+    fresh = BackingStore()
+    fresh.restore(loads(dumps(state)))
+    assert integrity_hash(fresh.capture()) == integrity_hash(state)
+    assert fresh.reload(1, 9) == 109
+
+
+# -- hypothesis: op sequences round-trip from any reachable state ------------
+
+OPS = st.lists(
+    st.tuples(st.integers(0, 4), st.integers(0, 7),
+              st.integers(0, 999)),
+    max_size=60,
+)
+
+
+def apply_ops(model, cids, ops):
+    """Replay an arbitrary op tape; invalid ops are no-ops on both sides."""
+    for op, reg, val in ops:
+        if not cids:
+            cids.append(model.begin_context())
+        cid = cids[val % len(cids)]
+        try:
+            if op == 0:
+                model.write(reg, val, cid=cid)
+            elif op == 1:
+                model.read(reg, cid=cid)
+            elif op == 2:
+                model.switch_to(cid)
+            elif op == 3 and len(cids) < 6:
+                cids.append(model.begin_context())
+            elif op == 4 and len(cids) > 1:
+                model.end_context(cids.pop(val % len(cids)))
+        except ReproError:
+            pass
+
+
+@settings(max_examples=25, deadline=None)
+@given(OPS, OPS)
+def test_property_nsf_round_trip_from_any_state(prefix, suffix):
+    def make():
+        return NamedStateRegisterFile(num_registers=8, context_size=8,
+                                      line_size=2, spill_watermark=1)
+
+    model = make()
+    cids = warm_cids = []
+    apply_ops(model, warm_cids, prefix)
+    state = model.capture()
+
+    fresh = make()
+    fresh.restore(loads(dumps(state)))
+    assert integrity_hash(fresh.capture()) == integrity_hash(state)
+
+    apply_ops(model, list(cids), suffix)
+    apply_ops(fresh, list(cids), suffix)
+    assert integrity_hash(fresh.capture()) == integrity_hash(
+        model.capture())
+
+
+@settings(max_examples=15, deadline=None)
+@given(OPS, OPS)
+def test_property_segmented_round_trip_from_any_state(prefix, suffix):
+    def make():
+        return SegmentedRegisterFile(num_registers=16, context_size=8,
+                                     policy="random")
+
+    model = make()
+    cids = []
+    apply_ops(model, cids, prefix)
+    state = model.capture()
+
+    fresh = make()
+    fresh.restore(loads(dumps(state)))
+    assert integrity_hash(fresh.capture()) == integrity_hash(state)
+
+    apply_ops(model, list(cids), suffix)
+    apply_ops(fresh, list(cids), suffix)
+    assert integrity_hash(fresh.capture()) == integrity_hash(
+        model.capture())
