@@ -2,7 +2,10 @@
 
 PYTHON ?= python3
 
-.PHONY: install test faults compression resume-smoke bench eval charts goldens check-goldens examples all
+.PHONY: install test faults compression resume-smoke bench bench-check bench-baseline eval charts goldens check-goldens examples all
+
+# Parallel cell workers for the sweep runner (1 = sequential).
+JOBS ?= 4
 
 install:
 	pip install -e . --no-build-isolation
@@ -22,12 +25,24 @@ compression:
 
 # Kill-and-resume chaos test: SIGKILLs a live sweep at random cell
 # boundaries, resumes from the journal, and requires the final output
-# to be byte-identical to an uninterrupted run.
+# to be byte-identical to an uninterrupted run.  Runs under the
+# parallel scheduler so crash recovery is exercised with JOBS workers.
 resume-smoke:
-	PYTHONPATH=src $(PYTHON) -m repro.evalx.runner smoke --experiment compression --scale 0.2 --kills 3
+	PYTHONPATH=src $(PYTHON) -m repro.evalx.runner smoke --experiment compression --scale 0.2 --kills 3 --jobs $(JOBS)
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Perf-regression gate: fast-path speedup ratios vs BENCH_baseline.json.
+# Gates on machine-independent ratios (fast vs legacy on the same box),
+# so it is safe to run in CI.
+bench-check:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_hot_path.py --check
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_core_ops.py --benchmark-only -q
+
+# Refresh the committed baseline after an intentional perf change.
+bench-baseline:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_hot_path.py --write-baseline
 
 eval:
 	PYTHONPATH=src $(PYTHON) -m repro.evalx

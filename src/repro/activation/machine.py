@@ -101,20 +101,33 @@ class Activation:
 
     # -- emulated instructions ---------------------------------------------------
 
+    # The single-instruction ops inline machine._instr() — one issued
+    # instruction, one cycle, one model tick — rather than paying a
+    # call per simulated instruction on the front-end's hottest path.
+
     def let(self, dst, value):
         """Load an immediate (or host-computed) value into a register."""
-        self.machine._instr()
+        machine = self.machine
+        machine.instructions += 1
+        machine.cycles += 1
+        machine.regfile.tick(1)
         self._write(dst, value)
         return dst
 
     def mov(self, dst, src):
-        self.machine._instr()
+        machine = self.machine
+        machine.instructions += 1
+        machine.cycles += 1
+        machine.regfile.tick(1)
         self._write(dst, self._read(src))
         return dst
 
     def op(self, dst, fn, *srcs):
         """One ALU instruction: dst = fn(*srcs); multi-operand read."""
-        self.machine._instr()
+        machine = self.machine
+        machine.instructions += 1
+        machine.cycles += 1
+        machine.regfile.tick(1)
         values = [self._read(src) for src in srcs]
         result = fn(*values)
         self._write(dst, result)
@@ -169,12 +182,18 @@ class Activation:
 
     def addi(self, dst, src, imm):
         """dst = src + immediate."""
-        self.machine._instr()
+        machine = self.machine
+        machine.instructions += 1
+        machine.cycles += 1
+        machine.regfile.tick(1)
         self._write(dst, self._read(src) + imm)
         return dst
 
     def muli(self, dst, src, imm):
-        self.machine._instr()
+        machine = self.machine
+        machine.instructions += 1
+        machine.cycles += 1
+        machine.regfile.tick(1)
         self._write(dst, self._read(src) * imm)
         return dst
 
@@ -182,7 +201,10 @@ class Activation:
 
     def test(self, src):
         """A branch instruction: read a register, return its value."""
-        self.machine._instr()
+        machine = self.machine
+        machine.instructions += 1
+        machine.cycles += 1
+        machine.regfile.tick(1)
         return self._read(src)
 
     def load(self, dst, addr, disp=0):
@@ -227,7 +249,7 @@ class Activation:
         if reg.freed:
             raise GuestFault(f"read of freed {reg!r}")
         machine = self.machine
-        if reg.in_memory:
+        if reg.address is not None:  # in_memory, sans the property call
             machine._instr()  # the extra load a spilled local costs
             value = machine.memory.load(reg.address)
             machine._memory_cycles()
@@ -249,7 +271,7 @@ class Activation:
         if reg.freed:
             raise GuestFault(f"write to freed {reg!r}")
         machine = self.machine
-        if reg.in_memory:
+        if reg.address is not None:  # in_memory, sans the property call
             machine._instr()  # the extra store a spilled local costs
             machine.memory.store(reg.address, value)
             machine._memory_cycles()

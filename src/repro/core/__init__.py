@@ -24,7 +24,7 @@ Public API
 """
 
 from repro.core.backing import BackingStore, Ctable
-from repro.core.base import RegisterFile
+from repro.core.base import FAST_PATH_DEFAULT, MISS, RegisterFile
 from repro.core.compress import (
     CODEC_NAMES,
     CODECS,
@@ -75,10 +75,22 @@ from repro.core.snapshot import (
     loads,
     save_snapshot,
 )
-from repro.core.stats import AccessResult, RegFileStats, TransferRecord
+from repro.core.stats import (
+    HIT_READ,
+    HIT_SWITCH,
+    HIT_WRITE,
+    AccessResult,
+    RegFileStats,
+    TransferRecord,
+)
 
 __all__ = [
     "AccessResult",
+    "FAST_PATH_DEFAULT",
+    "HIT_READ",
+    "HIT_SWITCH",
+    "HIT_WRITE",
+    "MISS",
     "BackingStore",
     "BaseDeltaCodec",
     "CODECS",

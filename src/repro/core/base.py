@@ -16,13 +16,28 @@ through them, so a broken spill path breaks benchmark results.
 """
 
 from repro.core.backing import BackingStore
-from repro.core.stats import AccessResult, RegFileStats
+from repro.core.stats import (
+    HIT_READ,
+    HIT_SWITCH,
+    HIT_WRITE,
+    AccessResult,
+    RegFileStats,
+)
 from repro.errors import (
     DuplicateContextError,
     NoCurrentContextError,
     RegisterRangeError,
     UnknownContextError,
 )
+
+#: process-wide default for the allocation-free hit fast path; the
+#: differential harness flips this to drive whole experiments through
+#: the legacy tracked path and prove the two are bit-identical
+FAST_PATH_DEFAULT = True
+
+#: sentinel a ``_read_fast`` hook returns when it cannot service the
+#: access (distinct from every storable register value, None included)
+MISS = object()
 
 
 class RegisterFile:
@@ -44,7 +59,7 @@ class RegisterFile:
     kind = "abstract"
 
     def __init__(self, num_registers, context_size, strict=True,
-                 track_moves=False):
+                 track_moves=False, fast_path=None):
         if num_registers <= 0:
             raise ValueError("num_registers must be positive")
         if context_size <= 0:
@@ -55,6 +70,10 @@ class RegisterFile:
         #: when true, AccessResults carry the exact (cid, offset) pairs
         #: moved, so callers can price traffic at real addresses
         self.track_moves = track_moves
+        #: hits return a shared flyweight result instead of allocating;
+        #: semantics (stats, victims, snapshots) are identical either way
+        self._fast_path = (FAST_PATH_DEFAULT if fast_path is None
+                           else bool(fast_path))
         self.backing = BackingStore()
         self.stats = RegFileStats(capacity=num_registers)
         self.current_cid = None
@@ -105,11 +124,14 @@ class RegisterFile:
         """
         if cid not in self._known_cids:
             raise UnknownContextError(cid)
+        if cid == self.current_cid:
+            if self._fast_path:
+                return HIT_SWITCH
+            return AccessResult(kind="switch")
         result = AccessResult(kind="switch")
-        if cid != self.current_cid:
-            self.stats.context_switches += 1
-            self._on_switch(cid, result)
-            self.current_cid = cid
+        self.stats.context_switches += 1
+        self._on_switch(cid, result)
+        self.current_cid = cid
         return result
 
     # -- operand access ------------------------------------------------------
@@ -117,25 +139,35 @@ class RegisterFile:
     def read(self, offset, cid=None):
         """Read a register; returns ``(value, AccessResult)``."""
         cid = self._resolve(cid, offset)
-        self.stats.reads += 1
+        stats = self.stats
+        stats.reads += 1
+        if self._fast_path:
+            value = self._read_fast(cid, offset)
+            if value is not MISS:
+                stats.read_hits += 1
+                return value, HIT_READ
         result = AccessResult(kind="read")
         value = self._do_read(cid, offset, result)
         if result.hit:
-            self.stats.read_hits += 1
+            stats.read_hits += 1
         else:
-            self.stats.read_misses += 1
+            stats.read_misses += 1
         return value, result
 
     def write(self, offset, value, cid=None):
         """Write a register; returns an AccessResult."""
         cid = self._resolve(cid, offset)
-        self.stats.writes += 1
+        stats = self.stats
+        stats.writes += 1
+        if self._fast_path and self._write_fast(cid, offset, value):
+            stats.write_hits += 1
+            return HIT_WRITE
         result = AccessResult(kind="write")
         self._do_write(cid, offset, value, result)
         if result.hit:
-            self.stats.write_hits += 1
+            stats.write_hits += 1
         else:
-            self.stats.write_misses += 1
+            stats.write_misses += 1
         return result
 
     def free_register(self, offset, cid=None):
@@ -168,6 +200,20 @@ class RegisterFile:
         raise NotImplementedError
 
     # -- hooks for subclasses -------------------------------------------------
+
+    def _read_fast(self, cid, offset):
+        """Service a resident read with no allocation, or return ``MISS``.
+
+        A hit must perform *exactly* the side effects the tracked path
+        would (policy touch, pending-flag accounting, value return);
+        anything else — miss, reload, fault — returns ``MISS`` and the
+        tracked path re-runs the access from scratch.
+        """
+        return MISS
+
+    def _write_fast(self, cid, offset, value):
+        """Service a resident write with no allocation; False on miss."""
+        return False
 
     def _on_begin_context(self, cid):
         pass

@@ -36,8 +36,18 @@ Two policy knobs reproduce the paper's design discussion:
 
 from repro.core.base import RegisterFile
 from repro.core.policies import make_policy
-from repro.core.stats import AccessResult
-from repro.errors import CapacityError, ReadBeforeWriteError
+from repro.core.stats import (
+    HIT_READ,
+    HIT_WRITE,
+    MISS_WRITE_ALLOC,
+    AccessResult,
+)
+from repro.errors import (
+    CapacityError,
+    NoCurrentContextError,
+    ReadBeforeWriteError,
+    UnknownContextError,
+)
 
 
 class _Line:
@@ -71,9 +81,9 @@ class NamedStateRegisterFile(RegisterFile):
     def __init__(self, num_registers=128, context_size=32, line_size=1,
                  policy="lru", reload_scope="register",
                  fetch_on_write=False, spill_watermark=0, strict=True,
-                 policy_seed=0, track_moves=False):
+                 policy_seed=0, track_moves=False, fast_path=None):
         super().__init__(num_registers, context_size, strict=strict,
-                         track_moves=track_moves)
+                         track_moves=track_moves, fast_path=fast_path)
         if line_size <= 0:
             raise ValueError("line_size must be positive")
         if num_registers % line_size:
@@ -90,14 +100,61 @@ class NamedStateRegisterFile(RegisterFile):
             raise ValueError("spill_watermark must be in [0, num_lines)")
         self.spill_watermark = spill_watermark
         self._lines = [_Line(line_size) for _ in range(self.num_lines)]
+        #: CAM decoder: packed tag ``cid_index << shift | line_no`` ->
+        #: physical line.  Packed integer keys hash in one word where
+        #: the old ``(cid, line_no)`` tuples allocated and hashed twice.
         self._cam = {}
+        #: dense interning of context ids into the packed tag's CID
+        #: field (cids are arbitrary hashables; the CAM needs integers)
+        self._cid_index = {}
+        self._cids = []
+        line_no_bits = ((context_size - 1) // line_size).bit_length()
+        self._tag_shift = max(1, line_no_bits)
+        self._tag_mask = (1 << self._tag_shift) - 1
+        #: per-context MRU line latch (the decoder's last-match latch):
+        #: cid -> (line_no, physical index); consecutive accesses to a
+        #: context's hot line skip the CAM dict entirely
+        self._mru_latch = {}
         self._free = list(range(self.num_lines - 1, -1, -1))
         self._policy = make_policy(policy, seed=policy_seed)
+        #: pre-bound hot-path methods (restore() mutates the policy in
+        #: place, never replaces it, so the bindings stay valid)
+        self._policy_touch = self._policy.touch
+        self._policy_insert = self._policy.insert
+        cls = type(self)
+        if (cls._do_read is not NamedStateRegisterFile._do_read
+                or cls._do_write is not NamedStateRegisterFile._do_write):
+            # A subclass replaced the tracked access path (fault
+            # injection, test doubles).  The inlined hit fast path would
+            # silently bypass the override, so honor it instead.
+            self._fast_path = False
         self._context_lines = {}
         self._active = 0
         #: physical lines taken out of service after hard faults; the
         #: fully-associative file keeps running at reduced capacity
         self._retired = set()
+
+    # -- packed CAM tags -----------------------------------------------------
+
+    def _pack(self, cid, line_no):
+        """Packed decoder tag for ``(cid, line_no)``, interning the cid."""
+        index = self._cid_index.get(cid)
+        if index is None:
+            index = len(self._cids)
+            self._cid_index[cid] = index
+            self._cids.append(cid)
+        return (index << self._tag_shift) | line_no
+
+    def _pack_get(self, cid, line_no):
+        """Packed tag without interning; None when the cid is unseen."""
+        index = self._cid_index.get(cid)
+        if index is None:
+            return None
+        return (index << self._tag_shift) | line_no
+
+    def _unpack(self, tag):
+        """Recover ``(cid, line_no)`` from a packed decoder tag."""
+        return self._cids[tag >> self._tag_shift], tag & self._tag_mask
 
     # -- introspection -------------------------------------------------------
 
@@ -111,7 +168,8 @@ class NamedStateRegisterFile(RegisterFile):
         return set(self._context_lines)
 
     def is_resident(self, cid, offset):
-        index = self._cam.get((cid, offset // self.line_size))
+        tag = self._pack_get(cid, offset // self.line_size)
+        index = None if tag is None else self._cam.get(tag)
         if index is None:
             return False
         return self._lines[index].valid[offset % self.line_size]
@@ -122,7 +180,8 @@ class NamedStateRegisterFile(RegisterFile):
 
     def line_index_of(self, cid, offset):
         """Physical line currently holding ``(cid, offset)``, or None."""
-        return self._cam.get((cid, offset // self.line_size))
+        tag = self._pack_get(cid, offset // self.line_size)
+        return None if tag is None else self._cam.get(tag)
 
     def retired_line_count(self):
         return len(self._retired)
@@ -137,6 +196,7 @@ class NamedStateRegisterFile(RegisterFile):
     # -- context lifecycle -----------------------------------------------------
 
     def _on_end_context(self, cid):
+        self._mru_latch.pop(cid, None)
         # sorted: the owned-line set is rebuilt on snapshot restore, and
         # raw set iteration order need not survive that rebuild — the
         # release order decides future free-list pops, so pin it
@@ -150,8 +210,185 @@ class NamedStateRegisterFile(RegisterFile):
 
     # -- operand access ----------------------------------------------------------
 
+    # The fast paths below are the base-class read/write with the hit
+    # case fully inlined: one dict probe through the MRU latch (or one
+    # packed-tag CAM probe on a latch miss), no helper calls, and the
+    # shared flyweight result instead of an allocation.  Every hit-side
+    # effect the tracked path performs — exactly one policy touch, the
+    # pending-flag flip, the hit counters — happens here identically;
+    # anything else (miss, replaced slot, fault) falls through to the
+    # tracked path, which re-runs the access from scratch.
+
+    def read(self, offset, cid=None):
+        """Read a register; returns ``(value, AccessResult)``."""
+        if not self._fast_path:
+            return RegisterFile.read(self, offset, cid)
+        if offset < 0 or offset >= self.context_size:
+            self._resolve(cid, offset)  # raises RegisterRangeError
+        if cid is None:
+            cid = self.current_cid
+            if cid is None:
+                raise NoCurrentContextError()
+        elif cid not in self._known_cids:
+            raise UnknownContextError(cid)
+        stats = self.stats
+        stats.reads += 1
+        line_size = self.line_size
+        if line_size == 1:
+            # One register per line: consecutive accesses almost never
+            # share a line, so the last-match latch would thrash — probe
+            # the CAM directly (two dict hits, no latch bookkeeping).
+            line_no = offset
+            slot = 0
+            cindex = self._cid_index.get(cid)
+            index = (None if cindex is None else
+                     self._cam.get(cindex << self._tag_shift | offset))
+        else:
+            line_no = offset // line_size
+            slot = offset - line_no * line_size
+            latch = self._mru_latch.get(cid)
+            if latch is not None and latch[0] == line_no:
+                index = latch[1]
+            else:
+                cindex = self._cid_index.get(cid)
+                index = (None if cindex is None else
+                         self._cam.get(cindex << self._tag_shift | line_no))
+                if index is not None:
+                    self._mru_latch[cid] = (line_no, index)
+        if index is not None:
+            line = self._lines[index]
+            if line.valid[slot]:
+                self._policy_touch(index)
+                if line.pending[slot]:
+                    line.pending[slot] = False
+                    stats.active_registers_reloaded += 1
+                stats.read_hits += 1
+                return line.values[slot], HIT_READ
+            # replaced-within-line miss: the tracked path reloads it
+            # (and performs the single policy touch itself)
+        result = AccessResult(kind="read")
+        value = self._do_read(cid, offset, result)
+        if result.hit:
+            stats.read_hits += 1
+        else:
+            stats.read_misses += 1
+        return value, result
+
+    def write(self, offset, value, cid=None):
+        """Write a register; returns an AccessResult."""
+        if not self._fast_path:
+            return RegisterFile.write(self, offset, value, cid)
+        if offset < 0 or offset >= self.context_size:
+            self._resolve(cid, offset)  # raises RegisterRangeError
+        if cid is None:
+            cid = self.current_cid
+            if cid is None:
+                raise NoCurrentContextError()
+        elif cid not in self._known_cids:
+            raise UnknownContextError(cid)
+        stats = self.stats
+        stats.writes += 1
+        line_size = self.line_size
+        if line_size == 1:
+            # see read(): the latch only pays off for multi-register lines
+            line_no = offset
+            slot = 0
+            cindex = self._cid_index.get(cid)
+            index = (None if cindex is None else
+                     self._cam.get(cindex << self._tag_shift | offset))
+        else:
+            line_no = offset // line_size
+            slot = offset - line_no * line_size
+            latch = self._mru_latch.get(cid)
+            if latch is not None and latch[0] == line_no:
+                index = latch[1]
+            else:
+                cindex = self._cid_index.get(cid)
+                index = (None if cindex is None else
+                         self._cam.get(cindex << self._tag_shift | line_no))
+                if index is not None:
+                    self._mru_latch[cid] = (line_no, index)
+        if index is not None:
+            line = self._lines[index]
+            self._policy_touch(index)
+            if not line.valid[slot]:
+                line.valid[slot] = True
+                line.valid_count += 1
+                self._active += 1
+            if line.pending[slot]:
+                line.pending[slot] = False
+                stats.active_registers_reloaded += 1
+            line.values[slot] = value
+            stats.write_hits += 1
+            return HIT_WRITE
+        if not self.fetch_on_write:
+            # Write-allocate of an unbound line while a free line is
+            # still available: bind it with zero traffic and hand back
+            # the shared miss flyweight.  (Popping retired entries off
+            # the free list here mirrors the tracked pop-loop exactly,
+            # so bailing to it below leaves identical state.)
+            free = self._free
+            windex = None
+            while free:
+                candidate = free.pop()
+                if candidate not in self._retired:
+                    windex = candidate
+                    break
+            if windex is not None:
+                if cindex is None:
+                    cindex = len(self._cids)
+                    self._cid_index[cid] = cindex
+                    self._cids.append(cid)
+                tag = cindex << self._tag_shift | line_no
+                line = self._lines[windex]
+                line.tag = tag
+                self._cam[tag] = windex
+                self._policy_insert(windex)
+                owned = self._context_lines.get(cid)
+                if owned is None:
+                    owned = self._context_lines[cid] = set()
+                owned.add(windex)
+                if self.spill_watermark:
+                    self._dribble_back(windex)
+                line.valid[slot] = True
+                line.valid_count += 1
+                self._active += 1
+                line.values[slot] = value
+                stats.write_misses += 1
+                return MISS_WRITE_ALLOC
+        result = AccessResult(kind="write")
+        self._do_write(cid, offset, value, result)
+        if result.hit:
+            stats.write_hits += 1
+        else:
+            stats.write_misses += 1
+        return result
+
+    def tick(self, n=1):
+        """Advance time by ``n`` executed instructions.
+
+        :meth:`RegFileStats.tick` inlined over the file's O(1) counters:
+        the front-ends call this once per simulated instruction, which
+        makes it the single hottest entry point after read/write.
+        """
+        stats = self.stats
+        active = self._active
+        resident = len(self._context_lines)
+        stats.instructions += n
+        stats.occupancy_weighted += active * n
+        stats.resident_contexts_weighted += resident * n
+        if active > stats.max_active_registers:
+            stats.max_active_registers = active
+        if resident > stats.max_resident_contexts:
+            stats.max_resident_contexts = resident
+
     def _do_read(self, cid, offset, result):
-        tag = (cid, offset // self.line_size)
+        cindex = self._cid_index.get(cid)
+        if cindex is None:  # _pack, inlined (misses are half the wall)
+            cindex = len(self._cids)
+            self._cid_index[cid] = cindex
+            self._cids.append(cid)
+        tag = cindex << self._tag_shift | offset // self.line_size
         slot = offset % self.line_size
         index = self._cam.get(tag)
         if index is not None:
@@ -177,7 +414,12 @@ class NamedStateRegisterFile(RegisterFile):
         return line.values[slot]
 
     def _do_write(self, cid, offset, value, result):
-        tag = (cid, offset // self.line_size)
+        cindex = self._cid_index.get(cid)
+        if cindex is None:  # _pack, inlined (misses are half the wall)
+            cindex = len(self._cids)
+            self._cid_index[cid] = cindex
+            self._cids.append(cid)
+        tag = cindex << self._tag_shift | offset // self.line_size
         slot = offset % self.line_size
         index = self._cam.get(tag)
         if index is None:
@@ -192,14 +434,16 @@ class NamedStateRegisterFile(RegisterFile):
             line.valid[slot] = True
             line.valid_count += 1
             self._active += 1
-        self._note_access(line, slot)
+        if line.pending[slot]:  # _note_access, inlined
+            line.pending[slot] = False
+            self.stats.active_registers_reloaded += 1
         line.values[slot] = value
 
     def _do_free(self, cid, offset):
-        tag = (cid, offset // self.line_size)
+        tag = self._pack_get(cid, offset // self.line_size)
         slot = offset % self.line_size
         self.backing.discard(cid, offset)
-        index = self._cam.get(tag)
+        index = None if tag is None else self._cam.get(tag)
         if index is None:
             return
         line = self._lines[index]
@@ -211,6 +455,7 @@ class NamedStateRegisterFile(RegisterFile):
             self._active -= 1
         if line.valid_count == 0:
             del self._cam[tag]
+            self._mru_latch.pop(cid, None)
             self._policy.remove(index)
             self._context_lines[cid].discard(index)
             if not self._context_lines[cid]:
@@ -228,9 +473,9 @@ class NamedStateRegisterFile(RegisterFile):
         miss path.  Used by the resilience layer to recover a detected
         corruption whose memory copy is known clean.
         """
-        tag = (cid, offset // self.line_size)
+        tag = self._pack_get(cid, offset // self.line_size)
         slot = offset % self.line_size
-        index = self._cam.get(tag)
+        index = None if tag is None else self._cam.get(tag)
         if index is None:
             return
         line = self._lines[index]
@@ -270,8 +515,9 @@ class NamedStateRegisterFile(RegisterFile):
         line = self._lines[index]
         if line.tag is not None:
             self._evict(index, AccessResult(kind="retire"))
-        elif index in self._free:
-            self._free.remove(index)
+        # A retired line still sitting in the free list is skipped
+        # lazily at pop time — an O(1) retire instead of the old O(n)
+        # ``list.remove`` scan; pop order of live lines is unchanged.
         self._retired.add(index)
         self.stats.lines_retired += 1
         self.stats.capacity = self.serviceable_registers()
@@ -293,16 +539,24 @@ class NamedStateRegisterFile(RegisterFile):
 
     def _allocate_line(self, cid, tag, result):
         """Bind ``tag`` to a physical line, evicting the victim if full."""
-        if self._free:
-            index = self._free.pop()
-        else:
+        index = None
+        while self._free:
+            candidate = self._free.pop()
+            if candidate not in self._retired:
+                index = candidate
+                break
+        if index is None:
             index = self._policy.victim()
             self._evict(index, result)
         line = self._lines[index]
         line.tag = tag
         self._cam[tag] = index
         self._policy.insert(index)
-        self._context_lines.setdefault(cid, set()).add(index)
+        # setdefault would allocate a throwaway set on every call
+        owned = self._context_lines.get(cid)
+        if owned is None:
+            owned = self._context_lines[cid] = set()
+        owned.add(index)
         if self.spill_watermark:
             self._dribble_back(index)
         return line
@@ -335,7 +589,8 @@ class NamedStateRegisterFile(RegisterFile):
         granularities compress very differently.
         """
         line = self._lines[index]
-        victim_cid, line_no = line.tag
+        victim_cid, line_no = self._unpack(line.tag)
+        self._mru_latch.pop(victim_cid, None)
         base_offset = line_no * self.line_size
         pairs = []
         for slot in range(self.line_size):
@@ -366,7 +621,7 @@ class NamedStateRegisterFile(RegisterFile):
 
     def _fill_line(self, line, cid, tag, miss_offset, result):
         """Reload a freshly-allocated line according to ``reload_scope``."""
-        line_no = tag[1]
+        line_no = tag & self._tag_mask
         base_offset = line_no * self.line_size
         if self.reload_scope == "line" or self.fetch_on_write:
             offsets = [base_offset + slot
@@ -442,9 +697,14 @@ class NamedStateRegisterFile(RegisterFile):
                 spill_watermark=self.spill_watermark,
             ),
             "base": self._capture_base(),
+            # tags are serialized in their architectural (cid, line_no)
+            # form, not the packed-integer internal form: snapshots stay
+            # bit-identical to pre-packing captures and independent of
+            # the interning order of this process
             "lines": [
                 {
-                    "tag": line.tag,
+                    "tag": (None if line.tag is None
+                            else self._unpack(line.tag)),
                     "values": list(line.values),
                     "valid": list(line.valid),
                     "pending": list(line.pending),
@@ -452,7 +712,10 @@ class NamedStateRegisterFile(RegisterFile):
                 }
                 for line in self._lines
             ],
-            "free": list(self._free),
+            # lazily-retired entries are dropped here exactly as the old
+            # eager ``list.remove`` dropped them at retire time
+            "free": [index for index in self._free
+                     if index not in self._retired],
             "retired": sorted(self._retired),
             "active": self._active,
             "policy": self._policy.capture(),
@@ -474,19 +737,24 @@ class NamedStateRegisterFile(RegisterFile):
         )
         self._restore_base(state["base"])
         self._cam = {}
+        self._cid_index = {}
+        self._cids = []
+        self._mru_latch = {}
         self._context_lines = {}
         for index, saved in enumerate(state["lines"]):
             line = self._lines[index]
             tag = saved["tag"]
-            line.tag = None if tag is None else tuple(tag)
             line.values = list(saved["values"])
             line.valid = list(saved["valid"])
             line.pending = list(saved["pending"])
             line.valid_count = saved["valid_count"]
-            if line.tag is not None:
+            if tag is None:
+                line.tag = None
+            else:
+                cid, line_no = tuple(tag)
+                line.tag = self._pack(cid, line_no)
                 self._cam[line.tag] = index
-                self._context_lines.setdefault(
-                    line.tag[0], set()).add(index)
+                self._context_lines.setdefault(cid, set()).add(index)
         self._free = list(state["free"])
         self._retired = set(state["retired"])
         self._active = state["active"]

@@ -7,6 +7,7 @@ seeded random policy so the ablation benchmarks can quantify the choice.
 """
 
 import random
+from collections import OrderedDict
 
 from repro.errors import CapacityError, SnapshotError
 
@@ -64,23 +65,26 @@ class VictimPolicy:
 class LRUPolicy(VictimPolicy):
     """Least-recently-used eviction (the paper's strategy).
 
-    Implemented over an insertion-ordered dict: the first key is always
-    the least recently used, so every operation is O(1).
+    Implemented over an :class:`~collections.OrderedDict`: the first
+    key is always the least recently used, and ``touch`` is a C-level
+    ``move_to_end`` linked-list splice — no delete-and-rehash on the
+    access hot path.
     """
 
     name = "lru"
 
     def __init__(self):
-        self._order = {}
+        self._order = OrderedDict()
 
     def insert(self, key):
-        self._order.pop(key, None)
         self._order[key] = True
+        self._order.move_to_end(key)
 
     def touch(self, key):
-        if key in self._order:
-            del self._order[key]
-            self._order[key] = True
+        try:
+            self._order.move_to_end(key)
+        except KeyError:
+            pass
 
     def remove(self, key):
         self._order.pop(key, None)
@@ -105,7 +109,7 @@ class LRUPolicy(VictimPolicy):
 
     def restore(self, state):
         self._check_policy(state)
-        self._order = {key: True for key in state["order"]}
+        self._order = OrderedDict.fromkeys(state["order"], True)
 
 
 class FIFOPolicy(LRUPolicy):
@@ -215,10 +219,16 @@ class NMRUPolicy(VictimPolicy):
             raise CapacityError("no candidate to evict")
         if len(self._keys) == 1:
             return self._keys[0]
-        while True:
-            key = self._rng.choice(self._keys)
-            if key != self._mru:
-                return key
+        if self._mru is None or self._mru not in self._members:
+            return self._rng.choice(self._keys)
+        # One bounded draw over the n-1 non-MRU slots.  The old
+        # rejection loop re-drew until it missed the MRU key — with two
+        # members that is a coin flip per iteration and unbounded in
+        # the worst case; here it is exactly one RNG consumption.
+        index = self._rng.randrange(len(self._keys) - 1)
+        if index >= self._members[self._mru]:
+            index += 1
+        return self._keys[index]
 
     def __len__(self):
         return len(self._keys)

@@ -233,6 +233,9 @@ class ProtectedRegisterFile:
     # -- the recovery ladder ------------------------------------------------
 
     def _recover(self, cid, offset, value, code, status, fixed, result):
+        # Hit results are shared immutable flyweights; recovery merges
+        # extra traffic into the result, so take a private copy first.
+        result = result.clone()
         self.rstats.detected += 1
         line = self._line_errors_for(cid, offset)
         # Rung 1: SEC-DED corrects a single-bit error in place.

@@ -21,7 +21,7 @@ single simulation yields Figure 10's "Segment" and "Segment live reg"
 series at once.
 """
 
-from repro.core.base import RegisterFile
+from repro.core.base import MISS, RegisterFile
 from repro.core.policies import make_policy
 from repro.core.stats import AccessResult
 from repro.errors import CapacityError, ReadBeforeWriteError
@@ -53,9 +53,9 @@ class SegmentedRegisterFile(RegisterFile):
 
     def __init__(self, num_registers=128, context_size=32, policy="lru",
                  spill_mode="frame", strict=True, policy_seed=0,
-                 track_moves=False):
+                 track_moves=False, fast_path=None):
         super().__init__(num_registers, context_size, strict=strict,
-                         track_moves=track_moves)
+                         track_moves=track_moves, fast_path=fast_path)
         if spill_mode not in ("frame", "live"):
             raise ValueError("spill_mode must be 'frame' or 'live'")
         self.frame_size = context_size
@@ -79,6 +79,13 @@ class SegmentedRegisterFile(RegisterFile):
         #: file loses a whole frame of capacity per fault (contrast with
         #: the NSF, which retires a single small line)
         self._retired = set()
+        cls = type(self)
+        if (cls._do_read is not SegmentedRegisterFile._do_read
+                or cls._do_write is not SegmentedRegisterFile._do_write):
+            # A subclass replaced the tracked access path (fault
+            # injection, test doubles).  The hit fast path would
+            # silently bypass the override, so honor it instead.
+            self._fast_path = False
 
     # -- introspection -------------------------------------------------------
 
@@ -137,6 +144,37 @@ class SegmentedRegisterFile(RegisterFile):
         self._install_frame(cid, result)
 
     # -- operand access ------------------------------------------------------------
+
+    def _read_fast(self, cid, offset):
+        index = self._resident.get(cid)
+        if index is None:
+            return MISS
+        frame = self._frames[index]
+        if not frame.valid[offset]:
+            # resident but never written: the tracked path reproduces
+            # the strict-mode fault / junk-read accounting exactly
+            return MISS
+        self._policy.touch(index)
+        if frame.pending[offset]:
+            frame.pending[offset] = False
+            self.stats.active_registers_reloaded += 1
+        return frame.values[offset]
+
+    def _write_fast(self, cid, offset, value):
+        index = self._resident.get(cid)
+        if index is None:
+            return False
+        frame = self._frames[index]
+        self._policy.touch(index)
+        if not frame.valid[offset]:
+            frame.valid[offset] = True
+            frame.valid_count += 1
+            self._active += 1
+        if frame.pending[offset]:
+            frame.pending[offset] = False
+            self.stats.active_registers_reloaded += 1
+        frame.values[offset] = value
+        return True
 
     def _do_read(self, cid, offset, result):
         frame = self._frame_for(cid, result)
@@ -240,8 +278,8 @@ class SegmentedRegisterFile(RegisterFile):
         frame = self._frames[index]
         if frame.cid is not None:
             self._evict(index, AccessResult(kind="retire"))
-        elif index in self._free:
-            self._free.remove(index)
+        # A retired frame still in the free list is skipped lazily at
+        # pop time (O(1) retire; live-frame pop order is unchanged).
         self._retired.add(index)
         self.stats.lines_retired += 1
         self.stats.capacity = self.serviceable_registers()
@@ -276,9 +314,13 @@ class SegmentedRegisterFile(RegisterFile):
         return self._install_frame(cid, result)
 
     def _install_frame(self, cid, result):
-        if self._free:
-            index = self._free.pop()
-        else:
+        index = None
+        while self._free:
+            candidate = self._free.pop()
+            if candidate not in self._retired:
+                index = candidate
+                break
+        if index is None:
             index = self._policy.victim()
             self._evict(index, result)
         frame = self._frames[index]
@@ -382,7 +424,10 @@ class SegmentedRegisterFile(RegisterFile):
                 }
                 for frame in self._frames
             ],
-            "free": list(self._free),
+            # lazily-retired entries are dropped here exactly as the old
+            # eager ``list.remove`` dropped them at retire time
+            "free": [index for index in self._free
+                     if index not in self._retired],
             "retired": sorted(self._retired),
             "ever_spilled": sorted(self._ever_spilled, key=repr),
             "active": self._active,
@@ -429,7 +474,8 @@ class ConventionalRegisterFile(SegmentedRegisterFile):
     kind = "conventional"
 
     def __init__(self, num_registers=32, context_size=None, policy="lru",
-                 spill_mode="frame", strict=True, track_moves=False):
+                 spill_mode="frame", strict=True, track_moves=False,
+                 fast_path=None):
         if context_size is None:
             context_size = num_registers
         # A conventional file holds exactly one context: its capacity IS
@@ -437,4 +483,4 @@ class ConventionalRegisterFile(SegmentedRegisterFile):
         super().__init__(num_registers=context_size,
                          context_size=context_size, policy=policy,
                          spill_mode=spill_mode, strict=strict,
-                         track_moves=track_moves)
+                         track_moves=track_moves, fast_path=fast_path)

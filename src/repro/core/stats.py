@@ -298,6 +298,20 @@ class AccessResult:
         """True when the access could not complete in the register file."""
         return (not self.hit) or self.switch_miss or self.reloaded > 0
 
+    def clone(self):
+        """Fresh mutable copy (use before merging into a shared result)."""
+        return AccessResult(
+            kind=self.kind,
+            hit=self.hit,
+            reloaded=self.reloaded,
+            spilled=self.spilled,
+            lines_reloaded=self.lines_reloaded,
+            lines_spilled=self.lines_spilled,
+            switch_miss=self.switch_miss,
+            moved_out=list(self.moved_out) if self.moved_out else None,
+            moved_in=list(self.moved_in) if self.moved_in else None,
+        )
+
     def merge(self, other):
         """Fold a second result into this one (multi-step operations)."""
         self.hit = self.hit and other.hit
@@ -307,3 +321,57 @@ class AccessResult:
         self.lines_spilled += other.lines_spilled
         self.switch_miss = self.switch_miss or other.switch_miss
         return self
+
+
+class _SharedAccessResult(AccessResult):
+    """Sealed flyweight returned by the hit fast path.
+
+    Resident hits vastly outnumber misses, and a hit's result is always
+    the same value (``hit=True``, nothing moved) — so the fast path
+    hands every hit the same immutable instance instead of allocating.
+    Mutation raises: a caller that needs a private result (e.g. to
+    ``merge`` recovery traffic into it) must take a ``clone()`` first.
+    """
+
+    #: a clean hit never stalls; shadowing the base property with a
+    #: plain class attribute spares every front-end instruction the
+    #: property-call overhead of asking
+    stalled = False
+
+    def __setattr__(self, name, value):
+        if getattr(self, "_sealed", False):
+            raise AttributeError(
+                "shared hit-result flyweights are immutable; take a "
+                ".clone() before mutating"
+            )
+        super().__setattr__(name, value)
+
+
+class _SharedMissResult(_SharedAccessResult):
+    """Sealed flyweight for a miss that moved nothing.
+
+    A write-allocate miss binds a fresh line but transfers no
+    registers, so its result is always ``hit=False`` with zero traffic.
+    ``stalled`` must still read ``True`` (``not hit``), exactly as the
+    tracked path's freshly-built result would report.
+    """
+
+    stalled = True
+
+
+def _shared_hit(kind):
+    result = _SharedAccessResult(kind=kind)
+    result._sealed = True
+    return result
+
+
+#: the flyweights: one per operation kind, field-identical to the fresh
+#: ``AccessResult`` the slow path would have built for a clean hit
+HIT_READ = _shared_hit("read")
+HIT_WRITE = _shared_hit("write")
+HIT_SWITCH = _shared_hit("switch")
+
+#: a write-allocate miss that found a free line: nothing spilled,
+#: nothing reloaded — the single most common miss in every workload
+MISS_WRITE_ALLOC = _SharedMissResult(kind="write", hit=False)
+MISS_WRITE_ALLOC._sealed = True

@@ -19,10 +19,18 @@ finishes, prints an explicit ``N of M cell(s) dropped`` banner, marks
 the table notes PARTIAL, and exits nonzero.  Silent truncation is the
 one failure mode this harness refuses to have.
 
+Independent cells run concurrently in a bounded pool of watched
+subprocesses (``--jobs N``; the default is ``min(os.cpu_count(),
+cells)``, ``--jobs 1`` restores the strictly sequential scheduler).
+Parallelism never touches the contract: results are committed to the
+write-ahead journal in deterministic *cell order* regardless of
+completion order, so the journal, resume semantics, and the final
+output file are byte-identical to a sequential run.
+
 CLI::
 
     python -m repro.evalx.runner sweep compression --scale 0.35 \
-        --seed 11 --resume --timeout 120
+        --seed 11 --resume --timeout 120 --jobs 4
     python -m repro.evalx.runner smoke --kills 3     # chaos self-test
 """
 
@@ -34,7 +42,9 @@ import signal
 import subprocess
 import sys
 import tempfile
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 
 from repro.errors import JournalError
 from repro.evalx.journal import Journal
@@ -149,6 +159,36 @@ def _run_cell_subprocess(experiment, key, scale, seed, attempt, timeout):
     return None, "cell produced no output"
 
 
+def resolve_jobs(jobs, cell_count):
+    """Concurrency for a sweep: explicit ``jobs`` wins, else one watched
+    subprocess per core, never more than there are cells to run."""
+    if jobs is None:
+        jobs = min(os.cpu_count() or 1, max(1, cell_count))
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return min(jobs, max(1, cell_count))
+
+
+def _attempt_cell(experiment, key, scale, seed, timeout, retries,
+                  backoff, say):
+    """All watched attempts for one cell; returns
+    ``(payload, error_or_None, attempts)``."""
+    payload = None
+    error = None
+    attempts = 0
+    for attempt in range(retries + 1):
+        attempts = attempt + 1
+        payload, error = _run_cell_subprocess(
+            experiment, key, scale, seed, attempt, timeout)
+        if error is None:
+            break
+        say(f"cell {key}: attempt {attempts} failed ({error})")
+        if attempt < retries and backoff > 0:
+            # deterministic exponential schedule, not a jitter
+            time.sleep(backoff * (2 ** attempt))
+    return payload, error, attempts
+
+
 class SweepResult:
     """What one (possibly resumed) sweep invocation did."""
 
@@ -174,12 +214,21 @@ class SweepResult:
 
 def run_sweep(experiment, scale=1.0, seed=1, journal_path=None,
               out_path=None, resume=False, timeout=None, retries=1,
-              backoff=0.0, check=False, stream=None):
-    """Run (or resume) one journalled sweep; returns a SweepResult."""
+              backoff=0.0, check=False, stream=None, jobs=None):
+    """Run (or resume) one journalled sweep; returns a SweepResult.
+
+    ``jobs`` bounds the pool of concurrent cell subprocesses (None =
+    one per core, capped at the cell count).  Whatever the pool size,
+    journal records are committed in cell order and the output file is
+    byte-identical to a ``jobs=1`` run.
+    """
+
+    say_lock = threading.Lock()
 
     def say(message):
         if stream is not None:
-            stream.write(message + "\n")
+            with say_lock:
+                stream.write(message + "\n")
 
     if journal_path is None:
         journal_path = pathlib.Path(
@@ -205,27 +254,12 @@ def run_sweep(experiment, scale=1.0, seed=1, journal_path=None,
         cells = {}
 
     keys = sweep_cells(experiment)
+    pending = [key for key in keys
+               if not (key in cells and cells[key]["status"] == "ok")]
+    skipped = len(keys) - len(pending)
     ran = 0
-    skipped = 0
-    for key in keys:
-        record = cells.get(key)
-        if record is not None and record["status"] == "ok":
-            skipped += 1
-            continue
-        payload = None
-        error = None
-        attempts = 0
-        for attempt in range(retries + 1):
-            attempts = attempt + 1
-            payload, error = _run_cell_subprocess(
-                experiment, key, scale, seed, attempt, timeout)
-            if error is None:
-                break
-            say(f"cell {key}: attempt {attempts} failed ({error})")
-            if attempt < retries and backoff > 0:
-                # deterministic exponential schedule, not a jitter
-                time.sleep(backoff * (2 ** attempt))
-        ran += 1
+
+    def commit(key, payload, error, attempts):
         if error is None:
             cells[key] = journal.append_cell(key, "ok", payload=payload,
                                              attempts=attempts)
@@ -233,6 +267,31 @@ def run_sweep(experiment, scale=1.0, seed=1, journal_path=None,
             cells[key] = journal.append_cell(key, "failed",
                                              attempts=attempts,
                                              error=error)
+
+    workers = resolve_jobs(jobs, len(pending))
+    if workers <= 1:
+        for key in pending:
+            payload, error, attempts = _attempt_cell(
+                experiment, key, scale, seed, timeout, retries, backoff,
+                say)
+            ran += 1
+            commit(key, payload, error, attempts)
+    elif pending:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                key: pool.submit(_attempt_cell, experiment, key, scale,
+                                 seed, timeout, retries, backoff, say)
+                for key in pending
+            }
+            # Journal commits happen here, in deterministic cell order:
+            # a cell that finishes early waits (buffered in its future)
+            # until every earlier cell has been committed, so the
+            # journal an interrupted run leaves behind is always an
+            # order-prefix of the sequential run's journal.
+            for key in pending:
+                payload, error, attempts = futures[key].result()
+                ran += 1
+                commit(key, payload, error, attempts)
 
     table, dropped_keys = assemble_table(experiment, scale, seed, cells)
     if dropped_keys:
@@ -279,16 +338,19 @@ def _journal_records(path):
         return 0
 
 
-def _sweep_command(experiment, scale, seed, journal, out):
-    return [
+def _sweep_command(experiment, scale, seed, journal, out, jobs=None):
+    command = [
         sys.executable, "-m", "repro.evalx.runner", "sweep", experiment,
         "--scale", str(scale), "--seed", str(seed), "--resume",
         "--journal", str(journal), "--out", str(out),
     ]
+    if jobs is not None:
+        command += ["--jobs", str(jobs)]
+    return command
 
 
 def smoke(experiment="compression", scale=0.2, seed=7, kills=3,
-          check=False, workdir=None, stream=None):
+          check=False, workdir=None, stream=None, jobs=None):
     """Kill-and-resume chaos test; returns 0 iff resumption is exact.
 
     Runs the sweep once uninterrupted, then again while SIGKILLing the
@@ -312,10 +374,11 @@ def smoke(experiment="compression", scale=0.2, seed=7, kills=3,
     chaos_out = workdir / "chaos.json"
     chaos_journal = workdir / "chaos.journal.jsonl"
 
-    say(f"reference sweep ({experiment}, scale={scale}, seed={seed})")
+    say(f"reference sweep ({experiment}, scale={scale}, seed={seed}, "
+        f"jobs={jobs if jobs is not None else 'auto'})")
     reference = run_sweep(experiment, scale=scale, seed=seed,
                           journal_path=workdir / "reference.jsonl",
-                          out_path=ref_out, stream=stream)
+                          out_path=ref_out, stream=stream, jobs=jobs)
     if reference.dropped_keys:
         say("FAIL: reference sweep dropped cells")
         return 1
@@ -332,7 +395,7 @@ def smoke(experiment="compression", scale=0.2, seed=7, kills=3,
         target = targets[kills_done] if kills_done < len(targets) else None
         proc = subprocess.Popen(
             _sweep_command(experiment, scale, seed, chaos_journal,
-                           chaos_out),
+                           chaos_out, jobs=jobs),
             env=_cell_env(), stdout=subprocess.DEVNULL,
             stderr=subprocess.DEVNULL,
         )
@@ -424,6 +487,9 @@ def main(argv=None):
                          help="base of the exponential retry delay")
     sweep_p.add_argument("--check", action="store_true",
                          help="diff the assembled table vs its golden")
+    sweep_p.add_argument("--jobs", type=int, default=None,
+                         help="parallel cell workers (default "
+                              "min(cpu_count, cells); 1 = sequential)")
 
     cell_p = sub.add_parser("run-cell",
                             help="run one sweep cell (internal)")
@@ -443,6 +509,9 @@ def main(argv=None):
                          help="also diff the sweep vs its golden "
                               "(forces golden scale/seed)")
     smoke_p.add_argument("--workdir", default=None)
+    smoke_p.add_argument("--jobs", type=int, default=None,
+                         help="parallel cell workers for both the "
+                              "reference and the chaos-killed sweeps")
 
     args = parser.parse_args(argv)
     if args.command == "run-cell":
@@ -458,12 +527,14 @@ def main(argv=None):
     if args.command == "smoke":
         return smoke(experiment=args.experiment, scale=args.scale,
                      seed=args.seed, kills=args.kills, check=args.check,
-                     workdir=args.workdir, stream=sys.stdout)
+                     workdir=args.workdir, stream=sys.stdout,
+                     jobs=args.jobs)
     result = run_sweep(
         args.experiment, scale=args.scale, seed=args.seed,
         journal_path=args.journal, out_path=args.out,
         resume=args.resume, timeout=args.timeout, retries=args.retries,
         backoff=args.backoff, check=args.check, stream=sys.stdout,
+        jobs=args.jobs,
     )
     return 0 if result.ok else 1
 

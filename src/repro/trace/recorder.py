@@ -28,6 +28,11 @@ class TracingRegisterFile:
     def __init__(self, inner):
         self.inner = inner
         self.trace = Trace(context_size=inner.context_size)
+        #: bound once: the recorder sits on every access a front-end
+        #: makes, so the hot events (read/write/free/tick) append their
+        #: tuple directly instead of paying Trace.append plus a _cid
+        #: helper call per event
+        self._events_append = self.trace.events.append
 
     # -- recorded operations ------------------------------------------------
 
@@ -46,23 +51,30 @@ class TracingRegisterFile:
         return result
 
     def read(self, offset, cid=None):
-        value, result = self.inner.read(offset, cid=cid)
-        self.trace.append(READ, self._cid(cid), offset)
+        inner = self.inner
+        value, result = inner.read(offset, cid=cid)
+        self._events_append(
+            (READ, inner.current_cid if cid is None else cid, offset, 0))
         return value, result
 
     def write(self, offset, value, cid=None):
-        result = self.inner.write(offset, value, cid=cid)
+        inner = self.inner
+        result = inner.write(offset, value, cid=cid)
         recorded = value if isinstance(value, int) else 0
-        self.trace.append(WRITE, self._cid(cid), offset, recorded)
+        self._events_append(
+            (WRITE, inner.current_cid if cid is None else cid, offset,
+             recorded))
         return result
 
     def free_register(self, offset, cid=None):
-        self.inner.free_register(offset, cid=cid)
-        self.trace.append(FREE, self._cid(cid), offset)
+        inner = self.inner
+        inner.free_register(offset, cid=cid)
+        self._events_append(
+            (FREE, inner.current_cid if cid is None else cid, offset, 0))
 
     def tick(self, n=1):
         self.inner.tick(n)
-        self.trace.append(TICK, 0, 0, n)
+        self._events_append((TICK, 0, 0, n))
 
     # -- pass-through -----------------------------------------------------------
 

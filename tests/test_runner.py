@@ -229,3 +229,49 @@ def test_kill_and_resume_is_bit_identical(tmp_path):
     # run (see runner.smoke for the full protocol).
     assert smoke(experiment="table1", scale=0.12, seed=3, kills=2,
                  workdir=tmp_path, stream=io.StringIO()) == 0
+
+
+# -- the parallel scheduler --------------------------------------------------
+
+
+class TestParallelScheduler:
+    def test_resolve_jobs_defaults_and_bounds(self):
+        import os
+
+        from repro.evalx.runner import resolve_jobs
+
+        assert resolve_jobs(1, 10) == 1
+        assert resolve_jobs(4, 10) == 4
+        # never more workers than cells
+        assert resolve_jobs(16, 3) == 3
+        # default: min(cpu_count, cells)
+        assert resolve_jobs(None, 2) == min(os.cpu_count() or 1, 2)
+        with pytest.raises(ValueError):
+            resolve_jobs(0, 10)
+
+    def test_parallel_output_is_byte_identical(self, tmp_path):
+        sequential = _sweep(tmp_path / "seq", jobs=1,
+                            journal_path=tmp_path / "seq.jsonl",
+                            out_path=tmp_path / "seq.json")
+        parallel = _sweep(tmp_path / "par", jobs=4,
+                          journal_path=tmp_path / "par.jsonl",
+                          out_path=tmp_path / "par.json")
+        assert sequential.ok and parallel.ok
+        assert ((tmp_path / "seq.json").read_bytes()
+                == (tmp_path / "par.json").read_bytes())
+
+    def test_parallel_journal_commits_in_cell_order(self, tmp_path):
+        result = _sweep(tmp_path, jobs=4)
+        lines = (tmp_path / "sweep.jsonl").read_text().splitlines()
+        keys = [json.loads(line)["key"] for line in lines[1:]]
+        assert keys == list(result.keys)
+
+    def test_parallel_resume_skips_completed_cells(self, tmp_path):
+        result = _sweep(tmp_path, jobs=4)
+        journal_path = tmp_path / "sweep.jsonl"
+        lines = journal_path.read_text().splitlines()
+        journal_path.write_text("\n".join(lines[:3]) + "\n")
+        partial = _sweep(tmp_path, resume=True, jobs=4)
+        assert partial.skipped == 2
+        assert partial.ran == len(result.keys) - 2
+        assert partial.table.to_dict() == result.table.to_dict()
