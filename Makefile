@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test faults compression resume-smoke bench bench-check bench-baseline eval charts goldens check-goldens examples all
+.PHONY: install test faults compression resume-smoke bench bench-check bench-baseline eval charts goldens check-goldens clean-traces examples all
 
 # Parallel cell workers for the sweep runner (1 = sequential).
 JOBS ?= 4
@@ -38,11 +38,13 @@ bench:
 # so it is safe to run in CI.
 bench-check:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_hot_path.py --check
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_trace_replay.py --check
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_core_ops.py --benchmark-only -q
 
 # Refresh the committed baseline after an intentional perf change.
 bench-baseline:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_hot_path.py --write-baseline
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_trace_replay.py --write-baseline
 
 eval:
 	PYTHONPATH=src $(PYTHON) -m repro.evalx
@@ -56,6 +58,10 @@ goldens:
 
 check-goldens:
 	PYTHONPATH=src $(PYTHON) -m repro.evalx --check-goldens
+
+# Drop every cached workload trace (they are re-recorded on demand).
+clean-traces:
+	PYTHONPATH=src $(PYTHON) -m repro.trace.cache clear
 
 examples:
 	@for f in examples/*.py; do \

@@ -6,9 +6,23 @@ The paper's §7 simulation setup:
 * parallel programs: 32-register contexts, 128-register files;
 * the segmented baseline has 4 equal frames;
 * the NSF is organized with one register per line, LRU victims.
+
+Execution engine: every sweep here is **replay-driven** by default.
+The workload front-ends (activation machine, thread scheduler) are the
+expensive part of a cell, and their event stream depends only on
+``(workload, scale, seed)`` — so :func:`run_workload` fetches the
+recorded trace from the content-addressed cache
+(:mod:`repro.trace.cache`) and replays it onto the model under test,
+exactly the paper's record-once/replay-many methodology.  The stats
+are identical to direct execution by construction (pinned by
+``tests/test_trace_crossvalidation.py`` and the golden tables); set
+``REPRO_NO_TRACE_CACHE=1`` (or pass ``--no-trace-cache`` to the CLIs)
+to force direct execution.
 """
 
 from repro.core import NamedStateRegisterFile, SegmentedRegisterFile
+from repro.trace import cache as trace_cache
+from repro.trace.replay import replay
 
 SEQ_REGISTERS = 80
 PAR_REGISTERS = 128
@@ -41,13 +55,47 @@ def make_segmented(workload, num_registers=None, **kw):
     )
 
 
+def run_workload(workload, model, scale=1.0, seed=1):
+    """Drive ``model`` with ``workload``; returns the model.
+
+    Replays the cached register-reference trace (recording it on first
+    use) when the trace cache is enabled; falls back to executing the
+    workload front-end directly when it is not.  Both paths leave
+    byte-identical statistics on the model.
+
+    Workloads whose stream is timing-sensitive (``trace_stable`` is
+    False) get memoized execution instead of a shared trace: the cold
+    run executes directly through a recorder, and only models with the
+    identical configuration replay the cached stream.
+    """
+    if not trace_cache.enabled():
+        workload.run(model, scale=scale, seed=seed)
+        return model
+    if workload.trace_stable:
+        trace = trace_cache.load_or_record(workload, scale=scale,
+                                           seed=seed)
+        replay(trace, model, verify=False)
+        return model
+    trace = trace_cache.load_for_model(workload, model, scale=scale,
+                                       seed=seed)
+    if trace is not None:
+        replay(trace, model, verify=False)
+    else:
+        trace_cache.record_through(workload, model, scale=scale,
+                                   seed=seed)
+    return model
+
+
 def run_pair(workload, scale=1.0, seed=1, num_registers=None,
              nsf_kwargs=None, seg_kwargs=None):
-    """Run one workload on a fresh NSF and segmented file; return stats."""
+    """Run one workload on a fresh NSF and segmented file; return stats.
+
+    One recorded execution feeds both models (and every other cell that
+    asks for the same ``(workload, scale, seed)``)."""
     nsf = make_nsf(workload, num_registers=num_registers,
                    **(nsf_kwargs or {}))
     seg = make_segmented(workload, num_registers=num_registers,
                          **(seg_kwargs or {}))
-    workload.run(nsf, scale=scale, seed=seed)
-    workload.run(seg, scale=scale, seed=seed)
+    run_workload(workload, nsf, scale=scale, seed=seed)
+    run_workload(workload, seg, scale=scale, seed=seed)
     return nsf.stats, seg.stats

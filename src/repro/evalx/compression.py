@@ -31,7 +31,12 @@ CLI::
 """
 
 from repro.core.compress import CODEC_NAMES, compress_spills
-from repro.evalx.common import make_nsf, make_segmented, registers_for
+from repro.evalx.common import (
+    make_nsf,
+    make_segmented,
+    registers_for,
+    run_workload,
+)
 from repro.evalx.tables import ExperimentTable
 from repro.workloads import get_workload
 
@@ -72,7 +77,7 @@ def run_cell(workload_name, config, scale=1.0, seed=1):
         model, codec="raw",
         shadow_codecs=[c for c in CODEC_SWEEP if c != "raw"],
     )
-    workload.run(model, scale=scale, seed=seed)
+    run_workload(workload, model, scale=scale, seed=seed)
     return model, port
 
 

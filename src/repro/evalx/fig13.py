@@ -17,6 +17,7 @@ from repro.evalx.common import (
     REPRESENTATIVE_PARALLEL,
     REPRESENTATIVE_SEQUENTIAL,
     make_nsf,
+    run_workload,
 )
 from repro.evalx.tables import ExperimentTable
 from repro.workloads import get_workload
@@ -49,7 +50,7 @@ def run(scale=1.0, seed=1):
             # simulation.
             nsf = make_nsf(workload, line_size=line_size,
                            reload_scope="line", fetch_on_write=True)
-            workload.run(nsf, scale=scale, seed=seed)
+            run_workload(workload, nsf, scale=scale, seed=seed)
             stats = nsf.stats
             instructions = stats.instructions or 1
             table.add_row(

@@ -59,7 +59,17 @@ def main(argv=None):
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="where the journalled sweep writes its "
                              "final table (JSON)")
+    parser.add_argument("--no-trace-cache", action="store_true",
+                        help="execute workload front-ends directly "
+                             "instead of replaying cached traces")
     args = parser.parse_args(argv)
+    if args.no_trace_cache:
+        import os
+
+        from repro.trace import cache as trace_cache
+
+        # via the environment so journalled cell subprocesses inherit it
+        os.environ[trace_cache.ENV_DISABLE] = "1"
     if args.name:
         if args.experiment and args.experiment != args.name:
             parser.error("give the experiment either positionally or via "

@@ -125,12 +125,23 @@ def _cell_command(experiment, key, scale, seed, attempt):
 
 
 def _cell_env():
-    """Child environment with this package's source tree importable."""
+    """Child environment with this package's source tree importable.
+
+    The trace-cache directory is pinned to an absolute path so every
+    cell subprocess — including those running under ``--jobs N`` from a
+    different working directory — shares one cache: the first cell to
+    need a workload records it, every other cell replays it.
+    """
     env = dict(os.environ)
     src = str(pathlib.Path(__file__).resolve().parent.parent.parent)
     existing = env.get("PYTHONPATH")
     env["PYTHONPATH"] = (src if not existing
                          else src + os.pathsep + existing)
+    from repro.trace import cache as trace_cache
+
+    env[trace_cache.ENV_DIR] = str(
+        pathlib.Path(trace_cache.cache_dir()).resolve()
+    )
     return env
 
 

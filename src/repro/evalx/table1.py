@@ -7,7 +7,7 @@ the same quantities over our implementations (see DESIGN.md for the
 static-metric substitution).
 """
 
-from repro.evalx.common import make_nsf
+from repro.evalx.common import make_nsf, run_workload
 from repro.evalx.tables import ExperimentTable
 from repro.workloads import ALL_WORKLOADS, get_workload
 
@@ -33,7 +33,7 @@ def run_cell_rows(key, scale=1.0, seed=1):
     workload = get_workload(key)
     static = workload.static_metrics()
     nsf = make_nsf(workload)
-    workload.run(nsf, scale=scale, seed=seed)
+    run_workload(workload, nsf, scale=scale, seed=seed)
     stats = nsf.stats
     return [[
         workload.name,

@@ -1,0 +1,327 @@
+"""Content-addressed disk cache of recorded workload traces.
+
+The expensive half of every sweep is executing a workload front-end
+(the activation machine or thread scheduler); for every workload with
+``trace_stable = True`` the event stream it produces depends only on
+``(workload, scale, seed)`` — never on the register-file model
+underneath (pinned by ``tests/test_trace_crossvalidation.py``).  This
+cache therefore lets such a workload execute **once**: the first
+request records the trace and atomically publishes it
+(write-then-rename via :mod:`repro.ioutil`, so concurrent sweep cells
+racing on the same key are safe — both write identical bytes and the
+rename is atomic); every later cell, model variant, codec and
+line-size configuration replays the packed binary trace instead of
+re-running the program.
+
+Timing-sensitive workloads (``trace_stable = False``, e.g. Gamteb,
+whose thread wake-up order races the model-dependent stall cycles of
+spills and reloads) cannot share one stream across models.  For those
+the cache degrades gracefully to *memoized execution*: the trace is
+additionally keyed by the target model's configuration fingerprint
+(:func:`model_fingerprint`), recorded straight through the target
+model on the cold run (:func:`record_through` — so the cold run IS a
+direct run, exact by construction) and replayed only onto models of
+the identical configuration afterwards.
+
+Keying is content-addressed: ``(workload name, context size, scale,
+seed)`` plus a fingerprint of the recorder/format implementation
+(sha256 of this package's sources and a schema version), so any change
+to recording semantics invalidates every stale entry automatically —
+old files are simply never looked up again.
+
+Environment knobs:
+
+* ``REPRO_TRACE_CACHE``     — cache directory (default:
+  ``.trace-cache/`` at the repo root);
+* ``REPRO_NO_TRACE_CACHE``  — any non-empty value disables the cache
+  (sweeps fall back to direct execution);
+* ``REPRO_TRACE_CACHE_LOG`` — append one ``HIT``/``MISS``/``RECORD``
+  line per lookup to this file (used by CI to assert a warm second
+  sweep actually replays).
+
+CLI::
+
+    python -m repro.trace.cache info     # entries, sizes, location
+    python -m repro.trace.cache clear    # delete every cached trace
+"""
+
+import hashlib
+import os
+import pathlib
+import sys
+
+from repro.ioutil import atomic_write_bytes
+from repro.trace.events import Trace, TraceFormatError
+from repro.trace.recorder import TracingRegisterFile
+
+ENV_DIR = "REPRO_TRACE_CACHE"
+ENV_DISABLE = "REPRO_NO_TRACE_CACHE"
+ENV_LOG = "REPRO_TRACE_CACHE_LOG"
+
+#: bump to invalidate every cached trace on a semantic change that the
+#: source fingerprint cannot see (e.g. a workload build() change)
+SCHEMA_VERSION = 1
+
+#: default location: ``<repo root>/.trace-cache`` (gitignored)
+DEFAULT_DIR = pathlib.Path(__file__).resolve().parents[3] / ".trace-cache"
+
+
+class CacheStats:
+    """Process-local hit/miss accounting."""
+
+    __slots__ = ("hits", "misses", "records")
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.records = 0
+
+    def reset(self):
+        self.hits = self.misses = self.records = 0
+
+    def __repr__(self):
+        return (f"CacheStats(hits={self.hits}, misses={self.misses}, "
+                f"records={self.records})")
+
+
+STATS = CacheStats()
+
+#: traces already loaded in this process, keyed by (directory, key)
+_memo = {}
+
+_fingerprint = None
+
+
+def enabled():
+    """True unless ``REPRO_NO_TRACE_CACHE`` is set (to anything)."""
+    return not os.environ.get(ENV_DISABLE)
+
+
+def cache_dir():
+    """The active cache directory (env override or repo default)."""
+    configured = os.environ.get(ENV_DIR)
+    return pathlib.Path(configured) if configured else DEFAULT_DIR
+
+
+def recorder_fingerprint():
+    """sha256 over the trace package's sources + schema version.
+
+    Any edit to the event format, the recorder or the cache itself
+    yields new keys, so stale entries can never be replayed.
+    """
+    global _fingerprint
+    if _fingerprint is None:
+        digest = hashlib.sha256(f"schema={SCHEMA_VERSION}".encode())
+        package = pathlib.Path(__file__).resolve().parent
+        for name in ("events.py", "recorder.py", "cache.py"):
+            digest.update(name.encode())
+            digest.update((package / name).read_bytes())
+        _fingerprint = digest.hexdigest()[:16]
+    return _fingerprint
+
+
+def model_fingerprint(model):
+    """Stable digest of a register-file model's configuration.
+
+    Derived from the snapshot protocol's ``kind`` and ``config``
+    (construction parameters only, no mutable state), so two freshly
+    built models compare equal exactly when direct execution over them
+    is guaranteed to produce the same event stream.  Returns ``None``
+    for objects outside the snapshot protocol.
+    """
+    capture = getattr(model, "capture", None)
+    if capture is None:
+        return None
+    try:
+        state = capture()
+        kind = state["kind"]
+        config = sorted(state["config"].items())
+    except (TypeError, KeyError, AttributeError):
+        return None
+    digest = hashlib.sha256(repr((kind, config)).encode())
+    return digest.hexdigest()[:16]
+
+
+def trace_key(workload_name, context_size, scale, seed, model_fp=None):
+    """Content-addressed key for one recorded execution."""
+    canonical = (f"{workload_name}|ctx={context_size}|scale={scale!r}"
+                 f"|seed={seed!r}|{recorder_fingerprint()}")
+    if model_fp is not None:
+        canonical += f"|model={model_fp}"
+    return hashlib.sha256(canonical.encode()).hexdigest()[:32]
+
+
+def trace_path(workload, scale, seed, directory=None, model_fp=None):
+    """Where the cached trace for one execution lives."""
+    directory = pathlib.Path(directory) if directory else cache_dir()
+    key = trace_key(workload.name, workload.context_size, scale, seed,
+                    model_fp=model_fp)
+    return directory / f"{workload.name.lower()}-{key}.trace"
+
+
+def _log(outcome, workload, path):
+    log_path = os.environ.get(ENV_LOG)
+    if not log_path:
+        return
+    try:
+        with open(log_path, "a", encoding="utf-8") as handle:
+            handle.write(f"{outcome} {workload.name} {path.name}\n")
+    except OSError:
+        pass
+
+
+def record_trace(workload, scale=1.0, seed=1):
+    """Execute ``workload`` once over a recording register file.
+
+    The inner model is immaterial (the stream is model-independent);
+    a generously-sized NSF keeps recording fast by avoiding spills.
+    """
+    from repro.core import NamedStateRegisterFile
+
+    tracer = TracingRegisterFile(NamedStateRegisterFile(
+        num_registers=4 * workload.context_size,
+        context_size=workload.context_size,
+    ))
+    workload.run(tracer, scale=scale, seed=seed)
+    STATS.records += 1
+    return tracer.trace
+
+
+def _lookup(workload, path):
+    """Memo-then-disk lookup; returns the trace or ``None`` on a miss.
+
+    Corrupt or truncated cache files (a torn copy, a partial download)
+    are treated as misses, so callers transparently re-record them.
+    """
+    memo_key = (str(path.parent), path.name)
+    trace = _memo.get(memo_key)
+    if trace is None and path.exists():
+        try:
+            trace = Trace.load(path)
+        except (TraceFormatError, OSError):
+            trace = None
+        if trace is not None:
+            _memo[memo_key] = trace
+    if trace is not None:
+        STATS.hits += 1
+        _log("HIT", workload, path)
+        return trace
+    STATS.misses += 1
+    _log("MISS", workload, path)
+    return None
+
+
+def _publish(workload, path, trace):
+    """Atomically write ``trace`` to ``path`` and memoize it."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    atomic_write_bytes(path, trace.dumps_binary())
+    _log("RECORD", workload, path)
+    _memo[(str(path.parent), path.name)] = trace
+
+
+def load_or_record(workload, scale=1.0, seed=1, directory=None):
+    """Return the trace for ``(workload, scale, seed)``, recording once.
+
+    The model-independent entry point — only correct for workloads with
+    ``trace_stable = True``; timing-sensitive workloads go through
+    :func:`load_for_model` / :func:`record_through` instead.
+    """
+    path = trace_path(workload, scale, seed, directory=directory)
+    trace = _lookup(workload, path)
+    if trace is None:
+        trace = record_trace(workload, scale=scale, seed=seed)
+        _publish(workload, path, trace)
+    return trace
+
+
+def load_for_model(workload, model, scale=1.0, seed=1, directory=None):
+    """Cached trace for this exact model configuration, or ``None``.
+
+    The lookup path for timing-sensitive workloads: a hit may only be
+    replayed onto a model whose configuration fingerprint matches the
+    one it was recorded through.  A ``None`` return (miss, or a model
+    outside the snapshot protocol) means the caller must execute the
+    workload directly — ideally via :func:`record_through` so the next
+    run hits.
+    """
+    fp = model_fingerprint(model)
+    if fp is None:
+        return None
+    path = trace_path(workload, scale, seed, directory=directory,
+                      model_fp=fp)
+    return _lookup(workload, path)
+
+
+def record_through(workload, model, scale=1.0, seed=1, directory=None):
+    """Execute ``workload`` directly over ``model``, recording as it runs.
+
+    The cold-run path for timing-sensitive workloads: the model ends up
+    with genuine direct-execution statistics (no replay involved), and
+    the recorded stream is published under the model-keyed entry so
+    future runs on the same configuration replay instead.
+    """
+    tracer = TracingRegisterFile(model)
+    workload.run(tracer, scale=scale, seed=seed)
+    STATS.records += 1
+    fp = model_fingerprint(model)
+    if fp is not None:
+        path = trace_path(workload, scale, seed, directory=directory,
+                          model_fp=fp)
+        _publish(workload, path, tracer.trace)
+    return tracer.trace
+
+
+def clear(directory=None):
+    """Delete every cached trace; returns the number removed."""
+    directory = pathlib.Path(directory) if directory else cache_dir()
+    removed = 0
+    if directory.is_dir():
+        for path in directory.glob("*.trace"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+    _memo.clear()
+    return removed
+
+
+def entries(directory=None):
+    """``(path, size_bytes)`` of every cached trace, sorted by name."""
+    directory = pathlib.Path(directory) if directory else cache_dir()
+    if not directory.is_dir():
+        return []
+    return sorted((path, path.stat().st_size)
+                  for path in directory.glob("*.trace"))
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Inspect or clear the content-addressed trace cache."
+    )
+    parser.add_argument("command", choices=["info", "clear"],
+                        help="info: list entries; clear: delete them")
+    parser.add_argument("--dir", default=None,
+                        help="cache directory (default: "
+                             f"$" + ENV_DIR + " or .trace-cache)")
+    args = parser.parse_args(argv)
+    directory = pathlib.Path(args.dir) if args.dir else cache_dir()
+    if args.command == "clear":
+        removed = clear(directory)
+        print(f"removed {removed} cached trace(s) from {directory}")
+        return 0
+    listing = entries(directory)
+    total = sum(size for _, size in listing)
+    print(f"trace cache: {directory}"
+          + ("" if enabled() else "  [DISABLED via $" + ENV_DISABLE + "]"))
+    for path, size in listing:
+        print(f"  {path.name}  {size:,} B")
+    print(f"{len(listing)} entr{'y' if len(listing) == 1 else 'ies'}, "
+          f"{total:,} B")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

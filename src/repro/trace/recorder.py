@@ -1,14 +1,14 @@
 """Recording wrapper: capture the event stream a front-end generates."""
 
 from repro.trace.events import (
-    BEGIN,
-    END,
-    FREE,
-    READ,
-    SWITCH,
-    TICK,
+    OP_BEGIN,
+    OP_END,
+    OP_FREE,
+    OP_READ,
+    OP_SWITCH,
+    OP_TICK,
+    OP_WRITE,
     Trace,
-    WRITE,
 )
 
 
@@ -23,63 +23,67 @@ class TracingRegisterFile:
         tracer = TracingRegisterFile(inner)
         workload.run(tracer, ...)
         tracer.trace.dump("quicksort.trace")
+
+    The recorder sits on every access a front-end makes, so the hot
+    events (read/write/tick) cost one pre-bound forwarding call plus
+    one ``list.extend`` into the trace's pending buffer — no per-event
+    tuple objects retained, no ``Trace.append`` dispatch, no int64
+    conversion (the :class:`Trace` pays that once, at first read).
+    Values that don't fit in int64 — or aren't ints at all — need no
+    handling here; the trace's flush escapes or coerces them.
     """
+
+    __slots__ = ("inner", "trace", "_extend", "_read", "_write", "_tick")
 
     def __init__(self, inner):
         self.inner = inner
         self.trace = Trace(context_size=inner.context_size)
-        #: bound once: the recorder sits on every access a front-end
-        #: makes, so the hot events (read/write/free/tick) append their
-        #: tuple directly instead of paying Trace.append plus a _cid
-        #: helper call per event
-        self._events_append = self.trace.events.append
+        self._extend = self.trace._pending.extend
+        self._read = inner.read
+        self._write = inner.write
+        self._tick = inner.tick
 
     # -- recorded operations ------------------------------------------------
 
     def begin_context(self, cid=None, base_address=None):
         cid = self.inner.begin_context(cid=cid, base_address=base_address)
-        self.trace.append(BEGIN, cid)
+        self._extend((OP_BEGIN, cid, 0, 0))
         return cid
 
     def end_context(self, cid):
         self.inner.end_context(cid)
-        self.trace.append(END, cid)
+        self._extend((OP_END, cid, 0, 0))
 
     def switch_to(self, cid):
         result = self.inner.switch_to(cid)
-        self.trace.append(SWITCH, cid)
+        self._extend((OP_SWITCH, cid, 0, 0))
         return result
 
     def read(self, offset, cid=None):
-        inner = self.inner
-        value, result = inner.read(offset, cid=cid)
-        self._events_append(
-            (READ, inner.current_cid if cid is None else cid, offset, 0))
-        return value, result
+        pair = self._read(offset, cid=cid)
+        self._extend(
+            (OP_READ, self.inner.current_cid if cid is None else cid,
+             offset, 0))
+        return pair
 
     def write(self, offset, value, cid=None):
-        inner = self.inner
-        result = inner.write(offset, value, cid=cid)
-        recorded = value if isinstance(value, int) else 0
-        self._events_append(
-            (WRITE, inner.current_cid if cid is None else cid, offset,
-             recorded))
+        result = self._write(offset, value, cid=cid)
+        self._extend(
+            (OP_WRITE, self.inner.current_cid if cid is None else cid,
+             offset, value))
         return result
 
     def free_register(self, offset, cid=None):
         inner = self.inner
         inner.free_register(offset, cid=cid)
-        self._events_append(
-            (FREE, inner.current_cid if cid is None else cid, offset, 0))
+        self._extend(
+            (OP_FREE, inner.current_cid if cid is None else cid, offset, 0))
 
     def tick(self, n=1):
-        self.inner.tick(n)
-        self._events_append((TICK, 0, 0, n))
+        self._tick(n)
+        self._extend((OP_TICK, 0, 0, n))
 
     # -- pass-through -----------------------------------------------------------
-
-    def _cid(self, cid):
-        return self.inner.current_cid if cid is None else cid
 
     def __getattr__(self, name):
         return getattr(self.inner, name)

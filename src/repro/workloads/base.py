@@ -88,6 +88,17 @@ class Workload:
     kind = "sequential"  # or "parallel"
     #: short description shown in Table 1
     description = ""
+    #: True when the register-reference event stream this workload
+    #: generates is independent of the register-file model underneath.
+    #: Sequential benchmarks are stable by construction (straight-line
+    #: control flow never consults the clock).  Parallel benchmarks are
+    #: stable as long as thread wake-up order never races the cycle
+    #: counter, which spill/reload stalls advance model-dependently —
+    #: a benchmark that parks threads on timed ``remote()`` accesses
+    #: must set this False (see Gamteb).  The trace cache shares one
+    #: canonical recording across all models only when this is True;
+    #: otherwise it keys recordings by the target model configuration.
+    trace_stable = True
 
     @property
     def context_size(self):

@@ -1,14 +1,13 @@
 """Gamteb: Monte-Carlo photon transport through a 1-D slab (parallel).
 
-The paper's Gamteb is an Id Monte-Carlo photon-transport code, the most
-fine-grained of its benchmarks (a context switch every ~16
+The paper's Gamteb is an Id Monte-Carlo photon-transport code, the
+most fine-grained of its benchmarks (a context switch every ~16
 instructions).  Ours transports photon bundles through a slab: each
-flight samples a free path from an in-register linear-congruential
-generator, moves the photon, and resolves a collision as absorption,
-scattering (direction flip) or continuation.  Every collision fetches
-cross-section data from a remote node — ``yield machine.remote()`` —
-so the processor switches threads at collision frequency, exactly the
-latency-masking regime of §2 of the paper.
+flight samples a free path from an in-register LCG, moves the photon,
+and resolves a collision as absorption, scattering (direction flip) or
+continuation.  Every collision fetches cross-section data from a
+remote node — ``yield machine.remote()`` — so the processor switches
+threads at collision frequency, the latency-masking regime of §2.
 
 The LCG makes the simulation bit-for-bit deterministic, so the plain
 Python reference reproduces the same physics.
@@ -57,6 +56,12 @@ class Gamteb(Workload):
     name = "Gamteb"
     kind = "parallel"
     description = "Monte-Carlo photon transport through a slab"
+    #: Photons park on timed ``remote()`` fetches, so thread wake-up
+    #: order depends on the cycle counter — which spill/reload stalls
+    #: advance differently under every register-file model.  The event
+    #: stream is therefore model-dependent and must not be shared
+    #: across configurations (the trace cache keys it per-model).
+    trace_stable = False
 
     def build(self, seed, scale):
         num_photons = max(8, int(200 * scale))

@@ -1,0 +1,66 @@
+"""Replay-driven sweeps are bit-identical to direct execution.
+
+The trace cache's contract: an experiment fed by cached-trace replay
+produces exactly the rows direct execution produces — not close, the
+same.  This suite pins that for a run_pair experiment (fig09), a
+single-model experiment (table1), and the committed golden itself, so
+a regression in the recorder, the packed format, the cache keying or
+the replay engine cannot hide behind the cache.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.evalx import fig09, table1
+from repro.evalx.golden import DEFAULT_DIR, GOLDEN_SCALE, GOLDEN_SEED
+from repro.trace import cache as trace_cache
+
+SCALE = 0.2
+SEED = 5
+
+
+@pytest.fixture(autouse=True)
+def _private_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv(trace_cache.ENV_DIR, str(tmp_path / "cache"))
+    monkeypatch.delenv(trace_cache.ENV_DISABLE, raising=False)
+    trace_cache._memo.clear()
+    trace_cache.STATS.reset()
+    yield
+    trace_cache._memo.clear()
+    trace_cache.STATS.reset()
+
+
+def _direct(module, monkeypatch):
+    monkeypatch.setenv(trace_cache.ENV_DISABLE, "1")
+    try:
+        return module.run(scale=SCALE, seed=SEED)
+    finally:
+        monkeypatch.delenv(trace_cache.ENV_DISABLE)
+
+
+def test_fig09_replay_equals_direct(monkeypatch):
+    direct = _direct(fig09, monkeypatch)
+    assert trace_cache.STATS.records == 0
+    replayed = fig09.run(scale=SCALE, seed=SEED)
+    assert trace_cache.STATS.records > 0  # the cache path really ran
+    assert replayed.rows == direct.rows
+    # second pass replays from cache, still identical
+    warm = fig09.run(scale=SCALE, seed=SEED)
+    assert warm.rows == direct.rows
+
+
+def test_table1_replay_equals_direct(monkeypatch):
+    direct = _direct(table1, monkeypatch)
+    replayed = table1.run(scale=SCALE, seed=SEED)
+    assert replayed.rows == direct.rows
+
+
+def test_table1_replay_matches_committed_golden():
+    golden = json.loads(
+        (pathlib.Path(DEFAULT_DIR) / "table1.json").read_text()
+    )
+    table = table1.run(scale=GOLDEN_SCALE, seed=GOLDEN_SEED)
+    assert trace_cache.STATS.records > 0
+    assert table.rows == [list(row) for row in golden["rows"]]

@@ -1,0 +1,182 @@
+"""Content-addressed trace cache: keying, hits, recovery, knobs."""
+
+import os
+
+import pytest
+
+from repro.core import NamedStateRegisterFile
+from repro.evalx.common import make_nsf, run_workload
+from repro.trace import cache as trace_cache
+from repro.trace.replay import replay
+from repro.workloads import get_workload
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache(tmp_path, monkeypatch):
+    """Point the cache at a private directory and reset accounting."""
+    monkeypatch.setenv(trace_cache.ENV_DIR, str(tmp_path / "cache"))
+    monkeypatch.delenv(trace_cache.ENV_DISABLE, raising=False)
+    monkeypatch.delenv(trace_cache.ENV_LOG, raising=False)
+    trace_cache._memo.clear()
+    trace_cache.STATS.reset()
+    yield
+    trace_cache._memo.clear()
+    trace_cache.STATS.reset()
+
+
+def test_miss_records_then_hits():
+    workload = get_workload("DTW")
+    first = trace_cache.load_or_record(workload, scale=0.2, seed=3)
+    assert trace_cache.STATS.misses == 1
+    assert trace_cache.STATS.records == 1
+    second = trace_cache.load_or_record(workload, scale=0.2, seed=3)
+    assert second is first
+    assert trace_cache.STATS.hits == 1
+
+
+def test_disk_hit_across_processes_simulated():
+    """A fresh process (empty memo) must load the published file."""
+    workload = get_workload("DTW")
+    recorded = trace_cache.load_or_record(workload, scale=0.2, seed=3)
+    trace_cache._memo.clear()
+    loaded = trace_cache.load_or_record(workload, scale=0.2, seed=3)
+    assert loaded == recorded
+    assert trace_cache.STATS.records == 1  # no re-execution
+
+
+def test_key_separates_scale_seed_and_workload():
+    w1 = get_workload("DTW")
+    w2 = get_workload("Quicksort")
+    paths = {
+        trace_cache.trace_path(w1, 0.2, 3).name,
+        trace_cache.trace_path(w1, 0.2, 4).name,
+        trace_cache.trace_path(w1, 0.3, 3).name,
+        trace_cache.trace_path(w2, 0.2, 3).name,
+    }
+    assert len(paths) == 4
+
+
+def test_corrupt_cache_file_re_records():
+    workload = get_workload("DTW")
+    trace_cache.load_or_record(workload, scale=0.2, seed=3)
+    path = trace_cache.trace_path(workload, 0.2, 3)
+    path.write_bytes(b"NSFT garbage")
+    trace_cache._memo.clear()
+    trace_cache.STATS.reset()
+    recovered = trace_cache.load_or_record(workload, scale=0.2, seed=3)
+    assert trace_cache.STATS.records == 1
+    assert recovered.counts()["R"] > 0
+
+
+def test_env_disable(monkeypatch):
+    monkeypatch.setenv(trace_cache.ENV_DISABLE, "1")
+    assert not trace_cache.enabled()
+    workload = get_workload("DTW")
+    model = make_nsf(workload)
+    run_workload(workload, model, scale=0.2, seed=3)
+    assert model.stats.instructions > 0
+    assert trace_cache.STATS.records == 0
+    assert list(trace_cache.entries()) == []
+
+
+def test_run_workload_stats_match_direct():
+    workload = get_workload("Quicksort")
+    cached = run_workload(workload, make_nsf(workload), scale=0.2, seed=3)
+    direct = make_nsf(workload)
+    workload.run(direct, scale=0.2, seed=3)
+    assert cached.stats.snapshot() == direct.stats.snapshot()
+
+
+def test_log_file_records_outcomes(tmp_path, monkeypatch):
+    log = tmp_path / "cache.log"
+    monkeypatch.setenv(trace_cache.ENV_LOG, str(log))
+    workload = get_workload("DTW")
+    trace_cache.load_or_record(workload, scale=0.2, seed=3)
+    trace_cache.load_or_record(workload, scale=0.2, seed=3)
+    lines = log.read_text().splitlines()
+    outcomes = [line.split()[0] for line in lines]
+    assert outcomes == ["MISS", "RECORD", "HIT"]
+
+
+# -- timing-sensitive workloads (model-keyed entries) -----------------------
+
+
+def test_gamteb_is_marked_unstable():
+    assert get_workload("Gamteb").trace_stable is False
+    assert get_workload("DTW").trace_stable is True
+
+
+def test_model_fingerprint_separates_configs():
+    workload = get_workload("Gamteb")
+    fp1 = trace_cache.model_fingerprint(make_nsf(workload))
+    fp2 = trace_cache.model_fingerprint(make_nsf(workload, line_size=4))
+    fp3 = trace_cache.model_fingerprint(make_nsf(workload))
+    assert fp1 == fp3
+    assert fp1 != fp2
+    assert trace_cache.model_fingerprint(object()) is None
+
+
+def test_unstable_workload_memoizes_per_model():
+    workload = get_workload("Gamteb")
+    cold = make_nsf(workload)
+    run_workload(workload, cold, scale=0.1, seed=3)
+    assert trace_cache.STATS.records == 1
+    warm = make_nsf(workload)
+    run_workload(workload, warm, scale=0.1, seed=3)
+    assert trace_cache.STATS.records == 1  # replayed, not re-executed
+    assert warm.stats.snapshot() == cold.stats.snapshot()
+    # a different configuration records its own trace
+    other = make_nsf(workload, line_size=4)
+    run_workload(workload, other, scale=0.1, seed=3)
+    assert trace_cache.STATS.records == 2
+
+
+def test_unstable_warm_stats_match_direct():
+    workload = get_workload("Gamteb")
+    run_workload(workload, make_nsf(workload), scale=0.1, seed=3)  # cold
+    warm = make_nsf(workload)
+    run_workload(workload, warm, scale=0.1, seed=3)
+    direct = make_nsf(workload)
+    workload.run(direct, scale=0.1, seed=3)
+    assert warm.stats.snapshot() == direct.stats.snapshot()
+
+
+# -- fingerprint invalidation ----------------------------------------------
+
+
+def test_recorder_fingerprint_in_key(monkeypatch):
+    workload = get_workload("DTW")
+    before = trace_cache.trace_path(workload, 0.2, 3).name
+    monkeypatch.setattr(trace_cache, "_fingerprint", "deadbeef")
+    after = trace_cache.trace_path(workload, 0.2, 3).name
+    assert before != after
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+def test_cli_info_and_clear(capsys):
+    workload = get_workload("DTW")
+    trace_cache.load_or_record(workload, scale=0.2, seed=3)
+    assert trace_cache.main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "1 entry" in out
+    assert trace_cache.main(["clear"]) == 0
+    out = capsys.readouterr().out
+    assert "removed 1" in out
+    assert list(trace_cache.entries()) == []
+
+
+def test_replay_from_cache_file_matches_original(tmp_path):
+    """End-to-end: record, reload from disk, replay, same stats."""
+    workload = get_workload("Quicksort")
+    trace = trace_cache.load_or_record(workload, scale=0.2, seed=3)
+    trace_cache._memo.clear()
+    reloaded = trace_cache.load_or_record(workload, scale=0.2, seed=3)
+    a = NamedStateRegisterFile(num_registers=128,
+                               context_size=workload.context_size)
+    b = NamedStateRegisterFile(num_registers=128,
+                               context_size=workload.context_size)
+    replay(trace, a, verify=False)
+    replay(reloaded, b, verify=True)
+    assert a.stats.snapshot() == b.stats.snapshot()
