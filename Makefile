@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test faults compression resume-smoke bench bench-check bench-baseline eval charts goldens check-goldens clean-traces examples all
+.PHONY: install test faults chaos compression resume-smoke bench bench-check bench-baseline eval charts goldens check-goldens clean-traces examples all
 
 # Parallel cell workers for the sweep runner (1 = sequential).
 JOBS ?= 4
@@ -10,13 +10,20 @@ JOBS ?= 4
 install:
 	pip install -e . --no-build-isolation
 
-test: faults
+test: faults chaos
 	PYTHONPATH=src $(PYTHON) -m pytest tests/
 
 # Fault-injection campaign: asserts zero silent corruption with
 # ECC/parity protection on (and that faults corrupt silently without it).
 faults:
 	PYTHONPATH=src $(PYTHON) -c "from repro.evalx.resilience import main; raise SystemExit(main(['--check']))"
+
+# Storage-fault chaos campaign: injects torn renames, truncated writes,
+# bit flips, ENOSPC/EIO and stale locks into the trace cache, journal
+# and results writes, and asserts every completed operation is
+# byte-identical to a fault-free run.
+chaos:
+	PYTHONPATH=src $(PYTHON) -c "from repro.evalx.chaos import main; raise SystemExit(main(['--check']))"
 
 # Spill-path compression sweep: golden check plus the traffic-reduction
 # contract (some codec beats raw on every workload x granularity).
@@ -26,9 +33,11 @@ compression:
 # Kill-and-resume chaos test: SIGKILLs a live sweep at random cell
 # boundaries, resumes from the journal, and requires the final output
 # to be byte-identical to an uninterrupted run.  Runs under the
-# parallel scheduler so crash recovery is exercised with JOBS workers.
+# parallel scheduler so crash recovery is exercised with JOBS workers,
+# and with the storage fault plane armed (--chaos-seed) so the resumed
+# sweep also survives injected torn writes, EIO and worker crashes.
 resume-smoke:
-	PYTHONPATH=src $(PYTHON) -m repro.evalx.runner smoke --experiment compression --scale 0.2 --kills 3 --jobs $(JOBS)
+	PYTHONPATH=src $(PYTHON) -m repro.evalx.runner smoke --experiment compression --scale 0.2 --kills 3 --jobs $(JOBS) --chaos-seed 5
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -39,6 +48,7 @@ bench:
 bench-check:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_hot_path.py --check
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_trace_replay.py --check
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_chaos_overhead.py --check
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_core_ops.py --benchmark-only -q
 
 # Refresh the committed baseline after an intentional perf change.

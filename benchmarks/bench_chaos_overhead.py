@@ -1,0 +1,144 @@
+"""Chaos-plane overhead gate: hardening must be free when disarmed.
+
+PR 6 threads storage-fault hooks through the warm-cache sweep path —
+the memo lookup now re-validates a stat signature, every write names
+an injection site, and each hook tests ``chaos.ACTIVE``.  With the
+plane disarmed (the default for every real sweep) all of that must
+cost nothing measurable: this benchmark gates the warm-cache cell at
+**<= 2% overhead** versus the structural floor, and reports (without
+gating) the cost of an armed-but-empty plane.
+
+* ``floor`` — model construction + replay of an already-in-memory
+  trace: the work a warm cell cannot avoid, with the cache machinery
+  bypassed entirely;
+* ``warm``  — the real sweep path (:func:`run_workload`): cache memo
+  hit (incl. the new stat re-validation) + replay, plane disarmed;
+* ``armed`` — same, under an active plane with an exhausted/empty
+  schedule (every hook takes its slow branch) — informational.
+
+The measurement is min-of-N interleaved; a failing gate re-measures
+once before failing, so a single background-load spike cannot flake
+CI.
+
+Usage::
+
+    python benchmarks/bench_chaos_overhead.py          # report
+    python benchmarks/bench_chaos_overhead.py --check  # CI gate
+"""
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.chaos import plane as plane_mod
+from repro.evalx.common import make_nsf, run_workload
+from repro.trace import cache as trace_cache
+from repro.trace.replay import replay
+from repro.workloads import get_workload
+
+SCALE = 0.35
+SEED = 11
+REPEATS = 7
+WORKLOAD = "GateSim"
+
+#: the gate: warm-cache cell with the plane disarmed vs the floor
+MAX_OVERHEAD_PCT = 2.0
+
+
+def _best_times(fns, repeats=REPEATS):
+    best = [float("inf")] * len(fns)
+    for _ in range(repeats):
+        for i, fn in enumerate(fns):
+            start = time.perf_counter()
+            fn()
+            best[i] = min(best[i], time.perf_counter() - start)
+    return best
+
+
+def measure():
+    workload = get_workload(WORKLOAD)
+    with tempfile.TemporaryDirectory(prefix="chaos-bench-") as tmp:
+        saved_dir = os.environ.get(trace_cache.ENV_DIR)
+        os.environ[trace_cache.ENV_DIR] = tmp
+        try:
+            # prime: record once so every measured iteration is warm
+            trace = trace_cache.load_or_record(workload, scale=SCALE,
+                                               seed=SEED)
+
+            def floor():
+                replay(trace, make_nsf(workload), verify=False)
+
+            def warm():
+                run_workload(workload, make_nsf(workload), scale=SCALE,
+                             seed=SEED)
+
+            empty_plane = plane_mod.FaultPlane(1, kinds=(), sites=())
+
+            def armed():
+                with plane_mod.activated(empty_plane):
+                    run_workload(workload, make_nsf(workload),
+                                 scale=SCALE, seed=SEED)
+
+            floor_t, warm_t, armed_t = _best_times(
+                [floor, warm, armed])
+        finally:
+            if saved_dir is None:
+                os.environ.pop(trace_cache.ENV_DIR, None)
+            else:
+                os.environ[trace_cache.ENV_DIR] = saved_dir
+    return {
+        "workload": WORKLOAD,
+        "floor_ms": round(floor_t * 1e3, 3),
+        "warm_ms": round(warm_t * 1e3, 3),
+        "armed_ms": round(armed_t * 1e3, 3),
+        "overhead_pct": round((warm_t / floor_t - 1.0) * 100, 2),
+        "armed_pct": round((armed_t / floor_t - 1.0) * 100, 2),
+    }
+
+
+def report(results, stream=sys.stdout):
+    stream.write(
+        f"chaos overhead ({results['workload']}, warm cell): "
+        f"floor {results['floor_ms']:.3f} ms, "
+        f"warm {results['warm_ms']:.3f} ms "
+        f"({results['overhead_pct']:+.2f}%), "
+        f"armed-empty {results['armed_ms']:.3f} ms "
+        f"({results['armed_pct']:+.2f}%, not gated)\n")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Gate the disarmed fault plane's overhead on the "
+                    "warm-cache sweep path.")
+    parser.add_argument("--check", action="store_true",
+                        help="fail if warm-cell overhead exceeds "
+                             f"{MAX_OVERHEAD_PCT}%")
+    args = parser.parse_args(argv)
+
+    results = measure()
+    report(results)
+    if not args.check:
+        return 0
+    if results["overhead_pct"] > MAX_OVERHEAD_PCT:
+        # one re-measure damps background-load flake before failing
+        results = measure()
+        report(results)
+    if results["overhead_pct"] > MAX_OVERHEAD_PCT:
+        print(f"chaos overhead gate FAILED: "
+              f"{results['overhead_pct']:+.2f}% > "
+              f"{MAX_OVERHEAD_PCT}% on the warm-cache cell",
+              file=sys.stderr)
+        return 1
+    print(f"chaos overhead gate ok: {results['overhead_pct']:+.2f}% "
+          f"<= {MAX_OVERHEAD_PCT}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

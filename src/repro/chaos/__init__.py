@@ -1,0 +1,17 @@
+"""Deterministic storage/process fault injection (see plane.py)."""
+
+from repro.chaos.plane import (ACTIVE, DEFAULT_ENV_KINDS, ENV_COUNT,
+                               ENV_KINDS, ENV_SEED, ENV_SITES,
+                               FAULT_KINDS, KIND_SITES, PROCESS_KINDS,
+                               SITES, STORAGE_KINDS, ChaosError,
+                               FaultPlane, activate, activated,
+                               corrupt_bytes, deactivate, oserror,
+                               plane_from_env, refresh_from_env)
+
+__all__ = [
+    "ACTIVE", "DEFAULT_ENV_KINDS", "ENV_COUNT", "ENV_KINDS", "ENV_SEED",
+    "ENV_SITES", "FAULT_KINDS", "KIND_SITES", "PROCESS_KINDS", "SITES",
+    "STORAGE_KINDS", "ChaosError", "FaultPlane", "activate",
+    "activated", "corrupt_bytes", "deactivate", "oserror",
+    "plane_from_env", "refresh_from_env",
+]

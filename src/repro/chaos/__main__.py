@@ -1,0 +1,117 @@
+"""CLI for the storage fault plane.
+
+::
+
+    python -m repro.chaos status                 # env config + schedule
+    python -m repro.chaos inject --kind bitflip FILE
+    python -m repro.chaos quarantine ls
+    python -m repro.chaos quarantine clear
+"""
+
+import argparse
+import os
+import sys
+
+from repro.chaos import plane as plane_mod
+
+
+def _cmd_status(args):
+    del args
+    from repro.trace import cache
+
+    print("fault plane environment:")
+    for var in (plane_mod.ENV_SEED, plane_mod.ENV_KINDS,
+                plane_mod.ENV_SITES, plane_mod.ENV_COUNT):
+        value = os.environ.get(var)
+        print(f"  {var} = {value if value is not None else '(unset)'}")
+    plane = plane_mod.plane_from_env()
+    if plane is None:
+        print("plane: disarmed (set " + plane_mod.ENV_SEED
+              + " to arm)")
+    else:
+        print(f"plane: {plane!r}")
+        print("armed schedule (site -> {op_index: kind}):")
+        for site, armed in plane.armed_schedule().items():
+            print(f"  {site}: {armed}")
+    listing = cache.quarantine_entries()
+    print(f"quarantine ({cache.quarantine_dir()}): "
+          f"{len(listing)} entr{'y' if len(listing) == 1 else 'ies'}")
+    for path, reason in listing:
+        print(f"  {path.name}  [{reason}]")
+    return 0
+
+
+def _cmd_inject(args):
+    """Corrupt a file in place — handy for exercising the recovery
+    paths (quarantine, torn-tail repair) by hand."""
+    try:
+        with open(args.path, "rb") as handle:
+            data = handle.read()
+    except OSError as exc:
+        print(f"cannot read {args.path}: {exc}", file=sys.stderr)
+        return 1
+    corrupted = plane_mod.corrupt_bytes(args.kind, data, aux=args.seed)
+    with open(args.path, "wb") as handle:
+        handle.write(corrupted)
+    print(f"chaos[{args.kind}]: {args.path} "
+          f"{len(data)} -> {len(corrupted)} byte(s)")
+    return 0
+
+
+def _cmd_quarantine(args):
+    from repro.trace import cache
+
+    if args.action == "clear":
+        removed = cache.clear_quarantine(args.dir)
+        print(f"removed {removed} quarantined entr"
+              f"{'y' if removed == 1 else 'ies'} from "
+              f"{cache.quarantine_dir(args.dir)}")
+        return 0
+    listing = cache.quarantine_entries(args.dir)
+    print(f"quarantine: {cache.quarantine_dir(args.dir)}")
+    for path, reason in listing:
+        print(f"  {path.name}  {path.stat().st_size:,} B  [{reason}]")
+    print(f"{len(listing)} entr{'y' if len(listing) == 1 else 'ies'}")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="Inspect and drive the deterministic storage "
+                    "fault plane.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("status",
+                   help="show env configuration, armed schedule, "
+                        "quarantine")
+
+    inject_p = sub.add_parser("inject",
+                              help="corrupt a file in place (manual "
+                                   "fault injection)")
+    inject_p.add_argument("path")
+    inject_p.add_argument("--kind", choices=["truncate", "bitflip"],
+                          default="bitflip")
+    inject_p.add_argument("--seed", type=int, default=0,
+                          help="bit index selector for bitflip")
+
+    quarantine_p = sub.add_parser("quarantine",
+                                  help="list or clear quarantined "
+                                       "cache entries")
+    quarantine_p.add_argument("action", choices=["ls", "clear"])
+    quarantine_p.add_argument("--dir", default=None,
+                              help="cache directory (default: "
+                                   "$REPRO_TRACE_CACHE or "
+                                   ".trace-cache)")
+
+    args = parser.parse_args(argv)
+    if args.command == "status":
+        return _cmd_status(args)
+    if args.command == "inject":
+        return _cmd_inject(args)
+    return _cmd_quarantine(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

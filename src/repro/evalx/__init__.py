@@ -1,6 +1,7 @@
 """Experiment harness: one module per table/figure of the paper."""
 
 from repro.evalx import (
+    chaos,
     claims,
     compression,
     fig05,
@@ -33,6 +34,7 @@ EXPERIMENTS = {
     "fig13": fig13.run,
     "fig14": fig14.run,
     "claims": claims.run,
+    "chaos": chaos.run,
     "compression": compression.run,
     "profile": profile.run,
     "resilience": resilience.run,

@@ -46,6 +46,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
+from repro.chaos import plane as _chaos
 from repro.errors import JournalError
 from repro.evalx.journal import Journal
 from repro.evalx.tables import ExperimentTable
@@ -62,9 +63,10 @@ HANG_CELLS_ENV = "REPRO_RUNNER_HANG_CELLS"
 
 
 def _cell_modules():
-    from repro.evalx import compression, resilience, table1
+    from repro.evalx import chaos, compression, resilience, table1
 
     return {
+        "chaos": chaos,
         "compression": compression,
         "table1": table1,
         "resilience": resilience,
@@ -145,6 +147,21 @@ def _cell_env():
     return env
 
 
+def _output_tail(data, limit=200):
+    """Last ``limit`` chars of a subprocess's (partial) output.
+
+    ``TimeoutExpired`` hands back whatever the pipe held when the
+    watchdog killed the child — as bytes, even under ``text=True`` —
+    so both types are accepted and newlines flattened for a one-line
+    journal error field.
+    """
+    if not data:
+        return ""
+    if isinstance(data, bytes):
+        data = data.decode("utf-8", "replace")
+    return " | ".join(data.strip().splitlines())[-limit:]
+
+
 def _run_cell_subprocess(experiment, key, scale, seed, attempt, timeout):
     """One watched attempt; returns ``(payload, error_or_None)``."""
     command = _cell_command(experiment, key, scale, seed, attempt)
@@ -153,8 +170,12 @@ def _run_cell_subprocess(experiment, key, scale, seed, attempt, timeout):
             command, env=_cell_env(), capture_output=True, text=True,
             timeout=timeout,
         )
-    except subprocess.TimeoutExpired:
-        return None, f"watchdog: cell exceeded {timeout}s wall clock"
+    except subprocess.TimeoutExpired as exc:
+        error = f"watchdog: cell exceeded {timeout}s wall clock"
+        tail = _output_tail(exc.stdout) or _output_tail(exc.stderr)
+        if tail:
+            error += f"; partial output: {tail}"
+        return None, error
     if proc.returncode != 0:
         detail = (proc.stderr or proc.stdout or "").strip()[-300:]
         return None, (f"exit status {proc.returncode}"
@@ -255,8 +276,16 @@ def run_sweep(experiment, scale=1.0, seed=1, journal_path=None,
                 f"{journal.path} already exists; pass resume "
                 "(--resume) to continue it, or delete it to start over"
             )
-        cells, journal_dropped = journal.check_header(experiment, scale,
-                                                      seed)
+        trimmed = journal.recover_tail()
+        if trimmed:
+            say(f"journal: truncated {trimmed} byte(s) of torn tail")
+        if journal.path.stat().st_size == 0:
+            # every record was torn away: start clean, don't refuse
+            journal.write_header(experiment, scale, seed)
+            cells = {}
+        else:
+            cells, journal_dropped = journal.check_header(
+                experiment, scale, seed)
         if journal_dropped:
             say(f"journal: dropped {journal_dropped} corrupt/truncated "
                 "record(s); their cells will re-run")
@@ -328,9 +357,15 @@ def run_sweep(experiment, scale=1.0, seed=1, journal_path=None,
             "seed": seed,
             **table.to_dict(),
         }
+        # read-back verification: the output file is the one artifact
+        # nothing downstream re-validates, so a torn rename or bit
+        # flip here is converted into a retryable EIO instead of a
+        # silently wrong number
         atomic_write_text(pathlib.Path(out_path),
                           json.dumps(out_payload, indent=1,
-                                     sort_keys=True))
+                                     sort_keys=True),
+                          site="results.write", attempts=3,
+                          verify=True)
         say(f"sweep {experiment}: {ran} cell(s) ran, {skipped} resumed "
             f"from journal -> {out_path}")
     return SweepResult(experiment, scale, seed, table, keys, ran,
@@ -361,13 +396,22 @@ def _sweep_command(experiment, scale, seed, journal, out, jobs=None):
 
 
 def smoke(experiment="compression", scale=0.2, seed=7, kills=3,
-          check=False, workdir=None, stream=None, jobs=None):
+          check=False, workdir=None, stream=None, jobs=None,
+          chaos_seed=None):
     """Kill-and-resume chaos test; returns 0 iff resumption is exact.
 
     Runs the sweep once uninterrupted, then again while SIGKILLing the
     sweep process at ``kills`` seeded journal-growth boundaries and
     resuming each time.  The two output files must be byte-identical —
     the resumable path may not perturb a single stat.
+
+    ``chaos_seed`` additionally arms a :class:`repro.chaos.FaultPlane`
+    (via ``REPRO_CHAOS_SEED``) inside the killed-and-resumed sweep —
+    torn renames, bit flips, disk-full and worker crashes land *on top
+    of* the SIGKILLs, and the output must still match the fault-free
+    reference byte for byte.  The chaos sweep gets a private
+    trace-cache directory so injected corruption never dirties the
+    shared cache.
     """
 
     def say(message):
@@ -394,6 +438,17 @@ def smoke(experiment="compression", scale=0.2, seed=7, kills=3,
         say("FAIL: reference sweep dropped cells")
         return 1
 
+    chaos_env = _cell_env()
+    if chaos_seed is not None:
+        from repro.trace import cache as trace_cache
+
+        chaos_env[_chaos.ENV_SEED] = str(chaos_seed)
+        private_cache = workdir / "chaos-trace-cache"
+        private_cache.mkdir(parents=True, exist_ok=True)
+        chaos_env[trace_cache.ENV_DIR] = str(private_cache.resolve())
+        say(f"fault plane armed: {_chaos.ENV_SEED}={chaos_seed} "
+            "(private trace cache)")
+
     cell_count = len(sweep_cells(experiment))
     rng = random.Random(seed)
     population = list(range(1, max(2, cell_count)))
@@ -407,7 +462,7 @@ def smoke(experiment="compression", scale=0.2, seed=7, kills=3,
         proc = subprocess.Popen(
             _sweep_command(experiment, scale, seed, chaos_journal,
                            chaos_out, jobs=jobs),
-            env=_cell_env(), stdout=subprocess.DEVNULL,
+            env=chaos_env, stdout=subprocess.DEVNULL,
             stderr=subprocess.DEVNULL,
         )
         while True:
@@ -459,8 +514,8 @@ def smoke(experiment="compression", scale=0.2, seed=7, kills=3,
 
 
 def _maybe_hook_failures(experiment, key, attempt):
-    """Honour the fail/hang test hooks; returns an exit code or None."""
-    del experiment
+    """Honour the fail/hang test hooks and the chaos fault plane;
+    returns an exit code or None."""
     fail_spec = os.environ.get(FAIL_CELLS_ENV, "")
     for part in filter(None, (p.strip() for p in fail_spec.split(","))):
         hook_key, _, count = part.rpartition(":")
@@ -470,8 +525,25 @@ def _maybe_hook_failures(experiment, key, attempt):
             return 1
     hang_spec = os.environ.get(HANG_CELLS_ENV, "")
     if key in [p.strip() for p in hang_spec.split(",") if p.strip()]:
+        # flushed before parking so the watchdog's partial-output
+        # capture has a tail to journal
+        print(f"injected hang for cell {key!r}; parking", flush=True)
         while True:  # parked until the watchdog kills us
             time.sleep(60)
+    plane = _chaos.ACTIVE
+    if plane is not None:
+        kind = plane.process_fault(f"{experiment}/{key}", attempt)
+        if kind == "crash":
+            print(f"chaos[crash]: injected worker crash for cell "
+                  f"{key!r}", file=sys.stderr)
+            return 1
+        if kind == "hang":
+            print(f"chaos[hang]: parking cell {key!r} until the "
+                  "watchdog fires", flush=True)
+            while True:
+                time.sleep(60)
+        if kind == "slow":
+            time.sleep(plane.slow_delay)
     return None
 
 
@@ -523,6 +595,10 @@ def main(argv=None):
     smoke_p.add_argument("--jobs", type=int, default=None,
                          help="parallel cell workers for both the "
                               "reference and the chaos-killed sweeps")
+    smoke_p.add_argument("--chaos-seed", type=int, default=None,
+                         help="arm the storage/process fault plane "
+                              "(REPRO_CHAOS_SEED) inside the killed "
+                              "sweep")
 
     args = parser.parse_args(argv)
     if args.command == "run-cell":
@@ -539,7 +615,7 @@ def main(argv=None):
         return smoke(experiment=args.experiment, scale=args.scale,
                      seed=args.seed, kills=args.kills, check=args.check,
                      workdir=args.workdir, stream=sys.stdout,
-                     jobs=args.jobs)
+                     jobs=args.jobs, chaos_seed=args.chaos_seed)
     result = run_sweep(
         args.experiment, scale=args.scale, seed=args.seed,
         journal_path=args.journal, out_path=args.out,

@@ -29,19 +29,41 @@ seed)`` plus a fingerprint of the recorder/format implementation
 to recording semantics invalidates every stale entry automatically —
 old files are simply never looked up again.
 
+Storage-fault hardening (PR 6) — the cache assumes the disk lies:
+
+* every entry is published inside a CRC-32 integrity frame
+  (``NSFC``, :func:`repro.trace.events.frame`); a cold load whose
+  checksum disagrees **quarantines** the file — moved into
+  ``<cache>/quarantine/`` beside a ``.reason`` file — and re-records
+  transparently, so bit rot can never replay as a wrong number;
+* in-process memo hits are re-validated against the disk file's
+  ``(size, mtime_ns)`` signature, so an entry corrupted *after* it was
+  memoized cannot keep serving from memory while cold readers see
+  garbage;
+* cold recordings take a pid-stamped single-flight lock
+  (``<entry>.trace.lock``); stale locks (dead pid, or older than
+  ``LOCK_STALE_SECONDS``) are broken, and lock starvation degrades to
+  lock-less recording — duplicate publishes are safe by construction;
+* reads and publishes retry transient ``EIO``/``ENOSPC`` with bounded
+  deterministic backoff; when publishing keeps failing the cache drops
+  one rung down the degradation ladder — recordings stay usable
+  in-process but publishing is disabled (``NOPUBLISH``) until
+  :func:`reset_degradation`, so a full disk degrades throughput,
+  never correctness.
+
 Environment knobs:
 
 * ``REPRO_TRACE_CACHE``     — cache directory (default:
   ``.trace-cache/`` at the repo root);
 * ``REPRO_NO_TRACE_CACHE``  — any non-empty value disables the cache
   (sweeps fall back to direct execution);
-* ``REPRO_TRACE_CACHE_LOG`` — append one ``HIT``/``MISS``/``RECORD``
-  line per lookup to this file (used by CI to assert a warm second
-  sweep actually replays).
+* ``REPRO_TRACE_CACHE_LOG`` — append one ``HIT``/``MISS``/``RECORD``/
+  ``QUARANTINE``/``PUBFAIL``/``NOPUBLISH`` line per event to this file
+  (used by CI to assert a warm second sweep actually replays).
 
 CLI::
 
-    python -m repro.trace.cache info     # entries, sizes, location
+    python -m repro.trace.cache info     # entries, sizes, quarantine
     python -m repro.trace.cache clear    # delete every cached trace
 """
 
@@ -49,8 +71,11 @@ import hashlib
 import os
 import pathlib
 import sys
+import time
 
-from repro.ioutil import atomic_write_bytes
+from repro.chaos import plane as _chaos
+from repro.ioutil import TRANSIENT_ERRNOS, atomic_write_bytes
+from repro.trace import events as _events
 from repro.trace.events import Trace, TraceFormatError
 from repro.trace.recorder import TracingRegisterFile
 
@@ -65,29 +90,47 @@ SCHEMA_VERSION = 1
 #: default location: ``<repo root>/.trace-cache`` (gitignored)
 DEFAULT_DIR = pathlib.Path(__file__).resolve().parents[3] / ".trace-cache"
 
+#: a recording lock older than this is debris from a crashed recorder
+LOCK_STALE_SECONDS = 60.0
+
+#: bounded waits before recording lock-less (duplicates are safe)
+_LOCK_WAITS = 3
+
+#: consecutive publish failures before the ladder disables publishing
+PUBLISH_FAILURE_LIMIT = 2
+
 
 class CacheStats:
-    """Process-local hit/miss accounting."""
+    """Process-local hit/miss/quarantine accounting."""
 
-    __slots__ = ("hits", "misses", "records")
+    __slots__ = ("hits", "misses", "records", "quarantined")
 
     def __init__(self):
         self.hits = 0
         self.misses = 0
         self.records = 0
+        self.quarantined = 0
 
     def reset(self):
-        self.hits = self.misses = self.records = 0
+        self.hits = self.misses = self.records = self.quarantined = 0
 
     def __repr__(self):
         return (f"CacheStats(hits={self.hits}, misses={self.misses}, "
-                f"records={self.records})")
+                f"records={self.records}, "
+                f"quarantined={self.quarantined})")
 
 
 STATS = CacheStats()
 
-#: traces already loaded in this process, keyed by (directory, key)
+#: traces already loaded in this process, keyed by (directory, key);
+#: each entry is ``(trace, stat_sig)`` where ``stat_sig`` is the disk
+#: file's (size, mtime_ns) at memoization time — ``None`` marks a
+#: memory-only entry (publish failed or disabled) with no disk copy to
+#: re-validate against
 _memo = {}
+
+#: the degradation ladder's process-local rung state
+_degraded = {"publish_failures": 0, "publish_disabled": False}
 
 _fingerprint = None
 
@@ -187,21 +230,163 @@ def record_trace(workload, scale=1.0, seed=1):
     return tracer.trace
 
 
+# -- degradation ladder ------------------------------------------------------
+
+
+def publishing_enabled():
+    """False once repeated publish failures disabled cache writes."""
+    return not _degraded["publish_disabled"]
+
+
+def publish_failures():
+    return _degraded["publish_failures"]
+
+
+def reset_degradation():
+    """Re-arm cache publishing after the operator fixed the disk."""
+    _degraded["publish_failures"] = 0
+    _degraded["publish_disabled"] = False
+
+
+# -- quarantine --------------------------------------------------------------
+
+
+def quarantine_dir(directory=None):
+    """Where corrupt entries of ``directory`` are moved aside."""
+    directory = pathlib.Path(directory) if directory else cache_dir()
+    return directory / "quarantine"
+
+
+def _quarantine(workload, path, reason):
+    """Move a corrupt entry aside (with a ``.reason`` file) so it can
+    be inspected, and the key transparently re-recorded."""
+    qdir = quarantine_dir(path.parent)
+    try:
+        qdir.mkdir(parents=True, exist_ok=True)
+        dest = qdir / path.name
+        suffix = 0
+        while dest.exists():
+            suffix += 1
+            dest = qdir / f"{path.name}.{suffix}"
+        os.replace(path, dest)
+        with open(f"{dest}.reason", "w", encoding="utf-8") as handle:
+            handle.write(reason + "\n")
+    except OSError:
+        # quarantine dir unwritable: at minimum get the corrupt entry
+        # out of the lookup path
+        try:
+            path.unlink()
+        except OSError:
+            pass
+    STATS.quarantined += 1
+    _log("QUARANTINE", workload, path)
+
+
+def quarantine_entries(directory=None):
+    """``(path, reason)`` of every quarantined entry, sorted by name."""
+    qdir = quarantine_dir(directory)
+    if not qdir.is_dir():
+        return []
+    listing = []
+    for path in sorted(qdir.iterdir()):
+        if path.name.endswith(".reason"):
+            continue
+        reason_path = qdir / f"{path.name}.reason"
+        try:
+            reason = reason_path.read_text(encoding="utf-8").strip()
+        except OSError:
+            reason = "(no reason file)"
+        listing.append((path, reason))
+    return listing
+
+
+def clear_quarantine(directory=None):
+    """Delete every quarantined entry; returns the number removed."""
+    qdir = quarantine_dir(directory)
+    removed = 0
+    if qdir.is_dir():
+        for path in sorted(qdir.iterdir()):
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            if not path.name.endswith(".reason"):
+                removed += 1
+    return removed
+
+
+# -- disk access -------------------------------------------------------------
+
+
+def _stat_sig(path):
+    """``(size, mtime_ns)`` of the disk file, or ``None`` if absent."""
+    try:
+        st = os.stat(path)
+    except OSError:
+        return None
+    return (st.st_size, st.st_mtime_ns)
+
+
+def _read_bytes(path, attempts=3, backoff=0.005):
+    """Read a cache entry, retrying transient (injected) ``EIO``."""
+    for attempt in range(attempts):
+        try:
+            if _chaos.ACTIVE is not None:
+                token = _chaos.ACTIVE.storage_fault("cache.load")
+                if token is not None and token[0] == "eio":
+                    raise _chaos.oserror("eio", path)
+            with open(path, "rb") as handle:
+                return handle.read()
+        except OSError as exc:
+            if (exc.errno not in TRANSIENT_ERRNOS
+                    or attempt >= attempts - 1):
+                raise
+            time.sleep(backoff * (2 ** attempt))
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _parse_entry(blob):
+    """Decode one on-disk entry (framed, bare binary, or legacy text)."""
+    if blob.startswith(_events.FRAME_MAGIC):
+        blob = _events.unframe(blob)
+    if blob.startswith(b"NSFT"):
+        return Trace.loads_binary(blob)
+    try:
+        return Trace.loads(blob.decode("utf-8"))
+    except UnicodeDecodeError:
+        raise TraceFormatError(
+            "neither a framed, binary nor text nsf-trace") from None
+
+
 def _lookup(workload, path):
     """Memo-then-disk lookup; returns the trace or ``None`` on a miss.
 
-    Corrupt or truncated cache files (a torn copy, a partial download)
-    are treated as misses, so callers transparently re-record them.
+    Memo hits are re-validated against the disk file's stat signature:
+    if the file changed (or vanished) since memoization the entry is
+    invalidated, so a poisoned memo can never outlive the bytes it
+    mirrors.  Corrupt or truncated disk entries (torn copy, bit rot —
+    the CRC frame catches both) are quarantined and treated as misses,
+    so callers transparently re-record them.
     """
     memo_key = (str(path.parent), path.name)
-    trace = _memo.get(memo_key)
-    if trace is None and path.exists():
+    entry = _memo.get(memo_key)
+    if entry is not None:
+        trace, sig = entry
+        if sig is None or sig == _stat_sig(path):
+            STATS.hits += 1
+            _log("HIT", workload, path)
+            return trace
+        del _memo[memo_key]
+    trace = None
+    if path.exists():
         try:
-            trace = Trace.load(path)
-        except (TraceFormatError, OSError):
+            trace = _parse_entry(_read_bytes(path))
+        except TraceFormatError as exc:
+            _quarantine(workload, path, str(exc))
+        except OSError:
             trace = None
         if trace is not None:
-            _memo[memo_key] = trace
+            _memo[memo_key] = (trace, _stat_sig(path))
     if trace is not None:
         STATS.hits += 1
         _log("HIT", workload, path)
@@ -211,12 +396,108 @@ def _lookup(workload, path):
     return None
 
 
+# -- single-flight recording lock --------------------------------------------
+
+
+def _lock_is_stale(lock_path):
+    try:
+        st = os.stat(lock_path)
+    except OSError:
+        return False  # vanished; the next open attempt decides
+    if time.time() - st.st_mtime > LOCK_STALE_SECONDS:
+        return True
+    try:
+        with open(lock_path, "r", encoding="utf-8") as handle:
+            pid = int(handle.read().split()[0])
+    except (OSError, ValueError, IndexError):
+        return True
+    if pid == os.getpid():
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return True
+    except OSError:
+        return False
+    return False
+
+
+def _acquire_record_lock(path):
+    """Take the single-flight recording lock for one cache entry.
+
+    Returns ``(lock_path_or_None, contended)``.  Stale locks — a dead
+    pid, or debris older than :data:`LOCK_STALE_SECONDS` — are broken.
+    After :data:`_LOCK_WAITS` bounded waits the caller proceeds
+    lock-less: a duplicate recording publishes identical bytes through
+    an atomic rename, so starvation costs time, never correctness.
+    """
+    lock_path = path.with_name(path.name + ".lock")
+    if _chaos.ACTIVE is not None:
+        token = _chaos.ACTIVE.storage_fault("cache.lock")
+        if token is not None and token[0] == "stale_lock":
+            _chaos.ACTIVE.plant_stale_lock(lock_path)
+    contended = False
+    for attempt in range(_LOCK_WAITS + 1):
+        try:
+            fd = os.open(lock_path,
+                         os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            contended = True
+            if _lock_is_stale(lock_path):
+                try:
+                    os.unlink(lock_path)
+                except OSError:
+                    pass
+                continue
+            time.sleep(0.01 * (2 ** attempt))
+            continue
+        except OSError:
+            return None, contended  # lock dir unwritable: go lock-less
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(f"{os.getpid()}\n")
+        return lock_path, contended
+    return None, contended
+
+
+def _release_record_lock(lock_path):
+    if lock_path is None:
+        return
+    try:
+        os.unlink(lock_path)
+    except OSError:
+        pass
+
+
+# -- publishing --------------------------------------------------------------
+
+
 def _publish(workload, path, trace):
-    """Atomically write ``trace`` to ``path`` and memoize it."""
-    path.parent.mkdir(parents=True, exist_ok=True)
-    atomic_write_bytes(path, trace.dumps_binary())
-    _log("RECORD", workload, path)
-    _memo[(str(path.parent), path.name)] = trace
+    """Atomically write ``trace`` (CRC-framed) to ``path``; memoize.
+
+    Transient write failures retry with deterministic backoff; when
+    failures persist past :data:`PUBLISH_FAILURE_LIMIT` the ladder
+    disables publishing for this process — recordings remain usable
+    in-memory (``stat_sig=None`` memo entries), results stay exact,
+    only warm-start reuse is lost.
+    """
+    memo_key = (str(path.parent), path.name)
+    if publishing_enabled():
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            atomic_write_bytes(path, _events.frame(trace.dumps_binary()),
+                               site="cache.publish", attempts=3)
+        except OSError:
+            _degraded["publish_failures"] += 1
+            if _degraded["publish_failures"] >= PUBLISH_FAILURE_LIMIT:
+                _degraded["publish_disabled"] = True
+            _log("PUBFAIL", workload, path)
+        else:
+            _log("RECORD", workload, path)
+            _memo[memo_key] = (trace, _stat_sig(path))
+            return
+    else:
+        _log("NOPUBLISH", workload, path)
+    _memo[memo_key] = (trace, None)
 
 
 def load_or_record(workload, scale=1.0, seed=1, directory=None):
@@ -229,8 +510,17 @@ def load_or_record(workload, scale=1.0, seed=1, directory=None):
     path = trace_path(workload, scale, seed, directory=directory)
     trace = _lookup(workload, path)
     if trace is None:
-        trace = record_trace(workload, scale=scale, seed=seed)
-        _publish(workload, path, trace)
+        lock_path, contended = _acquire_record_lock(path)
+        try:
+            if contended:
+                # a concurrent recorder may have published while we
+                # waited on its lock
+                trace = _lookup(workload, path)
+            if trace is None:
+                trace = record_trace(workload, scale=scale, seed=seed)
+                _publish(workload, path, trace)
+        finally:
+            _release_record_lock(lock_path)
     return trace
 
 
@@ -272,7 +562,9 @@ def record_through(workload, model, scale=1.0, seed=1, directory=None):
 
 
 def clear(directory=None):
-    """Delete every cached trace; returns the number removed."""
+    """Delete every cached trace (and lock debris); returns the number
+    of traces removed.  Quarantined entries are kept for inspection —
+    see :func:`clear_quarantine`."""
     directory = pathlib.Path(directory) if directory else cache_dir()
     removed = 0
     if directory.is_dir():
@@ -280,6 +572,11 @@ def clear(directory=None):
             try:
                 path.unlink()
                 removed += 1
+            except OSError:
+                pass
+        for path in directory.glob("*.trace.lock"):
+            try:
+                path.unlink()
             except OSError:
                 pass
     _memo.clear()
@@ -320,6 +617,12 @@ def main(argv=None):
         print(f"  {path.name}  {size:,} B")
     print(f"{len(listing)} entr{'y' if len(listing) == 1 else 'ies'}, "
           f"{total:,} B")
+    quarantined = quarantine_entries(directory)
+    if quarantined:
+        print(f"quarantine: {len(quarantined)} entr"
+              f"{'y' if len(quarantined) == 1 else 'ies'}")
+        for path, reason in quarantined:
+            print(f"  {path.name}  [{reason}]")
     return 0
 
 

@@ -37,9 +37,20 @@ Two serializations:
 * a struct-packed binary format (``NSFT`` magic) that is essentially a
   header plus the raw little-endian event array — the on-disk form of
   the trace cache, ~6x smaller and ~30x faster to load than text.
+
+On disk the trace cache additionally wraps the binary form in an
+*integrity frame* (``NSFC`` magic): a 20-byte header carrying a CRC-32
+of the payload plus its exact length.  A frame whose checksum or length
+disagrees raises :class:`TraceIntegrityError` — the signal the cache
+uses to quarantine bit-rotted or torn entries instead of replaying
+them.  CRC-32 (:func:`zlib.crc32`) is the stamp because it runs at
+C speed on multi-hundred-kilobyte traces; the threat model is random
+corruption, not an adversary (the sweep journal already carries sha256
+for end-to-end results).
 """
 
 import sys
+import zlib
 from array import array
 from struct import Struct
 
@@ -83,9 +94,53 @@ _HEADER = Struct("<4sBBqqq")
 #: event index, byte length of the decimal value that follows
 _WIDE_ENTRY = Struct("<qI")
 
+FRAME_MAGIC = b"NSFC"
+_FRAME_VERSION = 1
+#: magic, version, 3 pad bytes, crc32(payload), payload length
+_FRAME_HEADER = Struct("<4sBxxxIQ")
+
 
 class TraceFormatError(ReproError):
     """Raised for malformed serialized traces (text or binary)."""
+
+
+class TraceIntegrityError(TraceFormatError):
+    """An integrity frame's CRC or length disagrees with its payload —
+    the file was corrupted after it was written (bit rot, torn copy)."""
+
+
+def frame(payload):
+    """Wrap serialized bytes in a CRC-32 integrity frame."""
+    return _FRAME_HEADER.pack(FRAME_MAGIC, _FRAME_VERSION,
+                              zlib.crc32(payload), len(payload)) + payload
+
+
+def unframe(blob):
+    """Verify and strip an integrity frame; returns the payload.
+
+    Raises :class:`TraceIntegrityError` when the frame is truncated,
+    its length promise is wrong, or the CRC does not match — i.e. the
+    bytes on disk are not the bytes that were framed.
+    """
+    if len(blob) < _FRAME_HEADER.size:
+        raise TraceIntegrityError(
+            "integrity frame shorter than its header")
+    magic, version, crc, length = _FRAME_HEADER.unpack_from(blob)
+    if magic != FRAME_MAGIC:
+        raise TraceFormatError(f"bad magic {magic!r}; not an integrity "
+                               "frame")
+    if version != _FRAME_VERSION:
+        raise TraceFormatError(
+            f"unsupported integrity frame version {version}")
+    payload = blob[_FRAME_HEADER.size:]
+    if len(payload) != length:
+        raise TraceIntegrityError(
+            f"torn frame: header promises {length} payload byte(s), "
+            f"file holds {len(payload)}")
+    if zlib.crc32(payload) != crc:
+        raise TraceIntegrityError(
+            "frame CRC mismatch: payload corrupted on disk")
+    return payload
 
 
 class Trace:
@@ -350,9 +405,11 @@ class Trace:
 
     @classmethod
     def load(cls, path):
-        """Load a trace file, auto-detecting binary vs text."""
+        """Load a trace file, auto-detecting framed/binary/text."""
         with open(path, "rb") as handle:
             blob = handle.read()
+        if blob.startswith(FRAME_MAGIC):
+            blob = unframe(blob)
         if blob.startswith(_MAGIC):
             return cls.loads_binary(blob)
         try:

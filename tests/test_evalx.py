@@ -56,7 +56,7 @@ class TestRegistry:
         assert set(EXPERIMENTS) == {
             "table1", "fig05", "fig06", "fig07", "fig08", "fig09",
             "fig10", "fig11", "fig12", "fig13", "fig14", "claims",
-            "profile", "resilience", "compression",
+            "profile", "resilience", "compression", "chaos",
         }
 
     def test_unknown_experiment(self):

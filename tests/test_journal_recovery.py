@@ -1,0 +1,164 @@
+"""Property tests: journal torn-tail recovery under arbitrary truncation.
+
+The write-ahead journal's crash contract (satellite c of PR 6): for a
+journal truncated at *any* byte offset — the artefact of a crash, a
+SIGKILL, or an injected partial write — ``recover_tail`` + ``load``
+must
+
+* never raise,
+* yield exactly a prefix of the records that were fully committed
+  before the cut (valid-prefix-or-clean), and
+* never resurrect the record whose bytes were cut (no double commit:
+  a resumed sweep re-runs that cell exactly once).
+
+Hypothesis drives the offsets and the record contents; a small
+exhaustive sweep over every offset of a fixed journal backstops the
+sampled property.
+"""
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evalx.journal import Journal
+
+
+def _build_journal(path, n_cells, payload_text=""):
+    """Write a header + ``n_cells`` cell records; return per-record
+    end offsets (byte positions where each record is fully durable)."""
+    journal = Journal(path)
+    offsets = []
+    journal.write_header("table1", 0.3, 3)
+    offsets.append(path.stat().st_size)
+    for i in range(n_cells):
+        journal.append_cell(f"cell-{i}", "ok",
+                            payload={"i": i, "text": payload_text})
+        offsets.append(path.stat().st_size)
+    return journal, offsets
+
+
+def _committed_before(offsets, cut):
+    """How many records were fully durable at byte offset ``cut``."""
+    return sum(1 for end in offsets if end <= cut)
+
+
+@settings(max_examples=120, deadline=None)
+@given(cells=st.integers(min_value=0, max_value=5),
+       text=st.text(max_size=40),
+       cut_fraction=st.floats(min_value=0.0, max_value=1.0))
+def test_truncation_yields_valid_prefix(tmp_path_factory, cells, text,
+                                        cut_fraction):
+    tmp_path = tmp_path_factory.mktemp("journal")
+    path = tmp_path / "sweep.jsonl"
+    journal, offsets = _build_journal(path, cells, text)
+    total = path.stat().st_size
+    cut = int(round(cut_fraction * total))
+
+    with open(path, "r+b") as handle:
+        handle.truncate(cut)
+
+    removed = journal.recover_tail()
+    assert removed >= 0
+    header, parsed, dropped = journal.load()
+
+    committed = _committed_before(offsets, cut)
+    if committed == 0:
+        # clean: nothing intact survives, resume starts fresh
+        assert header is None
+        assert parsed == {}
+    else:
+        # valid prefix: header plus the first committed-1 cells,
+        # in order, nothing more (no double commit of the cut record)
+        assert header is not None
+        assert set(parsed) == {f"cell-{i}" for i in range(committed - 1)}
+        for i in range(committed - 1):
+            record = parsed[f"cell-{i}"]
+            assert record["payload"] == {"i": i, "text": text}
+    assert dropped == 0  # recover_tail removed all debris
+
+
+@settings(max_examples=60, deadline=None)
+@given(cells=st.integers(min_value=1, max_value=4),
+       junk=st.binary(min_size=1, max_size=64))
+def test_appended_garbage_is_cut(tmp_path_factory, cells, junk):
+    """Arbitrary bytes accreted past the last record are truncated."""
+    tmp_path = tmp_path_factory.mktemp("journal")
+    path = tmp_path / "sweep.jsonl"
+    journal, offsets = _build_journal(path, cells)
+    with open(path, "ab") as handle:
+        handle.write(junk)
+
+    journal.recover_tail()
+    assert path.stat().st_size == offsets[-1] or junk.endswith(b"\n")
+    header, parsed, _ = journal.load()
+    assert header is not None
+    assert set(parsed) == {f"cell-{i}" for i in range(cells)}
+
+
+def test_every_offset_exhaustive(tmp_path):
+    """Backstop: cut a fixed journal at *every* byte offset."""
+    path = tmp_path / "sweep.jsonl"
+    _, offsets = _build_journal(path, 3)
+    pristine = path.read_bytes()
+
+    for cut in range(len(pristine) + 1):
+        path.write_bytes(pristine[:cut])
+        journal = Journal(path)
+        journal.recover_tail()
+        header, parsed, dropped = journal.load()
+        committed = _committed_before(offsets, cut)
+        if committed == 0:
+            assert header is None and parsed == {}, cut
+        else:
+            assert header is not None, cut
+            assert len(parsed) == committed - 1, cut
+        assert dropped == 0, cut
+
+
+def test_recovery_is_idempotent(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    journal, offsets = _build_journal(path, 2)
+    with open(path, "r+b") as handle:
+        handle.truncate(offsets[-1] - 7)
+    assert journal.recover_tail() > 0
+    assert journal.recover_tail() == 0  # second pass finds nothing
+    assert journal.recover_tail() == 0
+
+
+def test_resume_after_cut_does_not_double_commit(tmp_path):
+    """A resumed sweep re-appends only the cell whose record was cut."""
+    path = tmp_path / "sweep.jsonl"
+    journal, offsets = _build_journal(path, 3)
+    # cut mid-way through the *last* cell record
+    with open(path, "r+b") as handle:
+        handle.truncate(offsets[-1] - 5)
+    journal.recover_tail()
+    _, parsed, _ = journal.load()
+    assert set(parsed) == {"cell-0", "cell-1"}
+    # the resume path re-runs cell-2 and appends it exactly once
+    journal.append_cell("cell-2", "ok", payload={"i": 2, "text": ""})
+    _, parsed, dropped = journal.load()
+    assert set(parsed) == {"cell-0", "cell-1", "cell-2"}
+    assert dropped == 0
+    raw = path.read_text().splitlines()
+    assert sum(1 for line in raw if '"cell-2"' in line) == 1
+
+
+def test_torn_tail_cannot_fuse_with_next_append(tmp_path):
+    """Appending over an unterminated tail starts on a fresh line."""
+    path = tmp_path / "sweep.jsonl"
+    journal, _ = _build_journal(path, 1)
+    with open(path, "ab") as handle:
+        handle.write(b'{"record":"cell","key":"torn')  # no newline
+    # no recover_tail: append must still be safe
+    journal.append_cell("cell-1", "ok")
+    header, parsed, dropped = journal.load()
+    assert header is not None
+    assert set(parsed) == {"cell-0", "cell-1"}
+    assert dropped == 1  # the torn line, isolated, dropped by load
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+    sys.exit(pytest.main([__file__, "-q"]))

@@ -176,7 +176,11 @@ class TestRunSweep:
         result = _sweep(tmp_path, retries=0, timeout=1.0)
         assert result.dropped_keys == [keys[0]]
         _, cells, _ = Journal(tmp_path / "sweep.jsonl").load()
-        assert "watchdog" in cells[keys[0]]["error"]
+        error = cells[keys[0]]["error"]
+        assert "watchdog" in error
+        # whatever the cell managed to print before hanging is kept
+        assert "partial output" in error
+        assert "parking" in error
 
     def test_resume_refuses_operating_point_mismatch(self, tmp_path):
         journal = Journal(tmp_path / "sweep.jsonl")

@@ -19,9 +19,11 @@ def _fresh_cache(tmp_path, monkeypatch):
     monkeypatch.delenv(trace_cache.ENV_LOG, raising=False)
     trace_cache._memo.clear()
     trace_cache.STATS.reset()
+    trace_cache.reset_degradation()
     yield
     trace_cache._memo.clear()
     trace_cache.STATS.reset()
+    trace_cache.reset_degradation()
 
 
 def test_miss_records_then_hits():
@@ -66,6 +68,62 @@ def test_corrupt_cache_file_re_records():
     recovered = trace_cache.load_or_record(workload, scale=0.2, seed=3)
     assert trace_cache.STATS.records == 1
     assert recovered.counts()["R"] > 0
+
+
+def test_memo_invalidated_when_disk_entry_changes():
+    """Regression: the in-process memo must not outlive the disk entry.
+
+    Replacing the published file (different size/mtime) has to force a
+    re-read; a corrupt replacement is quarantined and re-recorded, not
+    served from the poisoned memo."""
+    workload = get_workload("DTW")
+    trace_cache.load_or_record(workload, scale=0.2, seed=3)
+    path = trace_cache.trace_path(workload, 0.2, 3)
+    path.write_bytes(b"NSFT poisoned entry")
+    os.utime(path, (1, 1))  # make the change visible even on coarse mtime
+    trace_cache.STATS.reset()
+    recovered = trace_cache.load_or_record(workload, scale=0.2, seed=3)
+    # stale memo discarded -> disk read -> quarantine -> re-record
+    assert trace_cache.STATS.hits == 0
+    assert trace_cache.STATS.records == 1
+    assert trace_cache.STATS.quarantined == 1
+    assert recovered.counts()["R"] > 0
+    entries = trace_cache.quarantine_entries()
+    assert len(entries) == 1
+    assert "quarantined" not in entries[0][1] or entries[0][1]
+
+
+def test_memo_survives_while_disk_unchanged():
+    """The stat re-validation must not break same-object memo hits."""
+    workload = get_workload("DTW")
+    first = trace_cache.load_or_record(workload, scale=0.2, seed=3)
+    second = trace_cache.load_or_record(workload, scale=0.2, seed=3)
+    assert second is first
+    assert trace_cache.STATS.hits == 1
+
+
+def test_memo_invalidated_when_disk_entry_deleted():
+    workload = get_workload("DTW")
+    trace_cache.load_or_record(workload, scale=0.2, seed=3)
+    trace_cache.trace_path(workload, 0.2, 3).unlink()
+    trace_cache.STATS.reset()
+    trace_cache.load_or_record(workload, scale=0.2, seed=3)
+    assert trace_cache.STATS.hits == 0
+    assert trace_cache.STATS.records == 1
+
+
+def test_quarantine_keeps_corrupt_bytes_and_reason(tmp_path):
+    workload = get_workload("DTW")
+    trace_cache.load_or_record(workload, scale=0.2, seed=3)
+    path = trace_cache.trace_path(workload, 0.2, 3)
+    path.write_bytes(b"NSFT garbage")
+    trace_cache._memo.clear()
+    trace_cache.load_or_record(workload, scale=0.2, seed=3)
+    (qpath, reason), = trace_cache.quarantine_entries()
+    assert qpath.read_bytes() == b"NSFT garbage"
+    assert reason  # the .reason sidecar explains the move
+    assert trace_cache.clear_quarantine() == 1
+    assert trace_cache.quarantine_entries() == []
 
 
 def test_env_disable(monkeypatch):
