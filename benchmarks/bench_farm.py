@@ -1,0 +1,143 @@
+"""Farm overhead gate: crash-tolerance must be cheap when nothing fails.
+
+PR 8 adds the fault-tolerant sweep farm — a durable work queue, lease
+files, worker processes and a supervising daemon — as an alternative
+scheduler behind ``run_sweep(..., farm=True)``.  All of that machinery
+(worker interpreter startup, lease heartbeats, claim/commit journal
+records, the supervisor's observation loop) must stay a small constant
+against the sweep it carries: this benchmark runs the same compression
+sweep through the direct ``--jobs N`` scheduler and through the farm
+at **matched concurrency** (N = core count for both, so the comparison
+measures the service machinery, not CPU contention between extra
+interpreters) and gates the farm at **<= 10% overhead**.
+
+The measurement is min-of-N interleaved on fresh state directories; a
+failing gate re-measures once before failing, so a single background
+load spike cannot flake CI.  Results live under the ``farm`` key of
+BENCH_baseline.json; ``--write-baseline`` merges the key.
+
+Usage::
+
+    python benchmarks/bench_farm.py                  # report
+    python benchmarks/bench_farm.py --check          # CI gate
+    python benchmarks/bench_farm.py --write-baseline # refresh baseline
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.evalx import runner as runner_mod
+from repro.farm import run_farm_sweep
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_baseline.json"
+BASELINE_KEY = "farm"
+
+EXPERIMENT = "compression"
+SCALE = 0.5
+SEED = 7
+REPEATS = 2
+
+#: the gate: farm sweep vs direct sweep at matched concurrency
+MAX_OVERHEAD_PCT = 10.0
+
+
+def measure():
+    jobs = runner_mod.resolve_jobs(
+        None, len(runner_mod.sweep_cells(EXPERIMENT)))
+    with tempfile.TemporaryDirectory(prefix="farm-bench-") as tmp:
+        tmp = Path(tmp)
+        direct_best = farm_best = float("inf")
+        serial = 0
+        for _ in range(REPEATS):
+            serial += 1
+            start = time.perf_counter()
+            result = runner_mod.run_sweep(
+                EXPERIMENT, scale=SCALE, seed=SEED,
+                journal_path=tmp / f"direct-{serial}.jsonl",
+                out_path=tmp / f"direct-{serial}.json", jobs=jobs)
+            direct_best = min(direct_best,
+                              time.perf_counter() - start)
+            assert result.ok, "direct sweep dropped cells"
+            direct_bytes = (tmp / f"direct-{serial}.json").read_bytes()
+
+            start = time.perf_counter()
+            result = run_farm_sweep(
+                EXPERIMENT, scale=SCALE, seed=SEED,
+                state_dir=tmp / f"farm-{serial}",
+                out_path=tmp / f"farm-{serial}.json", workers=jobs,
+                lease_ttl=2.0)
+            farm_best = min(farm_best, time.perf_counter() - start)
+            assert result.ok, "farm sweep dropped cells"
+            farm_bytes = (tmp / f"farm-{serial}.json").read_bytes()
+            assert farm_bytes == direct_bytes, \
+                "farm output diverged from the direct scheduler"
+    return {
+        "experiment": EXPERIMENT,
+        "scale": SCALE,
+        "jobs": jobs,
+        "cores": os.cpu_count() or 1,
+        "direct_seconds": round(direct_best, 4),
+        "farm_seconds": round(farm_best, 4),
+        "overhead_pct": round((farm_best / direct_best - 1.0) * 100,
+                              2),
+    }
+
+
+def report(results, stream=sys.stdout):
+    stream.write(
+        f"farm overhead ({results['experiment']}, "
+        f"scale={results['scale']}, jobs={results['jobs']}): "
+        f"direct {results['direct_seconds']:.3f} s, "
+        f"farm {results['farm_seconds']:.3f} s "
+        f"({results['overhead_pct']:+.2f}%)\n")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Gate the sweep farm's overhead against the "
+                    "direct --jobs scheduler.")
+    parser.add_argument("--check", action="store_true",
+                        help="fail if farm overhead exceeds "
+                             f"{MAX_OVERHEAD_PCT}%")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="measure and refresh the farm key of "
+                             "BENCH_baseline.json")
+    args = parser.parse_args(argv)
+
+    results = measure()
+    report(results)
+    if args.write_baseline:
+        merged = (json.loads(BASELINE_PATH.read_text())
+                  if BASELINE_PATH.exists() else {})
+        merged[BASELINE_KEY] = results
+        BASELINE_PATH.write_text(
+            json.dumps(merged, indent=2, sort_keys=True) + "\n")
+        print(f"baseline key {BASELINE_KEY!r} written to "
+              f"{BASELINE_PATH}")
+        return 0
+    if not args.check:
+        return 0
+    if results["overhead_pct"] > MAX_OVERHEAD_PCT:
+        # one re-measure damps background-load flake before failing
+        results = measure()
+        report(results)
+    if results["overhead_pct"] > MAX_OVERHEAD_PCT:
+        print(f"farm overhead gate FAILED: "
+              f"{results['overhead_pct']:+.2f}% > {MAX_OVERHEAD_PCT}%",
+              file=sys.stderr)
+        return 1
+    print(f"farm overhead gate ok: {results['overhead_pct']:+.2f}% "
+          f"<= {MAX_OVERHEAD_PCT}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

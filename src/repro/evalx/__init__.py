@@ -1,44 +1,57 @@
-"""Experiment harness: one module per table/figure of the paper."""
+"""Experiment harness: one module per table/figure of the paper.
 
-from repro.evalx import (
-    chaos,
-    claims,
-    compression,
-    fig05,
-    fig06,
-    fig07,
-    fig08,
-    fig09,
-    fig10,
-    fig11,
-    fig12,
-    fig13,
-    fig14,
-    profile,
-    resilience,
-    table1,
-)
+Experiment modules are imported **lazily**: importing ``repro.evalx``
+(which every sweep-cell subprocess and farm worker does, via the
+runner) must not pay for all sixteen table/figure modules and the
+workload stack behind them when it will only ever run one.  The
+registry maps names to thin loaders, and submodule attribute access
+(``repro.evalx.table1`` et al.) resolves through PEP 562
+``__getattr__`` on demand.  ``from repro.evalx import table1`` keeps
+working unchanged — the import system falls back to the submodule
+import when the attribute is not yet bound.
+"""
+
+import importlib
+
 from repro.evalx.tables import ExperimentTable
 
+_EXPERIMENT_NAMES = (
+    "table1",
+    "fig05",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "claims",
+    "chaos",
+    "compression",
+    "profile",
+    "resilience",
+)
+
+#: non-experiment submodules also resolvable lazily as attributes
+_SUBMODULES = _EXPERIMENT_NAMES + (
+    "common", "golden", "journal", "report", "runner", "tables",
+)
+
+
+def _loader(name):
+    def run(scale=1.0, seed=1):
+        module = importlib.import_module(f"repro.evalx.{name}")
+        return module.run(scale=scale, seed=seed)
+
+    run.__name__ = f"run_{name}"
+    run.__qualname__ = f"run_{name}"
+    return run
+
+
 #: registry of every reproducible table and figure
-EXPERIMENTS = {
-    "table1": table1.run,
-    "fig05": fig05.run,
-    "fig06": fig06.run,
-    "fig07": fig07.run,
-    "fig08": fig08.run,
-    "fig09": fig09.run,
-    "fig10": fig10.run,
-    "fig11": fig11.run,
-    "fig12": fig12.run,
-    "fig13": fig13.run,
-    "fig14": fig14.run,
-    "claims": claims.run,
-    "chaos": chaos.run,
-    "compression": compression.run,
-    "profile": profile.run,
-    "resilience": resilience.run,
-}
+EXPERIMENTS = {name: _loader(name) for name in _EXPERIMENT_NAMES}
 
 
 def run_experiment(name, scale=1.0, seed=1):
@@ -51,6 +64,17 @@ def run_experiment(name, scale=1.0, seed=1):
             f"{sorted(EXPERIMENTS)}"
         ) from None
     return runner(scale=scale, seed=seed)
+
+
+def __getattr__(name):
+    if name in _SUBMODULES:
+        return importlib.import_module(f"repro.evalx.{name}")
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_SUBMODULES))
 
 
 __all__ = ["EXPERIMENTS", "ExperimentTable", "run_experiment"]

@@ -168,13 +168,15 @@ class Journal:
         """Truncate trailing garbage back to the last intact record.
 
         Scans forward tracking the byte offset just past the last
-        newline-terminated, integrity-valid record (blank lines count
-        as clean), then physically truncates everything after it — the
-        half-written tail a crash leaves, or the corrupt suffix a torn
-        append accretes.  Corrupt lines *between* valid records are
-        left in place (``load`` drops them); only the tail is cut, so
-        no intact record is ever discarded.  Returns the number of
-        bytes removed (0 for a clean or absent journal).
+        newline-terminated, integrity-valid record, then physically
+        truncates everything after it — the half-written tail a crash
+        leaves, or the corrupt suffix a torn append accretes.  Corrupt
+        or blank lines *between* valid records are left in place
+        (``load`` skips them); only the tail is cut, so no intact
+        record is ever discarded.  Trailing blank lines are debris and
+        are cut with the tail — only a valid record advances the keep
+        offset.  Returns the number of bytes removed (0 for a clean or
+        absent journal).
         """
         try:
             with open(self.path, "rb") as handle:
@@ -189,7 +191,7 @@ class Journal:
                 break  # unterminated tail: never part of the keep
             line = blob[offset:newline]
             offset = newline + 1
-            if not line.strip() or _parse_line(line) is not None:
+            if _parse_line(line) is not None:
                 keep = offset
         removed = len(blob) - keep
         if removed:
@@ -201,18 +203,19 @@ class Journal:
 
     # -- reading -----------------------------------------------------------
 
-    def load(self):
-        """Parse the journal; returns ``(header, cells, dropped)``.
+    def records(self):
+        """Every intact record, in file order; returns
+        ``(records, dropped)``.
 
-        * ``header`` — the header record, or None if absent/corrupt;
-        * ``cells`` — ``{key: record}``, last intact record wins;
-        * ``dropped`` — count of unparsable/corrupt/unknown lines.
+        The kind-agnostic read path: unlike :meth:`load` it surfaces
+        *all* record kinds (the farm's work queue layers ``enqueue`` /
+        ``claim`` records into the same journal format), counting only
+        unparsable or integrity-failed lines as ``dropped``.
         """
-        header = None
-        cells = {}
+        records = []
         dropped = 0
         if not self.path.exists():
-            return header, cells, dropped
+            return records, dropped
         with open(self.path, "r", encoding="utf-8") as handle:
             lines = handle.read().splitlines()
         for raw in lines:
@@ -222,6 +225,20 @@ class Journal:
             if record is None:
                 dropped += 1
                 continue
+            records.append(record)
+        return records, dropped
+
+    def load(self):
+        """Parse the journal; returns ``(header, cells, dropped)``.
+
+        * ``header`` — the header record, or None if absent/corrupt;
+        * ``cells`` — ``{key: record}``, last intact record wins;
+        * ``dropped`` — count of unparsable/corrupt/unknown lines.
+        """
+        header = None
+        cells = {}
+        records, dropped = self.records()
+        for record in records:
             kind = record.get("record")
             if kind == "header":
                 if record.get("version") != JOURNAL_VERSION:

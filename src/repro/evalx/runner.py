@@ -44,6 +44,7 @@ import sys
 import tempfile
 import threading
 import time
+import zlib
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.chaos import plane as _chaos
@@ -162,25 +163,83 @@ def _output_tail(data, limit=200):
     return " | ".join(data.strip().splitlines())[-limit:]
 
 
+def _signal_group(proc, signum):
+    """Signal a child's whole process group (fall back to the child
+    alone when the group is already gone or unreachable)."""
+    try:
+        os.killpg(os.getpgid(proc.pid), signum)
+    except (ProcessLookupError, PermissionError, OSError):
+        try:
+            proc.send_signal(signum)
+        except (ProcessLookupError, OSError):
+            pass
+
+
+def watched_run(command, env=None, timeout=None, grace=2.0):
+    """Run ``command`` in its own process group under a wall-clock
+    watchdog; returns ``(returncode, stdout, stderr, timed_out)``.
+
+    On watchdog expiry the *entire group* is SIGTERMed, then — after
+    ``grace`` seconds for signal-compliant children to flush and exit —
+    SIGKILLed.  ``start_new_session`` puts the cell and everything it
+    spawns into one group, so a cell whose children ignore SIGTERM (or
+    that double-forks workers of its own) cannot outlive its sweep and
+    keep writing into the trace cache.  Whatever the cell printed
+    before dying is still captured and returned.
+    """
+    proc = subprocess.Popen(command, env=env, stdout=subprocess.PIPE,
+                            stderr=subprocess.PIPE, text=True,
+                            start_new_session=True)
+    try:
+        stdout, stderr = proc.communicate(timeout=timeout)
+        return proc.returncode, stdout, stderr, False
+    except subprocess.TimeoutExpired:
+        _signal_group(proc, signal.SIGTERM)
+        try:
+            stdout, stderr = proc.communicate(timeout=max(0.1, grace))
+        except subprocess.TimeoutExpired:
+            _signal_group(proc, signal.SIGKILL)
+            stdout, stderr = proc.communicate()
+        return proc.returncode, stdout, stderr, True
+    except BaseException:
+        _signal_group(proc, signal.SIGKILL)
+        proc.communicate()
+        raise
+
+
+def failure_detail(stdout, stderr, limit=200):
+    """Both output tails of a failed cell, labelled, for the journal.
+
+    Every failure path — watchdog, crash, nonzero exit — journals the
+    same shape, so a quarantine record always carries enough debris to
+    diagnose the poison without re-running the cell.
+    """
+    parts = []
+    stderr_tail = _output_tail(stderr, limit)
+    stdout_tail = _output_tail(stdout, limit)
+    if stderr_tail:
+        parts.append(f"stderr: {stderr_tail}")
+    if stdout_tail:
+        parts.append(f"stdout: {stdout_tail}")
+    return "; ".join(parts)
+
+
 def _run_cell_subprocess(experiment, key, scale, seed, attempt, timeout):
     """One watched attempt; returns ``(payload, error_or_None)``."""
     command = _cell_command(experiment, key, scale, seed, attempt)
-    try:
-        proc = subprocess.run(
-            command, env=_cell_env(), capture_output=True, text=True,
-            timeout=timeout,
-        )
-    except subprocess.TimeoutExpired as exc:
+    returncode, stdout, stderr, timed_out = watched_run(
+        command, env=_cell_env(), timeout=timeout)
+    if timed_out:
         error = f"watchdog: cell exceeded {timeout}s wall clock"
-        tail = _output_tail(exc.stdout) or _output_tail(exc.stderr)
-        if tail:
-            error += f"; partial output: {tail}"
+        detail = failure_detail(stdout, stderr)
+        if detail:
+            error += f"; partial output: {detail}"
         return None, error
-    if proc.returncode != 0:
-        detail = (proc.stderr or proc.stdout or "").strip()[-300:]
-        return None, (f"exit status {proc.returncode}"
+    if returncode != 0:
+        detail = failure_detail(stdout, stderr)
+        return None, (f"exit status {returncode}"
                       + (f": {detail}" if detail else ""))
-    for line in reversed(proc.stdout.splitlines()):
+    for line in reversed(stdout.splitlines()):
         line = line.strip()
         if not line:
             continue
@@ -201,6 +260,23 @@ def resolve_jobs(jobs, cell_count):
     return min(jobs, max(1, cell_count))
 
 
+def retry_jitter(seed, key, attempt):
+    """Deterministic de-stampeding factor in ``[0.5, 1.0]``.
+
+    Seed-derived (never wall clock or ``random``), so a sweep replays
+    the identical schedule — but *different* cells retrying the same
+    flaky resource back off by different amounts, so ``--jobs N``
+    workers cannot hammer it in lockstep.
+    """
+    digest = zlib.crc32(f"{seed}|{key}|{attempt}".encode())
+    return 0.5 + (digest / 0xFFFFFFFF) / 2
+
+
+def retry_delay(backoff, attempt, seed, key):
+    """One cell's jittered exponential backoff before retry ``attempt``."""
+    return backoff * (2 ** attempt) * retry_jitter(seed, key, attempt)
+
+
 def _attempt_cell(experiment, key, scale, seed, timeout, retries,
                   backoff, say):
     """All watched attempts for one cell; returns
@@ -216,8 +292,8 @@ def _attempt_cell(experiment, key, scale, seed, timeout, retries,
             break
         say(f"cell {key}: attempt {attempts} failed ({error})")
         if attempt < retries and backoff > 0:
-            # deterministic exponential schedule, not a jitter
-            time.sleep(backoff * (2 ** attempt))
+            # deterministic exponential schedule with seeded jitter
+            time.sleep(retry_delay(backoff, attempt, seed, key))
     return payload, error, attempts
 
 
@@ -246,14 +322,30 @@ class SweepResult:
 
 def run_sweep(experiment, scale=1.0, seed=1, journal_path=None,
               out_path=None, resume=False, timeout=None, retries=1,
-              backoff=0.0, check=False, stream=None, jobs=None):
+              backoff=0.0, check=False, stream=None, jobs=None,
+              farm=False):
     """Run (or resume) one journalled sweep; returns a SweepResult.
 
     ``jobs`` bounds the pool of concurrent cell subprocesses (None =
     one per core, capped at the cell count).  Whatever the pool size,
     journal records are committed in cell order and the output file is
     byte-identical to a ``jobs=1`` run.
+
+    ``farm=True`` delegates the whole sweep to the crash-tolerant farm
+    service (:mod:`repro.farm`): a durable work queue, lease-based
+    work-stealing worker processes and a supervising daemon, with
+    ``jobs`` as the worker count.  The output file stays byte-identical
+    to this direct scheduler's.
     """
+    if farm:
+        from repro.farm import run_farm_sweep
+
+        return run_farm_sweep(
+            experiment, scale=scale, seed=seed,
+            journal_path=journal_path, out_path=out_path, resume=resume,
+            timeout=timeout, max_attempts=retries + 1, backoff=backoff,
+            check=check, stream=stream, workers=jobs,
+        )
 
     say_lock = threading.Lock()
 
@@ -573,6 +665,11 @@ def main(argv=None):
     sweep_p.add_argument("--jobs", type=int, default=None,
                          help="parallel cell workers (default "
                               "min(cpu_count, cells); 1 = sequential)")
+    sweep_p.add_argument("--farm", action="store_true",
+                         help="delegate to the crash-tolerant sweep "
+                              "farm (durable queue + lease-based "
+                              "work-stealing workers; --jobs sets the "
+                              "worker count)")
 
     cell_p = sub.add_parser("run-cell",
                             help="run one sweep cell (internal)")
@@ -621,7 +718,7 @@ def main(argv=None):
         journal_path=args.journal, out_path=args.out,
         resume=args.resume, timeout=args.timeout, retries=args.retries,
         backoff=args.backoff, check=args.check, stream=sys.stdout,
-        jobs=args.jobs,
+        jobs=args.jobs, farm=args.farm,
     )
     return 0 if result.ok else 1
 

@@ -1,0 +1,203 @@
+"""TTL lease files: the farm's work-stealing claim substrate.
+
+A worker claims a sweep cell by creating ``<leases>/<cell>.lease``
+with ``O_CREAT | O_EXCL`` — the one filesystem primitive that is
+atomic everywhere — and keeps it alive by *renewing* it (rewriting the
+deadline via atomic replace) from a heartbeat.  The lease body is one
+JSON object::
+
+    {"worker": "w0", "pid": 1234, "attempt": 0,
+     "ttl": 30.0, "acquired": <epoch>, "deadline": <epoch>}
+
+A lease is **stale** — and any peer may break and re-acquire it — when
+either
+
+* its ``pid`` no longer exists (the worker was SIGKILLed or OOMed), or
+* ``deadline`` has passed (the worker is alive but hung, or its
+  heartbeat stalled), or
+* the body does not parse (a torn write from a dying worker).
+
+That is the whole fault-tolerance story: a dead or wedged worker never
+strands a cell, because the cell's lease goes stale and a peer steals
+it.  Stealing is safe because cells are deterministic — a stolen cell
+re-executes to byte-identical results, and the supervisor commits each
+cell exactly once regardless of how many workers completed it.
+
+Chaos sites (:mod:`repro.chaos.plane`):
+
+* ``lease.acquire`` — ``stale_lease`` plants a dead peer's lease file
+  (live pid, ancient deadline) that the claim must break via the TTL
+  path;
+* ``lease.renew``  — ``heartbeat_stall`` silences renewals for two
+  TTLs, guaranteeing the lease expires under a still-running worker.
+
+All clock reads go through :func:`_now` so tests can drive expiry
+deterministically.
+"""
+
+import json
+import os
+import time
+
+from repro.chaos import plane as _chaos
+from repro.ioutil import atomic_write_text
+
+#: bounded acquire loop: break-stale / contend retries before giving up
+_ACQUIRE_ATTEMPTS = 4
+
+
+def _now():
+    return time.time()
+
+
+def _pid_alive(pid):
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True  # EPERM etc.: it exists, just not ours
+    return True
+
+
+def read_lease(path):
+    """Parse a lease file; returns its dict or ``None`` (absent/torn)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = handle.read()
+    except OSError:
+        return None
+    try:
+        info = json.loads(raw)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(info, dict):
+        return None
+    return info
+
+
+def is_stale(info):
+    """True when the lease's holder can no longer be trusted with it."""
+    if info is None:
+        return True  # torn body: debris of a dying writer
+    try:
+        pid = int(info["pid"])
+        deadline = float(info["deadline"])
+    except (KeyError, TypeError, ValueError):
+        return True
+    if not _pid_alive(pid):
+        return True
+    return _now() > deadline
+
+
+class Lease:
+    """A held lease: the token one worker owns for one cell."""
+
+    __slots__ = ("path", "worker", "pid", "attempt", "ttl", "acquired",
+                 "deadline", "stall_until")
+
+    def __init__(self, path, worker, attempt, ttl):
+        self.path = path
+        self.worker = worker
+        self.pid = os.getpid()
+        self.attempt = int(attempt)
+        self.ttl = float(ttl)
+        self.acquired = _now()
+        self.deadline = self.acquired + self.ttl
+        #: chaos heartbeat-stall window: renewals no-op until then
+        self.stall_until = 0.0
+
+    def _body(self):
+        return json.dumps({
+            "worker": self.worker, "pid": self.pid,
+            "attempt": self.attempt, "ttl": self.ttl,
+            "acquired": self.acquired, "deadline": self.deadline,
+        }, sort_keys=True)
+
+    def renew(self):
+        """Extend the deadline by one TTL; returns False if the lease
+        was lost (stolen by a peer after an expiry) or unwritable.
+
+        Consults the ``lease.renew`` chaos site: a ``heartbeat_stall``
+        token silences this and every renewal for the next two TTLs —
+        long past the deadline, so a peer *must* observe expiry and
+        steal while this worker still runs.  Losing the lease is not an
+        error: the worker finishes its (deterministic) cell anyway and
+        the spool write stays idempotent.
+        """
+        if _chaos.ACTIVE is not None:
+            token = _chaos.ACTIVE.storage_fault("lease.renew")
+            if token is not None and token[0] == "heartbeat_stall":
+                self.stall_until = _now() + 2.0 * self.ttl
+        if _now() < self.stall_until:
+            return True  # stalled: silently skip the heartbeat
+        current = read_lease(self.path)
+        if current is not None and (current.get("pid") != self.pid
+                                    or current.get("worker")
+                                    != self.worker):
+            return False  # stolen: a peer broke our expired lease
+        self.deadline = _now() + self.ttl
+        try:
+            atomic_write_text(self.path, self._body())
+        except OSError:
+            return False
+        return True
+
+    def release(self):
+        """Drop the lease iff it is still ours (never a thief's)."""
+        current = read_lease(self.path)
+        if current is not None and current.get("pid") == self.pid \
+                and current.get("worker") == self.worker:
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+    def __repr__(self):
+        return (f"Lease({self.path.name if hasattr(self.path, 'name') else self.path}, "
+                f"worker={self.worker}, attempt={self.attempt}, "
+                f"ttl={self.ttl})")
+
+
+def acquire(path, worker, attempt, ttl):
+    """Claim the lease at ``path``; returns a :class:`Lease` or ``None``.
+
+    Fresh contention (a live peer within its deadline) returns ``None``
+    — the caller moves on to another cell.  Stale leases are broken and
+    re-acquired in the same call: that *is* the work-stealing path, the
+    farm's answer to SIGKILLed and hung peers.
+
+    Consults the ``lease.acquire`` chaos site: a ``stale_lease`` token
+    plants a dead peer's lease first, so this claim must exercise the
+    break-and-steal machinery to succeed.
+    """
+    if _chaos.ACTIVE is not None:
+        token = _chaos.ACTIVE.storage_fault("lease.acquire")
+        if token is not None and token[0] == "stale_lease" \
+                and not os.path.exists(path):
+            _chaos.ACTIVE.plant_stale_lease(path)
+    for _ in range(_ACQUIRE_ATTEMPTS):
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            if is_stale(read_lease(path)):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+                continue  # broken: retry the exclusive create
+            return None  # held by a live peer — not ours to take
+        except OSError:
+            return None  # lease dir unwritable: skip this cell for now
+        lease = Lease(path, worker, attempt, ttl)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(lease._body())
+        except OSError:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        return lease
+    return None

@@ -1,0 +1,201 @@
+"""Durable work queue for the sweep farm, layered on the journal.
+
+The queue *is* a :class:`repro.evalx.journal.Journal` — the same
+sha256-stamped, fsynced, ``recover_tail()``-safe JSONL substrate the
+resumable sweep runner trusts — with three more record kinds on top:
+
+* ``enqueue`` — one per sweep cell, in deterministic table order; the
+  enqueue sequence defines the commit order, so a resumed farm and a
+  fresh farm write identical journals;
+* ``claim``   — the supervisor's durable note that a worker took a
+  cell's lease (worker id, pid, attempt); attempt counts feed the
+  poison-cell circuit breaker and survive a supervisor SIGKILL;
+* ``cell``    — the commit record, **identical in shape to the sweep
+  runner's** (key / status / payload / attempts / error), so
+  :func:`repro.evalx.runner.assemble_table` consumes a farm journal
+  unchanged.  Status is ``ok``, ``failed``, or — the circuit breaker's
+  verdict — ``quarantined``.
+
+The journal is single-writer (only the supervisor appends; workers
+read it and coordinate through lease files and the result spool), so
+records can never interleave mid-line, and every append inherits the
+journal's bounded-retry, torn-tail-guarded write path.
+
+Exactly-once commit is enforced here: :meth:`WorkQueue.commit_cell`
+refuses a key that already has a commit record, whatever the
+interleaving of claims, steals and duplicate completions upstream.
+"""
+
+from repro.errors import JournalError
+from repro.evalx.journal import Journal
+
+
+class QueueState:
+    """Parsed view of a queue journal."""
+
+    __slots__ = ("order", "cells", "claims", "attempts", "dropped",
+                 "header")
+
+    def __init__(self):
+        #: the journal's header record (operating point), or ``None``
+        self.header = None
+        #: cell keys in enqueue (= commit) order
+        self.order = []
+        #: {key: commit record} — shaped like runner journal cells
+        self.cells = {}
+        #: {key: [claim records, in order]}
+        self.claims = {}
+        #: {key: claims observed} — the circuit breaker's evidence
+        self.attempts = {}
+        #: unparsable/corrupt lines skipped while loading
+        self.dropped = 0
+
+    def committed(self, key):
+        return key in self.cells
+
+    def quarantined_keys(self):
+        return [key for key in self.order
+                if self.cells.get(key, {}).get("status") == "quarantined"]
+
+    def pending(self):
+        """Keys with no commit record yet, in order."""
+        return [key for key in self.order if key not in self.cells]
+
+
+class WorkQueue:
+    """Single-writer durable queue over one journal file."""
+
+    def __init__(self, path):
+        self.journal = Journal(path)
+
+    @property
+    def path(self):
+        return self.journal.path
+
+    def exists(self):
+        return self.journal.exists()
+
+    def recover_tail(self):
+        return self.journal.recover_tail()
+
+    # -- opening -----------------------------------------------------------
+
+    def open(self, experiment, scale, seed, resume=False):
+        """Create or resume the queue; returns its :class:`QueueState`.
+
+        Mirrors the sweep runner's contract: an existing journal
+        without ``resume`` is an error (never an overwrite); a resumed
+        journal has its torn tail truncated, its header checked against
+        the requested operating point, and an all-records-torn file is
+        restarted clean rather than refused.
+        """
+        if self.exists():
+            if not resume:
+                raise JournalError(
+                    f"{self.path} already exists; pass resume "
+                    "(--resume) to continue it, or delete it to start "
+                    "over"
+                )
+            self.recover_tail()
+            try:
+                if self.path.stat().st_size == 0:
+                    self.journal.write_header(experiment, scale, seed)
+                    return QueueState()
+            except OSError:
+                pass
+            state = self.load_state()
+            if state.header is None:
+                raise JournalError(
+                    f"{self.path}: no intact header record — the "
+                    "queue journal is corrupt from the start; delete "
+                    "it to run fresh"
+                )
+            for field, wanted in (("experiment", experiment),
+                                  ("scale", scale), ("seed", seed)):
+                if state.header[field] != wanted:
+                    raise JournalError(
+                        f"{self.path}: queue {field} is "
+                        f"{state.header[field]!r}, sweep requested "
+                        f"{wanted!r} — refusing to mix operating points"
+                    )
+            return state
+        self.journal.write_header(experiment, scale, seed)
+        return QueueState()
+
+    # -- reading -----------------------------------------------------------
+
+    def load_state(self):
+        """Parse every intact record into a :class:`QueueState`.
+
+        Safe to call from worker processes while the supervisor
+        appends: records are whole fsynced lines, and a torn in-flight
+        tail parses as dropped, never as a wrong record.
+        """
+        records, dropped = self.journal.records()
+        state = QueueState()
+        state.dropped = dropped
+        header = None
+        seen = set()
+        for record in records:
+            kind = record.get("record")
+            if kind == "header":
+                if header is None:
+                    header = record
+            elif kind == "enqueue" and "key" in record:
+                key = record["key"]
+                if key not in seen:
+                    seen.add(key)
+                    state.order.append(key)
+            elif kind == "claim" and "key" in record:
+                key = record["key"]
+                state.claims.setdefault(key, []).append(record)
+                state.attempts[key] = (state.attempts.get(key, 0) + 1)
+            elif kind == "cell" and "key" in record:
+                state.cells[record["key"]] = record
+        state.header = header
+        return state
+
+    # -- writing (supervisor only) -----------------------------------------
+
+    def enqueue_missing(self, keys, state):
+        """Append ``enqueue`` records for keys not yet queued; extends
+        ``state.order`` in place.  Idempotent across resumes."""
+        queued = set(state.order)
+        for key in keys:
+            if key in queued:
+                continue
+            self.journal.append({"record": "enqueue", "key": key,
+                                 "index": len(state.order)})
+            state.order.append(key)
+        return state.order
+
+    def record_claim(self, key, worker, pid, attempt, state):
+        """Durably note that ``worker`` claimed ``key``."""
+        record = self.journal.append({
+            "record": "claim", "key": key, "worker": worker,
+            "pid": pid, "attempt": attempt,
+        })
+        state.claims.setdefault(key, []).append(record)
+        state.attempts[key] = state.attempts.get(key, 0) + 1
+        return record
+
+    def commit_cell(self, key, status, payload=None, attempts=1,
+                    error=None, state=None):
+        """Append the one-and-only commit record for ``key``.
+
+        Exactly-once: a key that already holds a commit record in
+        ``state`` is refused — duplicate completions (a stolen cell
+        both workers finished) must be resolved by the caller reading
+        the state first, and a bug that slips through fails loudly
+        here instead of double-committing.
+        """
+        if state is not None and state.committed(key):
+            raise JournalError(
+                f"{self.path}: cell {key!r} is already committed — "
+                "refusing a second commit record"
+            )
+        record = self.journal.append_cell(key, status, payload=payload,
+                                          attempts=attempts, error=error)
+        if state is not None:
+            state.cells[key] = record
+        return record

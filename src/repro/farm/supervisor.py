@@ -1,0 +1,347 @@
+"""The farm supervisor: spawn, watch, commit, quarantine.
+
+The supervisor is the farm's single journal writer and the only
+process that decides a cell's fate.  Workers coordinate through lease
+files and the result spool; the supervisor folds their work into the
+durable queue:
+
+* **spawn/reap** — it launches ``--jobs`` worker processes (each in
+  its own session), reaps exits, and respawns dead workers from a
+  bounded budget while uncommitted work remains;
+* **observe claims** — lease files it has not seen before become
+  durable ``claim`` records, so attempt counts survive a supervisor
+  SIGKILL;
+* **commit in order** — cells are committed strictly in enqueue order
+  (a finished later cell waits, buffered in the spool, until every
+  earlier cell is resolved), so a farm journal an interrupted run
+  leaves behind is always an order-prefix of the complete one and the
+  final output file is byte-identical to the sequential runner's;
+* **circuit-break poison** — a cell with ``max_attempts`` failed
+  attempts on record is *quarantined*: committed with status
+  ``quarantined``, the reason and the failing attempts' stdout/stderr
+  tails, and never retried again.  The sweep degrades to a partial
+  table with explicit quarantined keys — loudly, never a wrong number;
+* **escalate** — when no commit, claim or spool progress lands within
+  the watchdog window, every worker's process group gets SIGTERM, a
+  grace period, then SIGKILL, and the fleet is respawned (budget
+  permitting).  The same escalation cleans up stragglers at shutdown.
+
+Chaos sites: ``worker.spawn`` (a ``worker_kill`` token arms the new
+worker to SIGKILL itself mid-cell) and ``queue.claim`` (a
+``daemon_kill`` token SIGKILLs the supervisor itself mid-sweep — the
+resume path must reconstruct everything from the queue, spool and
+leases).
+"""
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+from repro.chaos import plane as _chaos
+from repro.evalx import runner as _runner
+from repro.farm import lease as lease_mod
+from repro.farm import worker as worker_mod
+from repro.farm.queue import WorkQueue
+from repro.ioutil import atomic_write_text
+
+#: SIGTERM -> SIGKILL escalation grace for worker shutdown
+KILL_GRACE = 2.0
+
+
+def default_state_dir(experiment):
+    return pathlib.Path("benchmarks", "results", f"{experiment}.farm")
+
+
+class FarmSupervisor:
+    """One farm sweep, end to end; see the module docstring."""
+
+    def __init__(self, experiment, scale=1.0, seed=1, state_dir=None,
+                 out_path=None, resume=False, workers=None,
+                 lease_ttl=5.0, timeout=None, max_attempts=2,
+                 backoff=0.05, check=False, stream=None, tick=0.02,
+                 watchdog=None, max_respawns=None,
+                 worker_output=False):
+        self.experiment = experiment
+        self.scale = scale
+        self.seed = seed
+        self.state_dir = pathlib.Path(
+            state_dir if state_dir is not None
+            else default_state_dir(experiment))
+        self.out_path = pathlib.Path(
+            out_path if out_path is not None
+            else pathlib.Path("benchmarks", "results",
+                              f"{experiment}-sweep.json"))
+        self.resume = resume
+        self.workers = workers
+        self.lease_ttl = float(lease_ttl)
+        self.timeout = timeout
+        self.max_attempts = max(1, int(max_attempts))
+        self.backoff = backoff
+        self.check = check
+        self.stream = stream
+        self.tick = tick
+        if watchdog is None:
+            watchdog = max(30.0, 6.0 * self.lease_ttl,
+                           2.0 * (timeout or 0.0))
+        self.watchdog = watchdog
+        self.worker_output = worker_output
+        self.queue = WorkQueue(worker_mod.queue_path(self.state_dir))
+        self._procs = []
+        self._spawned = 0
+        self._seen_claims = set()
+        self.respawns = 0
+        self.escalations = 0
+        self._last_progress = time.monotonic()
+        self._worker_serial = 0
+
+    def say(self, message):
+        if self.stream is not None:
+            self.stream.write(message + "\n")
+            self.stream.flush()
+
+    # -- workers -------------------------------------------------------------
+
+    def _worker_command(self, worker_id):
+        command = [
+            sys.executable, "-m", "repro.farm.worker", self.experiment,
+            "--state-dir", str(self.state_dir),
+            "--scale", str(self.scale), "--seed", str(self.seed),
+            "--worker-id", worker_id,
+            "--lease-ttl", str(self.lease_ttl),
+            "--max-attempts", str(self.max_attempts),
+            "--backoff", str(self.backoff),
+            "--supervisor-pid", str(os.getpid()),
+            "--tick", str(self.tick),
+        ]
+        if self.timeout is not None:
+            command += ["--timeout", str(self.timeout)]
+        return command
+
+    def _spawn_worker(self):
+        self._worker_serial += 1
+        worker_id = f"w{self._worker_serial}"
+        env = _runner._cell_env()
+        env.pop(worker_mod.ENV_CHAOS_KILL, None)
+        if _chaos.ACTIVE is not None:
+            token = _chaos.ACTIVE.storage_fault("worker.spawn")
+            if token is not None and token[0] == "worker_kill":
+                env[worker_mod.ENV_CHAOS_KILL] = "1"
+                self.say(f"chaos[worker_kill]: arming {worker_id} to "
+                         "die mid-cell")
+        sink = None if self.worker_output else subprocess.DEVNULL
+        proc = subprocess.Popen(self._worker_command(worker_id),
+                                env=env, stdout=sink, stderr=sink,
+                                start_new_session=True)
+        self._procs.append(proc)
+        self._spawned += 1
+        return proc
+
+    def _spawn_fleet(self, pending_count):
+        count = _runner.resolve_jobs(self.workers, pending_count)
+        for _ in range(count):
+            self._spawn_worker()
+        self.say(f"farm {self.experiment}: supervisor pid "
+                 f"{os.getpid()}, {count} worker(s), lease ttl "
+                 f"{self.lease_ttl}s, state {self.state_dir}")
+        return count
+
+    def _reap_and_respawn(self, state):
+        budget = (2 * max(1, len(self._procs)) + 4
+                  if self.workers is None
+                  else 2 * max(1, self.workers) + 4)
+        alive = []
+        for proc in self._procs:
+            if proc.poll() is None:
+                alive.append(proc)
+                continue
+            if state.pending() and self.respawns < budget:
+                self.respawns += 1
+                self.say(f"worker pid {proc.pid} exited "
+                         f"{proc.returncode}; respawning "
+                         f"({self.respawns}/{budget})")
+                alive.append(self._spawn_worker())
+        self._procs = alive
+
+    def _escalate_workers(self, why):
+        """SIGTERM every worker's process group, grace, then SIGKILL."""
+        live = [p for p in self._procs if p.poll() is None]
+        if not live:
+            return
+        self.escalations += 1
+        self.say(f"escalating on {len(live)} worker(s): {why}")
+        for proc in live:
+            _runner._signal_group(proc, signal.SIGTERM)
+        deadline = time.monotonic() + KILL_GRACE
+        while time.monotonic() < deadline:
+            if all(p.poll() is not None for p in live):
+                break
+            time.sleep(0.02)
+        for proc in live:
+            if proc.poll() is None:
+                _runner._signal_group(proc, signal.SIGKILL)
+        for proc in live:
+            try:
+                proc.wait(timeout=KILL_GRACE)
+            except subprocess.TimeoutExpired:
+                pass
+
+    # -- observing and committing --------------------------------------------
+
+    def _observe_claims(self, state, slug_to_key):
+        directory = worker_mod.lease_dir(self.state_dir)
+        if not directory.is_dir():
+            return
+        for path in sorted(directory.glob("*.lease")):
+            key = slug_to_key.get(path.name[:-len(".lease")])
+            if key is None or state.committed(key):
+                continue
+            info = lease_mod.read_lease(path)
+            if info is None:
+                continue
+            identity = (key, info.get("worker"), info.get("pid"),
+                        info.get("attempt"))
+            if identity in self._seen_claims:
+                continue
+            self._seen_claims.add(identity)
+            if _chaos.ACTIVE is not None:
+                token = _chaos.ACTIVE.storage_fault("queue.claim")
+                if token is not None and token[0] == "daemon_kill":
+                    self.say("chaos[daemon_kill]: SIGKILLing the "
+                             "supervisor mid-sweep")
+                    if self.stream is not None:
+                        self.stream.flush()
+                    os.kill(os.getpid(), signal.SIGKILL)
+            self.queue.record_claim(key, info.get("worker"),
+                                    info.get("pid"),
+                                    info.get("attempt"), state)
+            self._last_progress = time.monotonic()
+
+    def _quarantine_error(self, key):
+        """The loud, debris-rich reason string for a poisoned cell."""
+        failures = worker_mod.load_failures(self.state_dir, key)
+        attempts = max(len(failures),
+                       worker_mod.failure_count(self.state_dir, key))
+        last = failures[-1]["error"] if failures else "(no failure " \
+            "spool survived; attempts exhausted)"
+        return attempts, (
+            f"poisoned: {attempts} failed attempt(s), quarantined by "
+            f"the circuit breaker; last error: {last}")
+
+    def _commit_ready(self, state):
+        """Commit resolved cells, strictly in enqueue order."""
+        committed = 0
+        for key in state.order:
+            if state.committed(key):
+                continue
+            success = worker_mod.load_success(self.state_dir, key)
+            if success is not None:
+                self.queue.commit_cell(
+                    key, "ok", payload=success["payload"],
+                    attempts=success.get("attempt", 0) + 1, state=state)
+                committed += 1
+                self._last_progress = time.monotonic()
+                continue
+            fails = worker_mod.failure_count(self.state_dir, key)
+            if fails >= self.max_attempts:
+                attempts, error = self._quarantine_error(key)
+                self.say(f"cell {key}: {error}")
+                self.queue.commit_cell(key, "quarantined",
+                                       attempts=attempts, error=error,
+                                       state=state)
+                committed += 1
+                self._last_progress = time.monotonic()
+                continue
+            break  # in-order: wait for the earliest unresolved cell
+        return committed
+
+    # -- the sweep -----------------------------------------------------------
+
+    def run(self):
+        """Run (or resume) the farm sweep; returns a SweepResult."""
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        worker_mod.spool_dir(self.state_dir).mkdir(exist_ok=True)
+        worker_mod.lease_dir(self.state_dir).mkdir(exist_ok=True)
+        state = self.queue.open(self.experiment, self.scale, self.seed,
+                                resume=self.resume)
+        keys = _runner.sweep_cells(self.experiment)
+        self.queue.enqueue_missing(keys, state)
+        slug_to_key = {worker_mod.cell_slug(key): key for key in keys}
+        skipped = sum(1 for key in keys if state.committed(key))
+        ran = self._commit_ready(state)  # spool left by a killed run
+        self._last_progress = time.monotonic()
+        if state.pending():
+            self._spawn_fleet(len(state.pending()))
+        try:
+            while state.pending():
+                self._observe_claims(state, slug_to_key)
+                ran += self._commit_ready(state)
+                if not state.pending():
+                    break
+                self._reap_and_respawn(state)
+                stalled = time.monotonic() - self._last_progress
+                if stalled > self.watchdog:
+                    self._escalate_workers(
+                        f"no progress for {stalled:.1f}s "
+                        f"(watchdog {self.watchdog}s)")
+                    self._last_progress = time.monotonic()
+                    self._reap_and_respawn(state)
+                    if not any(p.poll() is None for p in self._procs):
+                        raise RuntimeError(
+                            "farm wedged: no live workers, respawn "
+                            "budget exhausted, cells still pending")
+                time.sleep(self.tick)
+        finally:
+            self._escalate_workers("sweep complete; reaping stragglers")
+        return self._finalize(state, keys, ran, skipped)
+
+    def _finalize(self, state, keys, ran, skipped):
+        table, dropped_keys = _runner.assemble_table(
+            self.experiment, self.scale, self.seed, state.cells)
+        quarantined = state.quarantined_keys()
+        if dropped_keys:
+            self.say(f"WARNING: {len(dropped_keys)} of {len(keys)} "
+                     f"cell(s) dropped after {self.max_attempts} "
+                     "attempt(s) each: " + ", ".join(dropped_keys))
+            if table is not None:
+                table.notes = (table.notes + " " if table.notes
+                               else "") + (
+                    f"[PARTIAL: {len(dropped_keys)} of {len(keys)} "
+                    "cell(s) dropped]")
+        if quarantined and table is not None:
+            table.notes = (table.notes + " " if table.notes else "") + (
+                "[QUARANTINED: " + ", ".join(quarantined) + "]")
+        deviations = []
+        if self.check and table is not None:
+            from repro.evalx.golden import compare_table
+
+            deviations = compare_table(self.experiment, table,
+                                       scale=self.scale, seed=self.seed)
+            for deviation in deviations:
+                self.say(f"DEVIATION: {deviation}")
+        if table is not None:
+            out_payload = {
+                "experiment": self.experiment,
+                "scale": self.scale,
+                "seed": self.seed,
+                **table.to_dict(),
+            }
+            atomic_write_text(self.out_path,
+                              json.dumps(out_payload, indent=1,
+                                         sort_keys=True),
+                              site="results.write", attempts=3,
+                              verify=True)
+            self.say(f"farm sweep {self.experiment}: {ran} cell(s) "
+                     f"committed, {skipped} resumed from queue, "
+                     f"{self.respawns} respawn(s) -> {self.out_path}")
+        result = _runner.SweepResult(
+            self.experiment, self.scale, self.seed, table, keys, ran,
+            skipped, dropped_keys, state.dropped, self.out_path,
+            deviations)
+        result.quarantined_keys = quarantined
+        result.respawns = self.respawns
+        result.escalations = self.escalations
+        return result

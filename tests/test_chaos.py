@@ -293,9 +293,13 @@ class TestCacheUnderFaults:
 
 class TestCampaign:
     def test_pairs_cover_every_valid_combination(self):
+        # the campaign sweeps the *storage* matrix only; farm kinds
+        # (worker_kill etc.) are exercised by the farm smoke instead,
+        # so the chaos golden stays pinned
         pairs = campaign.campaign_pairs()
         assert len(pairs) == len(set(pairs)) == sum(
-            len(sites) for sites in plane_mod.KIND_SITES.values())
+            len(plane_mod.KIND_SITES[kind])
+            for kind in plane_mod.STORAGE_KINDS)
 
     def test_cell_keys_match_run_cell_rows(self):
         keys = campaign.cell_keys()
