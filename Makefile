@@ -61,6 +61,7 @@ bench-check:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_trace_replay.py --check
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_chaos_overhead.py --check
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_farm.py --check
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_columnar.py --check
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_core_ops.py --benchmark-only -q
 
 # Refresh the committed baseline after an intentional perf change.
@@ -68,6 +69,7 @@ bench-baseline:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_hot_path.py --write-baseline
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_trace_replay.py --write-baseline
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_farm.py --write-baseline
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_columnar.py --write-baseline
 
 eval:
 	PYTHONPATH=src $(PYTHON) -m repro.evalx

@@ -22,6 +22,8 @@ to force direct execution.
 
 from repro.core import NamedStateRegisterFile, SegmentedRegisterFile
 from repro.trace import cache as trace_cache
+from repro.trace.columnar import replay_columnar, selected_engine
+from repro.trace.oracle import replay_oracle
 from repro.trace.replay import replay
 
 SEQ_REGISTERS = 80
@@ -55,6 +57,23 @@ def make_segmented(workload, num_registers=None, **kw):
     )
 
 
+def _replay(trace, model):
+    """Replay through the engine ``REPRO_REPLAY_ENGINE`` selects.
+
+    ``event`` (the default) is the scalar packed loop; ``columnar``
+    and ``oracle`` synthesize the outcome from the shared NumPy
+    whole-trace analysis when the (trace, model) pair sits inside the
+    exactness boundary and fall back to the scalar loop otherwise —
+    every engine leaves byte-identical statistics by construction.
+    """
+    engine = selected_engine()
+    if engine == "columnar":
+        return replay_columnar(trace, model)
+    if engine == "oracle":
+        return replay_oracle(trace, model)
+    return replay(trace, model, verify=False)
+
+
 def run_workload(workload, model, scale=1.0, seed=1):
     """Drive ``model`` with ``workload``; returns the model.
 
@@ -82,12 +101,12 @@ def run_workload(workload, model, scale=1.0, seed=1):
         if workload.trace_stable:
             trace = trace_cache.load_or_record(workload, scale=scale,
                                                seed=seed)
-            replay(trace, model, verify=False)
+            _replay(trace, model)
             return model
         trace = trace_cache.load_for_model(workload, model, scale=scale,
                                            seed=seed)
         if trace is not None:
-            replay(trace, model, verify=False)
+            _replay(trace, model)
         else:
             trace_cache.record_through(workload, model, scale=scale,
                                        seed=seed)

@@ -670,6 +670,12 @@ def main(argv=None):
                               "farm (durable queue + lease-based "
                               "work-stealing workers; --jobs sets the "
                               "worker count)")
+    sweep_p.add_argument("--engine", choices=("event", "columnar",
+                                              "oracle"), default=None,
+                         help="replay engine for every cell (exported "
+                              "as REPRO_REPLAY_ENGINE to cell "
+                              "subprocesses; default: inherited env "
+                              "or event replay)")
 
     cell_p = sub.add_parser("run-cell",
                             help="run one sweep cell (internal)")
@@ -698,6 +704,12 @@ def main(argv=None):
                               "sweep")
 
     args = parser.parse_args(argv)
+    if getattr(args, "engine", None):
+        # _cell_env() copies os.environ, so the selector reaches every
+        # cell subprocess (and farm worker) automatically
+        from repro.trace.columnar import ENV_ENGINE
+
+        os.environ[ENV_ENGINE] = args.engine
     if args.command == "run-cell":
         hooked = _maybe_hook_failures(args.experiment, args.key,
                                       args.attempt)

@@ -13,7 +13,17 @@ of assumed.
 
 from dataclasses import dataclass, field
 
-from repro.trace.events import BEGIN, END, FREE, READ, SWITCH, TICK, WRITE
+from repro.trace.events import (
+    OP_BEGIN,
+    OP_CODES,
+    OP_END,
+    OP_FREE,
+    OP_READ,
+    OP_SWITCH,
+    OP_TICK,
+    OP_WRITE,
+    Trace,
+)
 
 
 @dataclass
@@ -81,6 +91,28 @@ class TraceProfile:
         return dict(sorted(counts.items()))
 
 
+def _flat_events(trace):
+    """The trace as one flat int-opcode list, wide values resolved.
+
+    Packed traces hand over their int64 buffer directly (``tolist``
+    pre-boxes every int once); legacy iterables of classic
+    ``(str_op, cid, offset, value)`` tuples are flattened through the
+    opcode map so the profiling loop below only ever dispatches on
+    ints.
+    """
+    if isinstance(trace, Trace):
+        data, wide = trace.packed()
+        flat = data.tolist()
+        for index, value in wide.items():
+            flat[4 * index + 3] = value
+        return flat
+    flat = []
+    extend = flat.extend
+    for op, cid, offset, value in trace:
+        extend((OP_CODES[op], cid, offset, value))
+    return flat
+
+
 def profile_trace(trace):
     """Compute a :class:`TraceProfile` from a recorded trace."""
     open_contexts = {}
@@ -91,28 +123,29 @@ def profile_trace(trace):
     total_instructions = 0
     max_concurrent = 0
     concurrency_weighted = 0
-    for op, cid, offset, value in trace:
-        if op == BEGIN:
+    it = iter(_flat_events(trace))
+    for op, cid, offset, value in zip(it, it, it, it):
+        if op == OP_BEGIN:
             open_contexts[cid] = ContextProfile(cid=cid)
             live_sets[cid] = (set(), set())  # (ever written, now live)
             max_concurrent = max(max_concurrent, len(open_contexts))
-        elif op == END:
+        elif op == OP_END:
             profile = open_contexts.pop(cid, None)
             if profile is not None:
                 finished.append(profile)
                 live_sets.pop(cid, None)
             if current == cid:
                 current = None
-        elif op == SWITCH:
+        elif op == OP_SWITCH:
             if cid != current:
                 switches += 1
                 current = cid
-        elif op == TICK:
+        elif op == OP_TICK:
             total_instructions += value
             concurrency_weighted += value * len(open_contexts)
             if current in open_contexts:
                 open_contexts[current].instructions += value
-        elif op == WRITE:
+        elif op == OP_WRITE:
             profile = open_contexts.get(cid)
             if profile is not None:
                 ever, live = live_sets[cid]
@@ -121,11 +154,11 @@ def profile_trace(trace):
                 profile.writes += 1
                 profile.registers_written = len(ever)
                 profile.peak_live = max(profile.peak_live, len(live))
-        elif op == READ:
+        elif op == OP_READ:
             profile = open_contexts.get(cid)
             if profile is not None:
                 profile.reads += 1
-        elif op == FREE:
+        elif op == OP_FREE:
             if cid in live_sets:
                 live_sets[cid][1].discard(offset)
     # Contexts still open at the end of the trace count too.

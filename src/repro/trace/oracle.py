@@ -1,0 +1,305 @@
+"""One-pass stack-distance oracle for register-file capacity sweeps.
+
+The paper's capacity studies (figs 9-11, 13) replay the same trace
+against many register-file sizes.  Mattson's classic observation is
+that for stack algorithms (LRU) a single pass over the reference
+stream yields the miss count of *every* capacity at once: keep the
+references on a recency stack, record each re-reference's stack depth
+in a histogram, and ``misses(C)`` is the histogram's suffix sum from
+depth ``C``.
+
+The NSF complicates the textbook treatment in two ways:
+
+* **Deletions.**  ``END`` frees a context's registers with no spill
+  traffic; in a capacity-``C`` file those lines enter the free list.
+  The oracle models each freed register as a *hole* left in place on
+  the stack (same recency timestamp).  A hole above a re-referenced
+  item is a free line in every file small enough to matter, so the
+  re-reference consumes the topmost hole and leaves a new hole at its
+  own old depth; a write-allocate of a fresh register likewise
+  consumes the topmost hole.  An allocation evicts in file ``C`` only
+  when ``C <= min(depth of topmost hole, stack size)`` — i.e. when
+  file ``C`` is full *and* has no free line.
+* **Write-allocate.**  A write to an absent register binds a line
+  without any reload (``fetch_on_write=False``), so write misses cost
+  an eviction at small capacities but never a fetch; only read misses
+  reload.  With ``line_size=1`` every demand reload is referenced by
+  the faulting read itself, so the paper's "active reloads" equal the
+  reload count exactly.
+
+Exactness boundary (checked, ``OracleUnsupported`` otherwise):
+``line_size=1`` + LRU + ``reload_scope="register"`` +
+``fetch_on_write=False`` semantics, traces with no wide values, no
+``FREE`` ops and no cold reads.  FIFO lacks the stack inclusion
+property and NMRU consumes RNG draws, so neither has exact curves —
+:func:`oracle_sweep` covers those (and every other out-of-regime
+configuration) by falling back to event-exact replay per cell, while
+in-regime cells whose capacity never forces an eviction are
+synthesized in O(registers) from the shared columnar analysis.
+
+Positions are 0-based depths: the most recent entry is at depth 0, a
+re-reference at depth ``p`` hits every file with ``C > p``.
+"""
+
+from heapq import heappop, heappush
+
+from repro.trace.columnar import (
+    analyze,
+    apply_stats,
+    numpy_available,
+    replay_columnar,
+)
+from repro.trace.events import (
+    OP_BEGIN,
+    OP_END,
+    OP_FREE,
+    OP_READ,
+    OP_SWITCH,
+    OP_TICK,
+    OP_WRITE,
+    Trace,
+)
+from repro.trace.replay import replay as _event_replay
+
+__all__ = [
+    "OracleUnsupported",
+    "capacity_curves",
+    "oracle_sweep",
+    "replay_oracle",
+]
+
+
+class OracleUnsupported(ValueError):
+    """The trace is outside the oracle's exactness boundary."""
+
+
+class _Fenwick:
+    """Binary indexed tree counting stack entries per timestamp."""
+
+    __slots__ = ("size", "tree")
+
+    def __init__(self, size):
+        self.size = size
+        self.tree = [0] * (size + 1)
+
+    def add(self, i, delta):
+        i += 1
+        tree = self.tree
+        size = self.size
+        while i <= size:
+            tree[i] += delta
+            i += i & -i
+
+    def prefix(self, i):
+        """Entries with timestamp <= ``i``."""
+        i += 1
+        tree = self.tree
+        total = 0
+        while i > 0:
+            total += tree[i]
+            i -= i & -i
+        return total
+
+
+def _suffix_sums(histogram):
+    out = histogram[:]
+    for i in range(len(out) - 2, -1, -1):
+        out[i] += out[i + 1]
+    return out
+
+
+def capacity_curves(trace, capacities, word_bytes=4):
+    """Exact per-capacity miss/spill/reload counts from one pass.
+
+    Walks ``trace`` once through the stack-with-holes model and
+    returns ``{capacity: {stat_field: value}}`` for every capacity in
+    ``capacities``, where the stat fields are exactly the
+    capacity-dependent counters an event-exact replay leaves on a
+    pristine LRU ``NamedStateRegisterFile(num_registers=C,
+    line_size=1)``: read/write hits and misses, spills, reloads, the
+    spill/reload byte traffic and the backing store's word counters.
+    Capacity-independent counters (ticks, occupancy integrals, context
+    lifecycle) are whatever one replay says — they are not part of the
+    curve.
+
+    Raises :class:`OracleUnsupported` for traces outside the boundary
+    (wide values, ``FREE`` ops, reads before any write).  Pure Python:
+    needs no NumPy, and costs one Fenwick-tree walk — O(n log n) —
+    regardless of how many capacities are requested.
+    """
+    if not isinstance(trace, Trace):
+        raise OracleUnsupported("oracle needs a packed Trace")
+    data, wide = trace.packed()
+    if wide:
+        raise OracleUnsupported("trace carries wide values")
+    capacities = sorted(set(int(c) for c in capacities))
+    if not capacities or capacities[0] < 1:
+        raise OracleUnsupported("capacities must be positive integers")
+    cmax = capacities[-1]
+    clamp = cmax + 1
+
+    ctx = trace.context_size
+    n_events = len(data) // 4
+    bit = _Fenwick(n_events + 1)
+    item_ts = {}            # live register key -> recency timestamp
+    holes = []              # max-heap (negated timestamps) of holes
+    cur_inst = {}           # cid -> open context instance ordinal
+    inst_live = {}          # instance ordinal -> set of live keys
+    next_inst = 0
+    total_entries = 0
+    next_ts = 0
+    reads = writes = 0
+    read_hist = [0] * (clamp + 1)    # read miss at depth >= C
+    write_hist = [0] * (clamp + 1)   # write miss at depth >= C
+    evict_hist = [0] * (clamp + 1)   # eviction in files C <= bin
+
+    it = iter(data.tolist())
+    for op, cid, offset, value in zip(it, it, it, it):
+        if op <= OP_WRITE:
+            inst = cur_inst.get(cid)
+            if inst is None:
+                raise OracleUnsupported(
+                    f"access to context {cid} outside BEGIN/END")
+            key = inst * ctx + offset
+            ts_old = item_ts.get(key)
+            ts_new = next_ts
+            next_ts += 1
+            if op == OP_READ:
+                reads += 1
+            else:
+                writes += 1
+            if ts_old is not None:
+                # re-reference: depth decides hit/miss per capacity
+                p = total_entries - bit.prefix(ts_old)
+                b = p if p < clamp else clamp
+                if op == OP_READ:
+                    read_hist[b] += 1
+                else:
+                    write_hist[b] += 1
+                if holes:
+                    h1_ts = -holes[0]
+                    h1_pos = total_entries - bit.prefix(h1_ts)
+                    eb = p if p < h1_pos else h1_pos
+                    evict_hist[eb if eb < clamp else clamp] += 1
+                    if h1_ts > ts_old:
+                        # hole above the item: every small-enough file
+                        # reuses that free line, leaving one at the
+                        # item's old depth instead
+                        heappop(holes)
+                        bit.add(h1_ts, -1)
+                        total_entries -= 1
+                        heappush(holes, -ts_old)
+                    else:
+                        bit.add(ts_old, -1)
+                        total_entries -= 1
+                else:
+                    evict_hist[p if p < clamp else clamp] += 1
+                    bit.add(ts_old, -1)
+                    total_entries -= 1
+                bit.add(ts_new, 1)
+                total_entries += 1
+                item_ts[key] = ts_new
+            else:
+                # first touch: write-allocate only
+                if op == OP_READ:
+                    raise OracleUnsupported(
+                        f"cold read of ({cid}, {offset})")
+                write_hist[clamp] += 1  # misses at every capacity
+                if holes:
+                    h1_ts = -heappop(holes)
+                    h1_pos = total_entries - bit.prefix(h1_ts)
+                    eb = h1_pos if h1_pos < total_entries \
+                        else total_entries
+                    bit.add(h1_ts, -1)
+                    total_entries -= 1
+                else:
+                    eb = total_entries
+                evict_hist[eb if eb < clamp else clamp] += 1
+                bit.add(ts_new, 1)
+                total_entries += 1
+                item_ts[key] = ts_new
+                inst_live[inst].add(key)
+        elif op == OP_TICK or op == OP_SWITCH:
+            pass  # capacity-independent
+        elif op == OP_BEGIN:
+            cur_inst[cid] = next_inst
+            inst_live[next_inst] = set()
+            next_inst += 1
+        elif op == OP_END:
+            inst = cur_inst.pop(cid, None)
+            if inst is None:
+                raise OracleUnsupported(f"END of unknown context {cid}")
+            for key in inst_live.pop(inst):
+                # the register leaves with zero traffic; its line is a
+                # free line (a hole) at the same recency depth
+                heappush(holes, -item_ts.pop(key))
+        elif op == OP_FREE:
+            raise OracleUnsupported("FREE ops need per-event replay")
+
+    read_misses = _suffix_sums(read_hist)
+    write_misses = _suffix_sums(write_hist)
+    evictions = _suffix_sums(evict_hist)
+    curves = {}
+    for cap in capacities:
+        rm = read_misses[cap]
+        wm = write_misses[cap]
+        spills = evictions[cap]
+        curves[cap] = {
+            "reads": reads,
+            "writes": writes,
+            "read_hits": reads - rm,
+            "read_misses": rm,
+            "write_hits": writes - wm,
+            "write_misses": wm,
+            "registers_spilled": spills,
+            "lines_spilled": spills,
+            "live_registers_spilled": spills,
+            "registers_reloaded": rm,
+            "lines_reloaded": rm,
+            "live_registers_reloaded": rm,
+            "active_registers_reloaded": rm,
+            "raw_bytes_spilled": spills * word_bytes,
+            "wire_bytes_spilled": spills * word_bytes,
+            "raw_bytes_reloaded": rm * word_bytes,
+            "wire_bytes_reloaded": rm * word_bytes,
+            "words_stored": spills,
+            "words_loaded": rm,
+        }
+    return curves
+
+
+def oracle_sweep(trace, model_factory, configurations):
+    """Replay one trace over many configurations, oracle-accelerated.
+
+    Drop-in for :func:`repro.trace.replay.sweep` (verify-off): builds
+    ``model_factory(**config)`` per cell and returns ``(config,
+    stats)`` pairs.  Cells inside the exactness boundary whose
+    capacity never forces an eviction get their statistics synthesized
+    in O(1) from the one shared columnar analysis
+    (:func:`~repro.trace.columnar.apply_stats` — the models are
+    discarded, so the O(registers) end-state rebuild is skipped and
+    the whole sweep costs one columnar scan plus a constant-time apply
+    per cell).  Every other cell (NMRU's RNG draw, line_size>1,
+    sub-peak capacities, NumPy absent) transparently falls back to
+    event-exact replay, so the results are byte-identical to
+    :func:`~repro.trace.replay.sweep` by construction.
+    """
+    analysis = analyze(trace) if numpy_available() else None
+    results = []
+    for config in configurations:
+        model = model_factory(**config)
+        if not apply_stats(analysis, model):
+            _event_replay(trace, model, verify=False)
+        results.append((config, model.stats))
+    return results
+
+
+def replay_oracle(trace, model):
+    """Single-model oracle replay (the ``engine="oracle"`` hook).
+
+    Per replayed model this is the columnar engine — synthesis inside
+    the exactness boundary, scalar fallback outside — but routed
+    through the oracle module so sweep drivers and
+    :func:`oracle_sweep` share one analysis memo.
+    """
+    return replay_columnar(trace, model)

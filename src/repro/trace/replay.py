@@ -116,13 +116,35 @@ def _replay_fast_wide(data, wide, model):
 
 
 def _dispatch_table(model):
-    """Cold-op handlers ``(cid, offset) -> None``, indexed by opcode."""
+    """Cold-op handlers ``(cid, offset) -> None``, indexed by opcode.
+
+    The four adapter closures are cached on the model so repeated
+    replays (sweep cells re-replaying onto the same recorder inner,
+    the trace cache's verify pass) build them once; slotted wrappers
+    that cannot grow attributes just rebuild per call.  The cache is
+    probed through ``object.__getattribute__`` on the instance dict:
+    delegating wrappers (``TracingRegisterFile.__getattr__``) must not
+    surface their *inner* model's table, which would route cold ops
+    around the wrapper.
+    """
+    try:
+        cached = object.__getattribute__(model, "__dict__")
+    except AttributeError:
+        cached = None
+    if cached is not None:
+        table = cached.get("_replay_dispatch")
+        if table is not None:
+            return table
     table = [None] * 7
     table[OP_SWITCH] = lambda cid, offset: model.switch_to(cid)
     table[OP_BEGIN] = lambda cid, offset: model.begin_context(cid=cid)
     table[OP_END] = lambda cid, offset: model.end_context(cid)
     table[OP_FREE] = lambda cid, offset: model.free_register(offset,
                                                             cid=cid)
+    try:
+        model._replay_dispatch = table
+    except AttributeError:
+        pass
     return table
 
 
@@ -135,6 +157,9 @@ def _replay_verified(trace, model):
     end_context = model.end_context
     free_register = model.free_register
     cold = _dispatch_table(model)
+    # hoisted: traces without wide values (the overwhelming case) skip
+    # the per-write sentinel compare and side-table probe entirely
+    has_wide = bool(wide)
     #: cid -> {offset: last written value}; dropping a finished context
     #: is a single dict pop, not a scan of every live register
     shadow = {}
@@ -156,7 +181,7 @@ def _replay_verified(trace, model):
             cid = data[base + 1]
             offset = data[base + 2]
             value = data[base + 3]
-            if value == WIDE_VALUE:
+            if has_wide and value == WIDE_VALUE:
                 value = wide.get(base >> 2, value)
             write(offset, value, cid=cid)
             context = shadow.get(cid)

@@ -1,0 +1,228 @@
+"""The stack-distance oracle equals event-exact replay, everywhere.
+
+Three rings of evidence:
+
+* **Golden workloads.** For every recorded workload trace the paper's
+  sweeps replay, :func:`capacity_curves` must reproduce the hit /
+  spill / reload counters of an event-exact replay at every capacity
+  on a grid straddling the trace's peak demand — including the
+  sub-peak region where real evictions happen.
+* **Sweep parity.** :func:`oracle_sweep` returns byte-identical stats
+  snapshots to :func:`repro.trace.replay.sweep` across capacities and
+  policies, including configurations (NMRU, FIFO) it can only serve by
+  falling back to event replay.
+* **Random traces.** Hypothesis generates arbitrary BEGIN / END /
+  read / write interleavings and the curves must match replay at every
+  tiny capacity, plus hold the Mattson monotonicity invariant.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import NamedStateRegisterFile
+from repro.evalx.common import make_nsf
+from repro.trace import columnar, oracle
+from repro.trace.events import (
+    OP_BEGIN,
+    OP_END,
+    OP_READ,
+    OP_WRITE,
+    Trace,
+)
+from repro.trace.recorder import TracingRegisterFile
+from repro.trace.replay import replay, sweep
+
+#: capacity-dependent stat fields the oracle predicts exactly
+CURVE_FIELDS = (
+    "reads", "writes", "read_hits", "read_misses", "write_hits",
+    "write_misses", "registers_spilled", "lines_spilled",
+    "live_registers_spilled", "registers_reloaded", "lines_reloaded",
+    "live_registers_reloaded", "active_registers_reloaded",
+    "raw_bytes_spilled", "wire_bytes_spilled", "raw_bytes_reloaded",
+    "wire_bytes_reloaded",
+)
+
+#: (workload name, recording scale) — the golden sweeps' workloads
+GOLDEN_WORKLOADS = [
+    ("CompiledSuite", 0.4),
+    ("GateSim", 0.15),
+    ("Gamteb", 0.1),
+]
+
+
+def _record(name, scale):
+    from repro import workloads
+
+    workload = getattr(workloads, name)()
+    recorder = TracingRegisterFile(make_nsf(workload))
+    workload.run(recorder, scale=scale, seed=1)
+    return workload, recorder.trace
+
+
+@pytest.fixture(scope="module", params=GOLDEN_WORKLOADS,
+                ids=[name for name, _ in GOLDEN_WORKLOADS])
+def recorded(request):
+    return _record(*request.param)
+
+
+def _capacity_grid(trace):
+    """Capacities straddling the trace's peak register demand."""
+    analysis = columnar.analyze(trace)
+    peak = analysis.peak_lines if analysis else 40
+    grid = {max(1, peak // 4), max(1, peak // 2), peak - 1, peak,
+            peak + 1, peak + 25}
+    return sorted(c for c in grid if c >= 1)
+
+
+def _event_model(trace, capacity, **kw):
+    model = NamedStateRegisterFile(
+        num_registers=capacity, context_size=trace.context_size,
+        line_size=1, **kw)
+    replay(trace, model, verify=False)
+    return model
+
+
+def test_curves_match_event_replay_on_golden_workloads(recorded):
+    _, trace = recorded
+    grid = _capacity_grid(trace)
+    curves = oracle.capacity_curves(trace, grid)
+    for capacity in grid:
+        model = _event_model(trace, capacity)
+        stats = model.stats
+        for field in CURVE_FIELDS:
+            assert curves[capacity][field] == getattr(stats, field), (
+                f"capacity {capacity}: {field}")
+        assert curves[capacity]["words_stored"] == \
+            model.backing.words_stored
+        assert curves[capacity]["words_loaded"] == \
+            model.backing.words_loaded
+
+
+def test_curves_cost_one_pass_regardless_of_grid(recorded):
+    _, trace = recorded
+    few = oracle.capacity_curves(trace, [8, 40])
+    many = oracle.capacity_curves(trace, range(1, 121))
+    for capacity, point in few.items():
+        assert many[capacity] == point
+
+
+def test_oracle_sweep_matches_event_sweep(recorded):
+    workload, trace = recorded
+    peak = columnar.analyze(trace).peak_lines
+    ctx = trace.context_size
+
+    def factory(num_registers, policy):
+        return NamedStateRegisterFile(
+            num_registers=num_registers, context_size=ctx,
+            line_size=1, policy=policy, policy_seed=3)
+
+    configurations = [
+        {"num_registers": n, "policy": policy}
+        for n in (max(2, peak // 2), peak, peak + 40)
+        for policy in ("lru", "fifo", "nmru")
+    ]
+    expected = sweep(trace, factory, configurations, verify=False)
+    got = oracle.oracle_sweep(trace, factory, configurations)
+    assert [config for config, _ in got] == \
+        [config for config, _ in expected]
+    for (_, got_stats), (_, want_stats) in zip(got, expected):
+        assert got_stats.snapshot() == want_stats.snapshot()
+
+
+def test_unsupported_traces_raise():
+    trace = Trace(context_size=4)
+    trace.append(OP_BEGIN, 1)
+    trace.append(OP_WRITE, 1, 0, 7)
+    trace.append(OP_READ, 1, 1, 0)  # cold read: demand-reload regime
+    with pytest.raises(oracle.OracleUnsupported):
+        oracle.capacity_curves(trace, [4])
+
+    wide = Trace(context_size=4)
+    wide.append(OP_BEGIN, 1)
+    wide.append_wide(OP_WRITE, 1, 0, 1 << 80)
+    with pytest.raises(oracle.OracleUnsupported):
+        oracle.capacity_curves(wide, [4])
+
+    with pytest.raises(oracle.OracleUnsupported):
+        oracle.capacity_curves(Trace(context_size=4), [])
+
+
+# -- hypothesis: random traces -------------------------------------------
+
+CTX = 4
+
+
+@st.composite
+def random_traces(draw):
+    """A valid BEGIN/END/read/write interleaving over a tiny space."""
+    trace = Trace(context_size=CTX)
+    live = {}
+    opened = []
+    next_cid = 0
+    for _ in range(draw(st.integers(2, 40))):
+        kinds = ["begin"]
+        if opened:
+            kinds += ["write"] * 4 + ["end"]
+            if any(live[cid] for cid in opened):
+                kinds += ["read"] * 4
+        kind = draw(st.sampled_from(kinds))
+        if kind == "begin":
+            cid = next_cid
+            next_cid += 1
+            trace.append(OP_BEGIN, cid)
+            live[cid] = set()
+            opened.append(cid)
+        elif kind == "write":
+            cid = draw(st.sampled_from(opened))
+            offset = draw(st.integers(0, CTX - 1))
+            trace.append(OP_WRITE, cid, offset,
+                         draw(st.integers(0, 99)))
+            live[cid].add(offset)
+        elif kind == "read":
+            cid = draw(st.sampled_from(
+                [c for c in opened if live[c]]))
+            offset = draw(st.sampled_from(sorted(live[cid])))
+            trace.append(OP_READ, cid, offset, 0)
+        else:
+            cid = draw(st.sampled_from(opened))
+            trace.append(OP_END, cid)
+            opened.remove(cid)
+            del live[cid]
+    return trace
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_traces())
+def test_curves_match_replay_on_random_traces(trace):
+    capacities = list(range(1, 10))
+    curves = oracle.capacity_curves(trace, capacities)
+    for capacity in capacities:
+        stats = _event_model(trace, capacity).stats
+        for field in CURVE_FIELDS:
+            assert curves[capacity][field] == getattr(stats, field), (
+                f"capacity {capacity}: {field}")
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_traces())
+def test_curves_are_monotone_in_capacity(trace):
+    capacities = list(range(1, 12))
+    curves = oracle.capacity_curves(trace, capacities)
+    for small, big in zip(capacities, capacities[1:]):
+        for field in ("read_misses", "write_misses",
+                      "registers_spilled", "registers_reloaded"):
+            assert curves[small][field] >= curves[big][field]
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_traces())
+def test_oracle_sweep_matches_replay_on_random_traces(trace):
+    def factory(num_registers):
+        return NamedStateRegisterFile(
+            num_registers=num_registers, context_size=CTX, line_size=1)
+
+    configurations = [{"num_registers": n} for n in (2, 5, 64)]
+    expected = sweep(trace, factory, configurations, verify=False)
+    got = oracle.oracle_sweep(trace, factory, configurations)
+    for (_, got_stats), (_, want_stats) in zip(got, expected):
+        assert got_stats.snapshot() == want_stats.snapshot()
