@@ -62,6 +62,7 @@ bench-check:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_chaos_overhead.py --check
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_farm.py --check
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_columnar.py --check
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_oracle_grid.py --check
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_core_ops.py --benchmark-only -q
 
 # Refresh the committed baseline after an intentional perf change.
@@ -70,6 +71,7 @@ bench-baseline:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_trace_replay.py --write-baseline
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_farm.py --write-baseline
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_columnar.py --write-baseline
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_oracle_grid.py --write-baseline
 
 eval:
 	PYTHONPATH=src $(PYTHON) -m repro.evalx

@@ -27,6 +27,22 @@ from repro.core.stats import AccessResult
 from repro.errors import CapacityError, ReadBeforeWriteError
 
 
+def frame_transfer_cost(live, frame_size, spill_mode):
+    """Registers moved and dead words shipped by one frame transfer.
+
+    Returns ``(moved, dead)``: in ``"frame"`` mode the engine moves the
+    whole frame (``moved == frame_size``) and ``frame_size - live`` of
+    those words are don't-cares; in ``"live"`` mode only the ``live``
+    valid registers cross the wire.  This is the single costing rule
+    shared by the event-exact model below and the one-pass segmented
+    oracle (:mod:`repro.trace.oracle`), so both price a spill or
+    restore identically by construction.
+    """
+    if spill_mode == "frame":
+        return frame_size, frame_size - live
+    return live, 0
+
+
 class _Frame:
     __slots__ = ("cid", "values", "valid", "pending", "valid_count")
 
@@ -235,7 +251,8 @@ class SegmentedRegisterFile(RegisterFile):
         result = AccessResult(kind="read", hit=False)
         self.stats.reads += 1
         self.stats.read_misses += 1
-        dead = self.frame_size - 1 if self.spill_mode == "frame" else 0
+        moved, dead = frame_transfer_cost(1, self.frame_size,
+                                          self.spill_mode)
         values, record = self.backing.reload_unit(cid, [offset],
                                                   dead_words=dead)
         value = values[0]
@@ -248,7 +265,6 @@ class SegmentedRegisterFile(RegisterFile):
             frame.valid[offset] = True
             frame.valid_count += 1
             self._active += 1
-        moved = self.frame_size if self.spill_mode == "frame" else 1
         self.stats.registers_reloaded += moved
         self.stats.live_registers_reloaded += 1
         self.stats.lines_reloaded += 1
@@ -342,12 +358,12 @@ class SegmentedRegisterFile(RegisterFile):
         # The frame is one transfer unit: in "frame" mode its dead
         # slots cross the wire as don't-care words (which a spill-path
         # codec elides almost for free).
-        dead = self.frame_size - live if self.spill_mode == "frame" else 0
+        moved, dead = frame_transfer_cost(live, self.frame_size,
+                                          self.spill_mode)
         record = self.backing.spill_unit(victim, pairs, dead_words=dead)
         self.stats.raw_bytes_spilled += record.raw_bytes
         self.stats.wire_bytes_spilled += record.wire_bytes
         self._active -= frame.valid_count
-        moved = self.frame_size if self.spill_mode == "frame" else live
         self.stats.registers_spilled += moved
         self.stats.live_registers_spilled += live
         self.stats.lines_spilled += 1
@@ -373,7 +389,8 @@ class SegmentedRegisterFile(RegisterFile):
             return
         offsets = self.backing.backed_offsets(cid)
         live = len(offsets)
-        dead = self.frame_size - live if self.spill_mode == "frame" else 0
+        moved, dead = frame_transfer_cost(live, self.frame_size,
+                                          self.spill_mode)
         values, record = self.backing.reload_unit(cid, offsets,
                                                   dead_words=dead)
         for offset, value in zip(offsets, values):
@@ -385,7 +402,6 @@ class SegmentedRegisterFile(RegisterFile):
         self._active += live
         self.stats.raw_bytes_reloaded += record.raw_bytes
         self.stats.wire_bytes_reloaded += record.wire_bytes
-        moved = self.frame_size if self.spill_mode == "frame" else live
         self.stats.registers_reloaded += moved
         self.stats.live_registers_reloaded += live
         self.stats.lines_reloaded += 1

@@ -20,10 +20,12 @@ are identical to direct execution by construction (pinned by
 to force direct execution.
 """
 
+from contextlib import contextmanager
+
 from repro.core import NamedStateRegisterFile, SegmentedRegisterFile
 from repro.trace import cache as trace_cache
 from repro.trace.columnar import replay_columnar, selected_engine
-from repro.trace.oracle import replay_oracle
+from repro.trace.oracle import replay_oracle, serve_from_tables
 from repro.trace.replay import replay
 
 SEQ_REGISTERS = 80
@@ -57,6 +59,31 @@ def make_segmented(workload, num_registers=None, **kw):
     )
 
 
+#: active :func:`capacity_plan` grids (innermost last)
+_PLAN = []
+
+
+@contextmanager
+def capacity_plan(register_budgets):
+    """Announce the register budgets the enclosed sweep will visit.
+
+    Under ``--engine oracle`` every in-regime cell inside the block is
+    served from the design-space tables of
+    :mod:`repro.trace.oracle`: one stack-distance scan per (trace,
+    design family) covers the *whole* announced grid, so each
+    additional capacity point costs an O(1) table application instead
+    of a replay.  Cells outside the oracle's exactness boundary
+    (NMRU, line-scope reloads, wide-value traces) transparently fall
+    back, and the other engines ignore the plan entirely — results
+    are byte-identical across engines by construction.
+    """
+    _PLAN.append(tuple(int(b) for b in register_budgets))
+    try:
+        yield
+    finally:
+        _PLAN.pop()
+
+
 def _replay(trace, model):
     """Replay through the engine ``REPRO_REPLAY_ENGINE`` selects.
 
@@ -65,11 +92,15 @@ def _replay(trace, model):
     whole-trace analysis when the (trace, model) pair sits inside the
     exactness boundary and fall back to the scalar loop otherwise —
     every engine leaves byte-identical statistics by construction.
+    Inside a :func:`capacity_plan` block the oracle engine serves
+    sub-peak cells from the shared design-space tables first.
     """
     engine = selected_engine()
     if engine == "columnar":
         return replay_columnar(trace, model)
     if engine == "oracle":
+        if _PLAN and serve_from_tables(trace, model, _PLAN[-1]):
+            return model
         return replay_oracle(trace, model)
     return replay(trace, model, verify=False)
 

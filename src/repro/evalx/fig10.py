@@ -6,7 +6,12 @@ The paper finds segmented files reload 1,000-10,000x more registers
 than the NSF on sequential code and 10-40x more on parallel code.
 """
 
-from repro.evalx.common import run_pair
+from repro.evalx.common import (
+    SEQ_REGISTERS,
+    PAR_REGISTERS,
+    capacity_plan,
+    run_pair,
+)
 from repro.evalx.tables import ExperimentTable
 from repro.workloads import ALL_WORKLOADS
 
@@ -20,18 +25,19 @@ def run(scale=1.0, seed=1):
         notes="log-scale figure in the paper; a 0 entry means the NSF "
               "held the entire working set",
     )
-    for workload_cls in ALL_WORKLOADS:
-        workload = workload_cls()
-        nsf, seg = run_pair(workload, scale=scale, seed=seed)
-        nsf_rate = nsf.reloads_per_instruction
-        seg_rate = seg.reloads_per_instruction
-        ratio = seg_rate / nsf_rate if nsf_rate else float("inf")
-        table.add_row(
-            workload.name,
-            workload.kind.capitalize(),
-            round(100 * nsf_rate, 4),
-            round(100 * seg_rate, 4),
-            round(100 * seg.live_reloads_per_instruction, 4),
-            "inf" if ratio == float("inf") else round(ratio, 1),
-        )
+    with capacity_plan((SEQ_REGISTERS, PAR_REGISTERS)):
+        for workload_cls in ALL_WORKLOADS:
+            workload = workload_cls()
+            nsf, seg = run_pair(workload, scale=scale, seed=seed)
+            nsf_rate = nsf.reloads_per_instruction
+            seg_rate = seg.reloads_per_instruction
+            ratio = seg_rate / nsf_rate if nsf_rate else float("inf")
+            table.add_row(
+                workload.name,
+                workload.kind.capitalize(),
+                round(100 * nsf_rate, 4),
+                round(100 * seg_rate, 4),
+                round(100 * seg.live_reloads_per_instruction, 4),
+                "inf" if ratio == float("inf") else round(ratio, 1),
+            )
     return table

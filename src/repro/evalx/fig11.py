@@ -10,12 +10,19 @@ holds ~0.8N for parallel code and more than 2N for sequential code.
 from repro.evalx.common import (
     REPRESENTATIVE_PARALLEL,
     REPRESENTATIVE_SEQUENTIAL,
+    capacity_plan,
     run_pair,
 )
 from repro.evalx.tables import ExperimentTable
 from repro.workloads import get_workload
 
 FRAME_SWEEP = range(2, 11)
+
+
+def sweep_budgets(*workloads):
+    """Every register budget the 2-10 frame sweep visits."""
+    return [frames * w.context_size
+            for w in workloads for frames in FRAME_SWEEP]
 
 
 def run(scale=1.0, seed=1):
@@ -30,6 +37,12 @@ def run(scale=1.0, seed=1):
     )
     seq = get_workload(REPRESENTATIVE_SEQUENTIAL)
     par = get_workload(REPRESENTATIVE_PARALLEL)
+    with capacity_plan(sweep_budgets(seq, par)):
+        _sweep(table, seq, par, scale, seed)
+    return table
+
+
+def _sweep(table, seq, par, scale, seed):
     for frames in FRAME_SWEEP:
         seq_nsf, seq_seg = run_pair(
             seq, scale=scale, seed=seed,
@@ -46,4 +59,3 @@ def run(scale=1.0, seed=1):
             round(par_nsf.avg_resident_contexts, 2),
             round(par_seg.avg_resident_contexts, 2),
         )
-    return table

@@ -17,7 +17,7 @@ from repro.core import (
     SEGMENT_SW_COSTS,
     speedup,
 )
-from repro.evalx.common import run_pair
+from repro.evalx.common import capacity_plan, run_pair
 from repro.evalx.tables import ExperimentTable
 from repro.workloads import PARALLEL_WORKLOADS, SEQUENTIAL_WORKLOADS
 
@@ -27,12 +27,13 @@ FIG14_REGISTERS = 128
 def _aggregate(workload_classes, scale, seed):
     nsf_total = None
     seg_total = None
-    for workload_cls in workload_classes:
-        workload = workload_cls()
-        nsf, seg = run_pair(workload, scale=scale, seed=seed,
-                            num_registers=FIG14_REGISTERS)
-        nsf_total = nsf if nsf_total is None else nsf_total + nsf
-        seg_total = seg if seg_total is None else seg_total + seg
+    with capacity_plan((FIG14_REGISTERS,)):
+        for workload_cls in workload_classes:
+            workload = workload_cls()
+            nsf, seg = run_pair(workload, scale=scale, seed=seed,
+                                num_registers=FIG14_REGISTERS)
+            nsf_total = nsf if nsf_total is None else nsf_total + nsf
+            seg_total = seg if seg_total is None else seg_total + seg
     return nsf_total, seg_total
 
 

@@ -43,15 +43,22 @@ def run_farm_sweep(experiment, scale=1.0, seed=1, journal_path=None,
                    max_attempts=2, backoff=0.05, check=False,
                    stream=None, workers=None, lease_ttl=5.0,
                    state_dir=None, tick=0.02, watchdog=None,
-                   worker_output=False):
+                   worker_output=False, engine=None):
     """Run (or resume) one sweep on the farm; returns a SweepResult.
 
     The signature mirrors :func:`repro.evalx.runner.run_sweep` (with
     ``max_attempts`` in place of ``retries`` and ``workers`` in place
     of ``jobs``).  ``journal_path``, when given, anchors the farm's
     state directory next to it (``<journal>.farm/``); the queue journal
-    itself always lives at ``<state_dir>/queue.jsonl``.
+    itself always lives at ``<state_dir>/queue.jsonl``.  ``engine``
+    selects the replay engine for every cell: it is exported as
+    ``REPRO_REPLAY_ENGINE``, which ``_cell_env()`` copies into each
+    worker and from there into each cell subprocess.
     """
+    if engine:
+        from repro.trace.columnar import ENV_ENGINE
+
+        os.environ[ENV_ENGINE] = engine
     if state_dir is None:
         if journal_path is not None:
             journal_path = pathlib.Path(journal_path)
@@ -109,7 +116,7 @@ SCENARIOS = ("fault-free", "worker_kill", "daemon_kill",
 
 def smoke(experiment="compression", scale=0.2, seed=7, check=False,
           workdir=None, stream=None, jobs=2, chaos_seed=1,
-          lease_ttl=1.0, only=None):
+          lease_ttl=1.0, only=None, engine=None):
     """Farm chaos smoke; returns 0 iff every scenario is byte-exact.
 
     Reference: one uninterrupted sequential ``run_sweep`` (jobs=1).
@@ -140,6 +147,13 @@ def smoke(experiment="compression", scale=0.2, seed=7, check=False,
             stream.write(message + "\n")
             stream.flush()
 
+    if engine:
+        # reaches the reference sweep, the in-process farm scenario and
+        # every relaunched farm subprocess (all envs derive from
+        # _cell_env(), which copies os.environ)
+        from repro.trace.columnar import ENV_ENGINE
+
+        os.environ[ENV_ENGINE] = engine
     if check:
         from repro.evalx.golden import GOLDEN_SCALE, GOLDEN_SEED
 

@@ -45,6 +45,12 @@ def main(argv=None):
     sweep.add_argument("--worker-output", action="store_true",
                        help="let workers inherit stdout/stderr "
                             "(debugging)")
+    sweep.add_argument("--engine", choices=("event", "columnar",
+                                            "oracle"), default=None,
+                       help="replay engine for every cell (exported "
+                            "as REPRO_REPLAY_ENGINE to worker and "
+                            "cell subprocesses; default: inherited "
+                            "env or event replay)")
 
     smoke = sub.add_parser(
         "smoke", help="service-grade chaos campaign vs the "
@@ -60,6 +66,10 @@ def main(argv=None):
     smoke.add_argument("--scenarios", default=None,
                        help="comma list restricting the campaign "
                             f"(default: all of {list(farm.SCENARIOS)})")
+    smoke.add_argument("--engine", choices=("event", "columnar",
+                                            "oracle"), default=None,
+                       help="replay engine for the reference sweep "
+                            "and every farm scenario")
 
     args = parser.parse_args(argv)
     if args.command == "sweep":
@@ -70,7 +80,8 @@ def main(argv=None):
             backoff=args.backoff, check=args.check,
             stream=sys.stderr, workers=args.jobs,
             lease_ttl=args.lease_ttl, state_dir=args.state_dir,
-            watchdog=args.watchdog, worker_output=args.worker_output)
+            watchdog=args.watchdog, worker_output=args.worker_output,
+            engine=args.engine)
         return 0 if result.ok else 1
     only = None
     if args.scenarios:
@@ -80,7 +91,7 @@ def main(argv=None):
         experiment=args.experiment, scale=args.scale, seed=args.seed,
         check=args.check, workdir=args.workdir, stream=sys.stderr,
         jobs=args.jobs, chaos_seed=args.chaos_seed,
-        lease_ttl=args.lease_ttl, only=only)
+        lease_ttl=args.lease_ttl, only=only, engine=args.engine)
 
 
 if __name__ == "__main__":

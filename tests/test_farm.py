@@ -371,6 +371,34 @@ class TestFarmSweep:
         assert result.ran == len(result.keys)
         assert out.read_bytes() == ref_bytes
 
+    def test_farm_engine_propagates_and_output_matches(self, tmp_path,
+                                                       monkeypatch):
+        """``engine=`` reaches worker cell subprocesses, byte-exactly.
+
+        The selector is exported as ``REPRO_REPLAY_ENGINE`` and flows
+        supervisor -> worker -> cell because every child env derives
+        from ``_cell_env()``; the farm output under the oracle engine
+        must still be byte-identical to the sequential event-engine
+        sweep.
+        """
+        from repro.trace.columnar import ENV_ENGINE
+
+        # touch the var through monkeypatch so teardown restores the
+        # pre-test state even though run_farm_sweep mutates os.environ
+        monkeypatch.setenv(ENV_ENGINE, "event")
+        monkeypatch.delenv(ENV_ENGINE)
+        ref_bytes = _sequential_reference(tmp_path)
+        out = tmp_path / "farm.json"
+        result = run_farm_sweep(
+            "compression", scale=SCALE, seed=SEED,
+            state_dir=tmp_path / "farm", out_path=out, workers=2,
+            lease_ttl=1.0, engine="oracle")
+        assert result.ok
+        # the selector landed in the env every worker and cell inherits
+        assert os.environ[ENV_ENGINE] == "oracle"
+        assert runner_mod._cell_env()[ENV_ENGINE] == "oracle"
+        assert out.read_bytes() == ref_bytes
+
     def test_farm_resume_skips_committed_cells(self, tmp_path):
         out = tmp_path / "farm.json"
         first = run_farm_sweep(

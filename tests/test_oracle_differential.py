@@ -25,6 +25,7 @@ from repro.trace import columnar, oracle
 from repro.trace.events import (
     OP_BEGIN,
     OP_END,
+    OP_FREE,
     OP_READ,
     OP_WRITE,
     Trace,
@@ -98,6 +99,114 @@ def test_curves_match_event_replay_on_golden_workloads(recorded):
             model.backing.words_loaded
 
 
+def test_curves_match_event_replay_across_line_sizes_and_policies(
+        recorded):
+    """The design-space scan: line sizes x policies on every golden.
+
+    Capacities are in *lines*; the grid straddles the trace's peak so
+    sub-peak evictions, partial-line write allocates and line-granular
+    valid masks are all exercised.
+    """
+    _, trace = recorded
+    ctx = trace.context_size
+    base = _capacity_grid(trace)
+    for line_size in (1, 2, 4):
+        grid = sorted({max(1, c // line_size) for c in base} | {1, 3})
+        for policy in ("lru", "fifo"):
+            curves = oracle.capacity_curves(
+                trace, grid, line_size=line_size, policy=policy)
+            for cap in grid:
+                model = NamedStateRegisterFile(
+                    num_registers=cap * line_size, context_size=ctx,
+                    line_size=line_size, policy=policy)
+                replay(trace, model, verify=False)
+                for field in CURVE_FIELDS:
+                    assert curves[cap][field] == \
+                        getattr(model.stats, field), (
+                            f"L={line_size} {policy} cap={cap}: "
+                            f"{field}")
+                assert curves[cap]["words_stored"] == \
+                    model.backing.words_stored
+                assert curves[cap]["words_loaded"] == \
+                    model.backing.words_loaded
+
+
+def test_tables_match_event_snapshots_on_golden_workloads(recorded):
+    """Full-snapshot parity: every stats field, not just the curve."""
+    _, trace = recorded
+    ctx = trace.context_size
+    grid = sorted({max(1, c // 2) for c in _capacity_grid(trace)})
+    for policy in ("lru", "fifo"):
+        tables = oracle.capacity_tables(trace, grid, line_size=2,
+                                        policy=policy)
+        for cap in grid:
+            model = NamedStateRegisterFile(
+                num_registers=cap * 2, context_size=ctx,
+                line_size=2, policy=policy)
+            replay(trace, model, verify=False)
+            synth = NamedStateRegisterFile(
+                num_registers=cap * 2, context_size=ctx,
+                line_size=2, policy=policy)
+            oracle.apply_table(tables[cap], synth)
+            assert synth.stats.snapshot() == model.stats.snapshot(), (
+                f"{policy} cap={cap}")
+            assert synth.backing.words_stored == \
+                model.backing.words_stored
+            assert synth.backing.words_loaded == \
+                model.backing.words_loaded
+
+
+def test_segmented_tables_match_event_replay(recorded):
+    """The segmented-frame oracle across spill modes and policies."""
+    from repro.core import SegmentedRegisterFile
+
+    _, trace = recorded
+    ctx = trace.context_size
+    frames = [1, 2, 4, 8]
+    for spill_mode in ("frame", "live"):
+        for policy in ("lru", "fifo"):
+            tables = oracle.segmented_tables(
+                trace, frames, spill_mode=spill_mode, policy=policy)
+            for nf in frames:
+                model = SegmentedRegisterFile(
+                    num_registers=nf * ctx, context_size=ctx,
+                    spill_mode=spill_mode, policy=policy)
+                replay(trace, model, verify=False)
+                synth = SegmentedRegisterFile(
+                    num_registers=nf * ctx, context_size=ctx,
+                    spill_mode=spill_mode, policy=policy)
+                oracle.apply_table(tables[nf], synth)
+                assert synth.stats.snapshot() == \
+                    model.stats.snapshot(), (
+                        f"{spill_mode} {policy} frames={nf}")
+                assert synth.backing.words_stored == \
+                    model.backing.words_stored
+                assert synth.backing.words_loaded == \
+                    model.backing.words_loaded
+
+
+def test_vector_kernel_matches_scalar_walk(recorded):
+    """The NumPy windowed-stack kernel is byte-identical to the
+    pure-stdlib Fenwick walk (the no-NumPy fallback)."""
+    from repro.trace import vector
+
+    if not columnar.numpy_available():
+        pytest.skip("NumPy unavailable: only the scalar walk runs")
+    _, trace = recorded
+    grid = _capacity_grid(trace)
+    for line_size in (1, 2, 4):
+        fast = vector.lru_scan(trace, grid, 4, line_size)
+        assert fast is not None
+        shared, percap = oracle._scan_lru(trace, grid, 4, line_size,
+                                          tables=False)
+        slow = {cap: {k: v for k, v in entry.items()
+                      if k != "switch_misses"}
+                for cap, entry in percap.items()}
+        assert fast[0]["reads"] == shared["reads"]
+        assert fast[0]["writes"] == shared["writes"]
+        assert fast[1] == slow
+
+
 def test_curves_cost_one_pass_regardless_of_grid(recorded):
     _, trace = recorded
     few = oracle.capacity_curves(trace, [8, 40])
@@ -108,7 +217,8 @@ def test_curves_cost_one_pass_regardless_of_grid(recorded):
 
 def test_oracle_sweep_matches_event_sweep(recorded):
     workload, trace = recorded
-    peak = columnar.analyze(trace).peak_lines
+    analysis = columnar.analyze(trace)
+    peak = analysis.peak_lines if analysis else 40
     ctx = trace.context_size
 
     def factory(num_registers, policy):
@@ -146,6 +256,15 @@ def test_unsupported_traces_raise():
     with pytest.raises(oracle.OracleUnsupported):
         oracle.capacity_curves(Trace(context_size=4), [])
 
+    freed = Trace(context_size=4)
+    freed.append(OP_BEGIN, 1)
+    freed.append(OP_WRITE, 1, 0, 7)
+    freed.append(OP_FREE, 1, 0)  # line-granular FREE diverges per file
+    with pytest.raises(oracle.OracleUnsupported):
+        oracle.capacity_curves(freed, [4], line_size=2)
+    # ... but at line_size 1 a FREE is an exact deletion
+    assert oracle.capacity_curves(freed, [4])[4]["write_misses"] == 1
+
 
 # -- hypothesis: random traces -------------------------------------------
 
@@ -154,7 +273,9 @@ CTX = 4
 
 @st.composite
 def random_traces(draw):
-    """A valid BEGIN/END/read/write interleaving over a tiny space."""
+    """A valid BEGIN/END/read/write/FREE interleaving over a tiny
+    space — END and ``rfree`` churn drives the deletions-as-holes
+    paths of the stack scan."""
     trace = Trace(context_size=CTX)
     live = {}
     opened = []
@@ -162,7 +283,7 @@ def random_traces(draw):
     for _ in range(draw(st.integers(2, 40))):
         kinds = ["begin"]
         if opened:
-            kinds += ["write"] * 4 + ["end"]
+            kinds += ["write"] * 4 + ["end", "free"]
             if any(live[cid] for cid in opened):
                 kinds += ["read"] * 4
         kind = draw(st.sampled_from(kinds))
@@ -183,6 +304,12 @@ def random_traces(draw):
                 [c for c in opened if live[c]]))
             offset = draw(st.sampled_from(sorted(live[cid])))
             trace.append(OP_READ, cid, offset, 0)
+        elif kind == "free":
+            # freeing a never-written offset is a legal no-op
+            cid = draw(st.sampled_from(opened))
+            offset = draw(st.integers(0, CTX - 1))
+            trace.append(OP_FREE, cid, offset)
+            live[cid].discard(offset)
         else:
             cid = draw(st.sampled_from(opened))
             trace.append(OP_END, cid)
